@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench figures examples clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+# One benchmark per paper figure/table (subset, laptop-sized). Use
+# BENCHFLAGS="-repro.full -repro.v" for the whole suite with printed tables.
+bench:
+	go test -bench=. -benchmem $(BENCHFLAGS) .
+
+# Regenerate every figure and table into results/ (~30-45 min on one core).
+figures:
+	mkdir -p results
+	go run ./cmd/paperfigs -fig all -n 300000 | tee results/paperfigs_full.txt
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/predictorapi
+	go run ./examples/compare
+	go run ./examples/budgetsweep
+	go run ./examples/customworkload
+
+clean:
+	rm -f test_output.txt bench_output.txt

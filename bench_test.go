@@ -1,0 +1,111 @@
+package repro
+
+// One benchmark per table and figure of the paper (DESIGN.md §6). Each
+// benchmark regenerates its experiment and prints the same rows/series the
+// paper reports; timing measures the full experiment (simulation runs are
+// memoised inside a benchmark, so ns/op beyond the first iteration reflects
+// aggregation cost only — the printed tables are the deliverable).
+//
+// By default benchmarks run a representative app subset at a reduced
+// instruction count so a full `go test -bench=.` pass stays around a
+// quarter hour on one core. Flags:
+//
+//	-repro.full        use the whole suite
+//	-repro.n=N         instructions per run (default 120000)
+//	-repro.v           print the regenerated tables to stdout
+
+import (
+	"flag"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+var (
+	benchFull    = flag.Bool("repro.full", false, "benchmarks use the whole suite")
+	benchInstrs  = flag.Int("repro.n", 100_000, "instructions per benchmark run")
+	benchVerbose = flag.Bool("repro.v", false, "print regenerated tables to stdout")
+)
+
+// benchApps is the default subset: one app per behaviour class the paper
+// highlights (path-driven conflicts, the Store Sets pathology, data-
+// dependent conflicts, path explosion, multi-store overlap, streaming).
+var benchApps = []string{
+	"511.povray", "500.perlbench_3", "541.leela", "525.x264_3",
+}
+
+func benchRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	apps := benchApps
+	if *benchFull {
+		apps = workload.Names()
+	}
+	var out io.Writer = io.Discard
+	if *benchVerbose {
+		out = os.Stdout
+	}
+	return experiments.NewRunner(experiments.Options{
+		Apps: apps, Instructions: *benchInstrs, Out: out,
+	})
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchRunner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig01_MPKITimeline(b *testing.B)      { benchExperiment(b, "fig1") }
+func BenchmarkFig02a_GenerationMPKI(b *testing.B)   { benchExperiment(b, "fig2a") }
+func BenchmarkFig02b_GenerationGap(b *testing.B)    { benchExperiment(b, "fig2b") }
+func BenchmarkFig04_MultiStoreLoads(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig06_Unlimited(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig07_UnlimitedPHASTIPC(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig08_UnlimitedPHASTMPKI(b *testing.B) {
+	benchExperiment(b, "fig8")
+}
+func BenchmarkFig09_PathsPerApp(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10_ConflictHistLen(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11_MaxHistLen(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12_FwdFilter(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13_PerfVsStorage(b *testing.B)   { benchExperiment(b, "fig13") }
+func BenchmarkFig14_MPKIPerApp(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15_IPCPerApp(b *testing.B)       { benchExperiment(b, "fig15") }
+func BenchmarkFig16_Energy(b *testing.B)          { benchExperiment(b, "fig16") }
+func BenchmarkTable1_SystemConfig(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTable2_PredictorConfigs(b *testing.B) {
+	benchExperiment(b, "table2")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (micro-ops per
+// second through the timing model) — the practical limit on experiment size.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(Config{
+			App: "511.povray", Predictor: "phast", Instructions: *benchInstrs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(res.Committed)) // "bytes" = committed micro-ops
+	}
+}
+
+// Design-choice ablations called out in DESIGN.md: the §IV-A1 update-point
+// choice, PHAST's confidence mechanism, and the history length set.
+func BenchmarkAblationTrainPoint(b *testing.B)    { benchExperiment(b, "abl-train") }
+func BenchmarkAblationConfidence(b *testing.B)    { benchExperiment(b, "abl-conf") }
+func BenchmarkAblationHistoryTables(b *testing.B) { benchExperiment(b, "abl-tables") }
+func BenchmarkAblationFilter(b *testing.B)        { benchExperiment(b, "abl-filter") }

@@ -1,0 +1,62 @@
+// paperfigs regenerates the tables and figures of the paper's evaluation.
+//
+// Usage:
+//
+//	paperfigs -fig all                 # everything, full suite
+//	paperfigs -fig fig15 -n 1000000    # one figure, longer runs
+//	paperfigs -fig fig14 -apps 511.povray,541.leela
+//	paperfigs -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "experiment to run (fig1..fig16, table1, table2, mix, all)")
+		n       = flag.Int("n", sim.DefaultInstructions, "instructions per run")
+		apps    = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
+		workers = flag.Int("workers", 0, "parallel runs (default: min(8, NumCPU))")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	opt := experiments.Options{Instructions: *n, Out: os.Stdout, Workers: *workers}
+	if *apps != "" {
+		opt.Apps = strings.Split(*apps, ",")
+	}
+	r := experiments.NewRunner(opt)
+
+	start := time.Now()
+	var err error
+	if *fig == "all" {
+		err = experiments.RunAll(r)
+	} else {
+		var e experiments.Experiment
+		e, err = experiments.ByName(*fig)
+		if err == nil {
+			fmt.Printf("== %s: %s ==\n", e.Name, e.Desc)
+			err = e.Run(r)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}

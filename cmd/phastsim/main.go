@@ -1,0 +1,223 @@
+// phastsim runs one simulation: an app from the suite, on a machine
+// generation, with a memory dependence predictor, and prints the measured
+// counters.
+//
+// Usage:
+//
+//	phastsim -app 511.povray -predictor phast -machine alderlake -n 300000
+//	phastsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "511.povray", "workload name (see -list)")
+		predictor = flag.String("predictor", "phast", "predictor spec (phast, storesets, nosq, mdptage, mdptage-s, ideal, none, unlimited-phast, ...)")
+		machine   = flag.String("machine", "alderlake", "machine configuration")
+		n         = flag.Int("n", sim.DefaultInstructions, "instructions to simulate")
+		seed      = flag.Int64("seed", 0, "stream seed override (0 = app default)")
+		noFwd     = flag.Bool("no-fwd-filter", false, "disable the §IV-A1 forwarding filter")
+		bp        = flag.String("bp", "tagescl", "branch predictor (bimodal, gshare, perceptron, tage, tagescl)")
+		list      = flag.Bool("list", false, "list apps, machines and predictors, then exit")
+		vsIdeal   = flag.Bool("vs-ideal", false, "also run the ideal predictor and report the gap")
+		saveTrace = flag.String("save-trace", "", "write the generated stream to this file and exit")
+		loadTrace = flag.String("load-trace", "", "replay a stream saved with -save-trace instead of generating one")
+		simpoints = flag.Int("simpoints", 0, "simulate k representative intervals instead of the whole stream (SimPoint-style)")
+		interval  = flag.Int("interval", 50000, "interval length for -simpoints")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("apps:")
+		for _, a := range workload.Names() {
+			fmt.Println("  " + a)
+		}
+		fmt.Println("machines:", config.Names())
+		fmt.Println("predictors:", sim.PredictorNames(),
+			"(plus ideal, none, alwayswait, cht, storevector, unlimited-*, and :<size> budget specs)")
+		return
+	}
+
+	cfg := sim.Config{
+		App: *app, Machine: *machine, Predictor: *predictor,
+		Instructions: *n, Seed: *seed, FwdFilterOff: *noFwd, BranchPredictor: *bp,
+	}
+
+	if *saveTrace != "" {
+		tr, err := sim.TraceFor(cfg.App, *n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phastsim:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*saveTrace)
+		if err == nil {
+			err = tr.Encode(f)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phastsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d micro-ops of %s to %s\n", tr.Len(), tr.Name, *saveTrace)
+		return
+	}
+
+	var run *stats.Run
+	var err error
+	switch {
+	case *simpoints > 0:
+		err = runSimpoints(cfg, *simpoints, *interval)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phastsim:", err)
+			os.Exit(1)
+		}
+		return
+	case *loadTrace != "":
+		run, err = replay(*loadTrace, cfg)
+	default:
+		run, err = sim.Run(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phastsim:", err)
+		os.Exit(1)
+	}
+	printRun(run)
+
+	if *vsIdeal {
+		cfg.Predictor = "ideal"
+		ideal, err := sim.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phastsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nideal IPC %.4f; %s reaches %.2f%% of ideal\n",
+			ideal.IPC(), *predictor, 100*run.Speedup(ideal))
+	}
+}
+
+// runSimpoints selects k representative intervals of the stream (SimPoint-
+// style clustering on PC-frequency signatures, as the paper's methodology
+// does on SPEC) and reports the per-interval and weighted-mean IPC.
+func runSimpoints(cfg sim.Config, k, intervalLen int) error {
+	tr, err := sim.TraceFor(cfg.App, cfg.Instructions, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	machine, err := config.ByName(cfg.Machine)
+	if err != nil {
+		return err
+	}
+	ivs := tr.SelectIntervals(intervalLen, k)
+	t := stats.NewTable(fmt.Sprintf("%s — %d SimPoint intervals of %d micro-ops (%s)",
+		cfg.App, len(ivs), intervalLen, cfg.Predictor),
+		"interval", "weight", "IPC", "violation MPKI", "false dep MPKI")
+	weighted := 0.0
+	for _, iv := range ivs {
+		pred, err := sim.NewPredictor(cfg.Predictor)
+		if err != nil {
+			return err
+		}
+		c, err := pipeline.New(machine, pred, pipeline.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		res, err := c.Run(tr.Slice(iv))
+		if err != nil {
+			return err
+		}
+		weighted += iv.Weight * res.IPC()
+		t.AddRowf(fmt.Sprintf("[%d,%d)", iv.Start, iv.End), iv.Weight, res.IPC(),
+			res.ViolationMPKI(), res.FalseDepMPKI())
+	}
+	t.AddRowf("weighted mean", 1.0, weighted, "", "")
+	fmt.Print(t)
+	return nil
+}
+
+// replay runs the simulator over a previously saved stream.
+func replay(path string, cfg sim.Config) (*stats.Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := config.ByName(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := sim.NewPredictor(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	opt := pipeline.DefaultOptions()
+	if cfg.FwdFilterOff {
+		opt.Filter = pipeline.FilterNone
+	}
+	opt.BranchPredictor = cfg.BranchPredictor
+	c, err := pipeline.New(machine, pred, opt)
+	if err != nil {
+		return nil, err
+	}
+	run, err := c.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	run.Predictor = cfg.Predictor
+	return run, nil
+}
+
+func printRun(r *stats.Run) {
+	t := stats.NewTable(fmt.Sprintf("%s / %s / %s", r.App, r.Machine, r.Predictor),
+		"metric", "value")
+	t.AddRowf("instructions", r.Committed)
+	t.AddRowf("cycles", r.Cycles)
+	t.AddRow("IPC", fmt.Sprintf("%.4f", r.IPC()))
+	t.AddRowf("loads", r.Loads)
+	t.AddRowf("stores", r.Stores)
+	t.AddRowf("store-to-load forwards", r.Forwards)
+	t.AddRowf("memory order violations", r.MemOrderViolations)
+	t.AddRow("violation MPKI", fmt.Sprintf("%.4f", r.ViolationMPKI()))
+	t.AddRowf("false dependencies", r.FalseDependencies)
+	t.AddRow("false dependence MPKI", fmt.Sprintf("%.4f", r.FalseDepMPKI()))
+	t.AddRowf("true dependencies (correct waits)", r.TrueDependencies)
+	t.AddRow("branch MPKI", fmt.Sprintf("%.4f", r.BranchMPKI()))
+	t.AddRowf("squashed micro-ops", r.SquashedUops)
+	t.AddRowf("re-fetched micro-ops", r.Fetched-r.Committed)
+	t.AddRowf("issued micro-ops", r.IssuedUops)
+	t.AddRowf("predictor reads", r.PredictorReads)
+	t.AddRowf("predictor writes", r.PredictorWrites)
+	if r.PathsTracked > 0 {
+		t.AddRowf("paths tracked", r.PathsTracked)
+	}
+	t.AddRow("avg ROB occupancy", fmt.Sprintf("%.1f", r.AvgROBOccupancy()))
+	t.AddRow("avg SQ occupancy", fmt.Sprintf("%.1f", r.AvgSQOccupancy()))
+	t.AddRow("L1D hit rate", fmt.Sprintf("%.2f%%", pct(r.L1DHits, r.L1DMisses)))
+	t.AddRow("L2 hit rate", fmt.Sprintf("%.2f%%", pct(r.L2Hits, r.L2Misses)))
+	t.AddRow("L3 hit rate", fmt.Sprintf("%.2f%%", pct(r.L3Hits, r.L3Misses)))
+	fmt.Print(t)
+}
+
+func pct(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}

@@ -1,0 +1,140 @@
+// sweep runs parameter sweeps over the simulator: predictor storage budgets
+// (the Fig. 13 axis), history lengths of the unlimited predictors (the
+// Fig. 6/Fig. 11 axes), or machine generations (the Fig. 2 axis).
+//
+// Usage:
+//
+//	sweep -kind budget  -apps 511.povray,502.gcc_1
+//	sweep -kind history -n 200000
+//	sweep -kind machine -predictor phast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "budget", "sweep kind: budget, history, machine, window")
+		n         = flag.Int("n", sim.DefaultInstructions, "instructions per run")
+		apps      = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
+		predictor = flag.String("predictor", "phast", "predictor for the machine sweep")
+		workers   = flag.Int("workers", 0, "parallel runs")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Instructions: *n, Out: os.Stdout, Workers: *workers}
+	if *apps != "" {
+		opt.Apps = strings.Split(*apps, ",")
+	}
+	r := experiments.NewRunner(opt)
+
+	var err error
+	switch *kind {
+	case "budget":
+		err = experiments.Fig13(r)
+	case "history":
+		if err = experiments.Fig06(r); err == nil {
+			err = experiments.Fig11(r)
+		}
+	case "machine":
+		err = machineSweep(r, *predictor)
+	case "window":
+		err = windowSweep(r, *predictor)
+	default:
+		err = fmt.Errorf("unknown sweep kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// windowSweep isolates the Fig. 2 mechanism: on one machine generation,
+// scale only the speculation window (ROB/IQ/LQ/SQ) and watch the predictor's
+// gap to ideal grow — more in-flight unresolved stores, more exposure.
+func windowSweep(r *experiments.Runner, predictor string) error {
+	t := stats.NewTable(fmt.Sprintf("window sweep — %s (alderlake-derived)", predictor),
+		"scale", "ROB", "SQ", "IPC/ideal", "MPKI(FN)", "MPKI(FP)")
+	for _, scale := range []float64{0.25, 0.5, 1, 2} {
+		m := config.AlderLake()
+		m.Name = fmt.Sprintf("alderlake-w%g", scale)
+		m.ROB = int(float64(m.ROB) * scale)
+		m.IQ = int(float64(m.IQ) * scale)
+		m.LQ = int(float64(m.LQ) * scale)
+		m.SQ = int(float64(m.SQ) * scale)
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		geo, fn, fp, err := sweepOn(r, m, predictor)
+		if err != nil {
+			return err
+		}
+		t.AddRowf(fmt.Sprintf("%gx", scale), m.ROB, m.SQ, geo, fn, fp)
+	}
+	fmt.Fprintln(r.Opt().Out, t)
+	return nil
+}
+
+// sweepOn runs predictor and ideal over the runner's apps on an ad-hoc
+// machine (bypassing the by-name registry).
+func sweepOn(r *experiments.Runner, m config.Machine, predictor string) (geo, fn, fp float64, err error) {
+	var ratios, fns, fps []float64
+	for _, app := range r.Opt().Apps {
+		idealRun, err := runOn(m, app, "ideal", r.Opt().Instructions)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		predRun, err := runOn(m, app, predictor, r.Opt().Instructions)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		ratios = append(ratios, predRun.Speedup(idealRun))
+		fns = append(fns, predRun.ViolationMPKI())
+		fps = append(fps, predRun.FalseDepMPKI())
+	}
+	return stats.GeoMean(ratios), stats.Mean(fns), stats.Mean(fps), nil
+}
+
+func runOn(m config.Machine, app, predictor string, instructions int) (*stats.Run, error) {
+	tr, err := sim.TraceFor(app, instructions, 0)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := sim.NewPredictor(predictor)
+	if err != nil {
+		return nil, err
+	}
+	c, err := pipeline.New(m, pred, pipeline.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(tr)
+}
+
+func machineSweep(r *experiments.Runner, predictor string) error {
+	t := stats.NewTable(fmt.Sprintf("machine sweep — %s", predictor),
+		"machine", "year", "IPC/ideal", "MPKI(FN)", "MPKI(FP)")
+	for _, m := range config.Generations() {
+		geo, err := r.GeoIPCvsIdeal(m.Name, predictor, false)
+		if err != nil {
+			return err
+		}
+		fn, fp, err := r.MeanMPKI(m.Name, predictor)
+		if err != nil {
+			return err
+		}
+		t.AddRowf(m.Name, m.Year, geo, fn, fp)
+	}
+	fmt.Fprintln(r.Opt().Out, t)
+	return nil
+}

@@ -1,0 +1,47 @@
+// Compare: a predictor shoot-out over a subset of the suite, reproducing
+// the style of the paper's Fig. 14/15 on a laptop-sized budget. The apps
+// chosen exercise the behaviours the paper highlights: povray (path-driven
+// conflicts), perlbench_3 (Store Sets pathology), leela (data-dependent
+// conflicts), gcc (path explosion) and lbm (conflict-free streaming).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	apps := []string{"511.povray", "500.perlbench_3", "541.leela", "502.gcc_1", "519.lbm"}
+	preds := append([]string{"none"}, repro.Predictors()...)
+
+	ideal := map[string]*repro.Result{}
+	for _, app := range apps {
+		res, err := repro.Simulate(repro.Config{App: app, Predictor: "ideal", Instructions: 150_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ideal[app] = res
+	}
+
+	t := stats.NewTable("IPC relative to ideal (150k instructions per run)",
+		append([]string{"predictor"}, append(apps, "geomean")...)...)
+	for _, pred := range preds {
+		row := []interface{}{pred}
+		ratios := make([]float64, 0, len(apps))
+		for _, app := range apps {
+			res, err := repro.Simulate(repro.Config{App: app, Predictor: pred, Instructions: 150_000})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratio := res.Speedup(ideal[app])
+			ratios = append(ratios, ratio)
+			row = append(row, ratio)
+		}
+		row = append(row, repro.GeoMean(ratios))
+		t.AddRowf(row...)
+	}
+	fmt.Print(t)
+}

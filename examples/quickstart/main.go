@@ -1,0 +1,38 @@
+// Quickstart: simulate one SPEC-like app on the Alder Lake configuration
+// with PHAST, and compare against the ideal predictor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.Config{
+		App:          "511.povray",
+		Predictor:    "phast",
+		Instructions: 200_000,
+	}
+	res, err := repro.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Predictor = "ideal"
+	ideal, err := repro.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("app: %s on %s\n", res.App, res.Machine)
+	fmt.Printf("PHAST IPC:              %.4f\n", res.IPC())
+	fmt.Printf("ideal IPC:              %.4f (PHAST at %.2f%% of ideal)\n",
+		ideal.IPC(), 100*res.Speedup(ideal))
+	fmt.Printf("memory order violations: %d (%.3f MPKI)\n",
+		res.MemOrderViolations, res.ViolationMPKI())
+	fmt.Printf("false dependencies:      %d (%.3f MPKI)\n",
+		res.FalseDependencies, res.FalseDepMPKI())
+	fmt.Printf("store-to-load forwards:  %d\n", res.Forwards)
+}

@@ -1,0 +1,73 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceFold recomputes a bitFold value from scratch: XOR of each of the
+// last length history bits rotated left by its age within width.
+func referenceFold(hist []bool, length, width int) uint64 {
+	var f uint64
+	n := len(hist)
+	for age := 0; age < length && age < n; age++ {
+		if hist[n-1-age] {
+			k := age % width
+			f ^= 1 << k
+		}
+	}
+	return f & (1<<width - 1)
+}
+
+// TestBitFoldMatchesReference: the incremental TAGE fold must equal the
+// from-scratch fold after any update sequence (this replaced an O(history)
+// recompute per lookup; a silent divergence here would corrupt every TAGE
+// index).
+func TestBitFoldMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		length := 1 + rng.Intn(130)
+		width := 2 + rng.Intn(12)
+		f := bitFold{length: length, width: width}
+		ring := make([]bool, length+64)
+		var hist []bool
+		pos := 0
+		for i := 0; i < 500; i++ {
+			bit := rng.Intn(2) == 0
+			// leaving bit = the bit pushed `length` steps ago
+			var leaving bool
+			if len(hist) >= length {
+				leaving = ring[(pos-length+len(ring))%len(ring)]
+			}
+			f.push(bit, leaving)
+			ring[pos] = bit
+			pos = (pos + 1) % len(ring)
+			hist = append(hist, bit)
+			if got, want := f.val, referenceFold(hist, length, width); got != want {
+				t.Fatalf("trial %d (len %d width %d) step %d: fold %#x, want %#x",
+					trial, length, width, i, got, want)
+			}
+		}
+	}
+}
+
+// TestTAGEFoldConsistency: the predictor's internal folds must agree with a
+// recomputation from its own history ring after heavy use.
+func TestTAGEFoldConsistency(t *testing.T) {
+	tg := NewTAGE(DefaultTAGEConfig())
+	rng := rand.New(rand.NewSource(7))
+	var hist []bool
+	for i := 0; i < 3000; i++ {
+		taken := rng.Intn(3) > 0
+		tg.Update(uint64(0x400+i%17*4), taken)
+		hist = append(hist, taken)
+	}
+	for c, L := range tg.cfg.Histories {
+		if got, want := tg.foldIdx[c].val, referenceFold(hist, L, tg.cfg.TableBits); got != want {
+			t.Errorf("comp %d idx fold %#x, want %#x", c, got, want)
+		}
+		if got, want := tg.foldTag[c].val, referenceFold(hist, L, tg.cfg.TagBits); got != want {
+			t.Errorf("comp %d tag fold %#x, want %#x", c, got, want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package cache
+
+import "repro/internal/config"
+
+// Hierarchy composes the levels of Table I and answers the pipeline's two
+// questions: "when does this load's data arrive?" and "when does this fetch
+// group arrive?". Stores write through the store buffer after commit and
+// install lines on their way down.
+type Hierarchy struct {
+	L1I, L1D, L2, L3 *Level
+	memLatency       int
+
+	pf *StridePrefetcher
+
+	// inflightLine tracks outstanding line fills so that a second miss to an
+	// in-flight line completes with it instead of paying a full miss (MSHR
+	// secondary-miss coalescing).
+	inflightLine map[uint64]uint64
+
+	// DemandAccesses counts L1D demand accesses (loads + store drains).
+	DemandAccesses uint64
+}
+
+// New builds the hierarchy for a machine configuration.
+func New(m config.Machine) *Hierarchy {
+	h := &Hierarchy{
+		L1I:          NewLevel("L1I", m.L1I),
+		L1D:          NewLevel("L1D", m.L1D),
+		L2:           NewLevel("L2", m.L2),
+		L3:           NewLevel("L3", m.L3),
+		memLatency:   m.MemLatency,
+		inflightLine: map[uint64]uint64{},
+	}
+	if m.PrefetchDegree > 0 {
+		h.pf = NewStridePrefetcher(256, m.PrefetchDegree, m.L1D.LineBytes)
+	}
+	return h
+}
+
+// Load returns the completion cycle of a demand load issued at cycle to
+// addr, training the prefetcher with the load's PC.
+func (h *Hierarchy) Load(cycle uint64, pc, addr uint64) uint64 {
+	h.DemandAccesses++
+	done := h.dataAccess(cycle, addr)
+	if h.pf != nil {
+		for _, pfAddr := range h.pf.Observe(pc, addr) {
+			// Prefetches install lines with miss latency but off the
+			// load's critical path.
+			if !h.L1D.Lookup(pfAddr) {
+				h.dataAccess(cycle, pfAddr)
+			}
+		}
+	}
+	return done
+}
+
+// StoreDrain models a committed store leaving the store buffer at cycle:
+// it writes the line into L1D (write-allocate). Returns the cycle the store
+// buffer entry frees.
+func (h *Hierarchy) StoreDrain(cycle uint64, addr uint64) uint64 {
+	h.DemandAccesses++
+	return h.dataAccess(cycle, addr)
+}
+
+// dataAccess walks L1D→L2→L3→memory, filling on the way back. The returned
+// cycle includes MSHR contention at the missing levels.
+func (h *Hierarchy) dataAccess(cycle uint64, addr uint64) uint64 {
+	line := addr >> h.L1D.lineShift
+	if h.L1D.access(addr) {
+		h.L1D.Hits++
+		return cycle + uint64(h.L1D.hitLatency)
+	}
+	h.L1D.Misses++
+	if doneAt, ok := h.inflightLine[line]; ok && doneAt > cycle {
+		// Secondary miss: ride the outstanding fill.
+		return doneAt
+	}
+	var lat int
+	switch {
+	case h.L2.access(addr):
+		h.L2.Hits++
+		lat = h.L1D.hitLatency + h.L2.hitLatency
+	case h.L3.access(addr):
+		h.L2.Misses++
+		h.L3.Hits++
+		lat = h.L1D.hitLatency + h.L2.hitLatency + h.L3.hitLatency
+		h.L2.Fill(addr)
+	default:
+		h.L2.Misses++
+		h.L3.Misses++
+		lat = h.L1D.hitLatency + h.L2.hitLatency + h.L3.hitLatency + h.memLatency
+		h.L3.Fill(addr)
+		h.L2.Fill(addr)
+	}
+	done := cycle + uint64(lat)
+	start := h.L1D.reserveMSHR(cycle, done)
+	done = start + uint64(lat)
+	h.L1D.Fill(addr)
+	h.inflightLine[line] = done
+	if len(h.inflightLine) > 4096 {
+		for l, d := range h.inflightLine {
+			if d <= cycle {
+				delete(h.inflightLine, l)
+			}
+		}
+	}
+	return done
+}
+
+// Fetch returns the completion cycle of an instruction fetch at cycle. The
+// instruction path is L1I → L2 → L3 → memory, with a next-line prefetcher
+// (standard in L1I front ends) hiding sequential-code cold misses.
+func (h *Hierarchy) Fetch(cycle uint64, pc uint64) uint64 {
+	if next := pc + uint64(64); !h.L1I.Lookup(next) {
+		h.instFill(next)
+	}
+	if h.L1I.access(pc) {
+		h.L1I.Hits++
+		return cycle + uint64(h.L1I.hitLatency)
+	}
+	h.L1I.Misses++
+	var lat int
+	switch {
+	case h.L2.access(pc):
+		h.L2.Hits++
+		lat = h.L1I.hitLatency + h.L2.hitLatency
+	case h.L3.access(pc):
+		h.L2.Misses++
+		h.L3.Hits++
+		lat = h.L1I.hitLatency + h.L2.hitLatency + h.L3.hitLatency
+		h.L2.Fill(pc)
+	default:
+		h.L2.Misses++
+		h.L3.Misses++
+		lat = h.L1I.hitLatency + h.L2.hitLatency + h.L3.hitLatency + h.memLatency
+		h.L3.Fill(pc)
+		h.L2.Fill(pc)
+	}
+	h.L1I.Fill(pc)
+	return cycle + uint64(lat)
+}
+
+// instFill installs a line on the instruction path off the critical path
+// (next-line prefetch); it updates tag state but charges no fetch latency.
+func (h *Hierarchy) instFill(pc uint64) {
+	switch {
+	case h.L2.access(pc):
+		h.L2.Hits++
+	case h.L3.access(pc):
+		h.L2.Misses++
+		h.L3.Hits++
+		h.L2.Fill(pc)
+	default:
+		h.L2.Misses++
+		h.L3.Misses++
+		h.L3.Fill(pc)
+		h.L2.Fill(pc)
+	}
+	h.L1I.Fill(pc)
+}
+
+// StridePrefetcher is the IP-stride L1D prefetcher of Table I: per load PC
+// it tracks the last address and stride; two consecutive confirmations make
+// it issue `degree` prefetches ahead.
+type StridePrefetcher struct {
+	entries  map[uint64]*strideEntry
+	capacity int
+	degree   int
+	lineSize int
+
+	Issued uint64
+}
+
+type strideEntry struct {
+	lastAddr   uint64
+	stride     int64
+	confidence uint8
+}
+
+// NewStridePrefetcher builds a prefetcher with the given table capacity and
+// prefetch degree.
+func NewStridePrefetcher(capacity, degree, lineSize int) *StridePrefetcher {
+	return &StridePrefetcher{
+		entries:  map[uint64]*strideEntry{},
+		capacity: capacity,
+		degree:   degree,
+		lineSize: lineSize,
+	}
+}
+
+// Observe trains on a demand load and returns the addresses to prefetch.
+func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
+	e, ok := p.entries[pc]
+	if !ok {
+		if len(p.entries) >= p.capacity {
+			// Simple random-ish eviction: drop one arbitrary entry.
+			for k := range p.entries {
+				delete(p.entries, k)
+				break
+			}
+		}
+		p.entries[pc] = &strideEntry{lastAddr: addr}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.confidence < 3 {
+			e.confidence++
+		}
+	} else {
+		e.confidence = 0
+		e.stride = stride
+	}
+	e.lastAddr = addr
+	if e.confidence < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	next := int64(addr)
+	for i := 0; i < p.degree; i++ {
+		next += e.stride
+		if next < 0 {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	p.Issued += uint64(len(out))
+	return out
+}

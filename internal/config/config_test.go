@@ -1,0 +1,83 @@
+package config
+
+import "testing"
+
+func TestAllGenerationsValidate(t *testing.T) {
+	for _, m := range Generations() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestGenerationsGrowMonotonically(t *testing.T) {
+	gens := Generations()
+	for i := 1; i < len(gens); i++ {
+		prev, cur := gens[i-1], gens[i]
+		if cur.Year <= prev.Year {
+			t.Errorf("%s (%d) not newer than %s (%d)", cur.Name, cur.Year, prev.Name, prev.Year)
+		}
+		if cur.ROB < prev.ROB {
+			t.Errorf("%s ROB %d shrank vs %s %d", cur.Name, cur.ROB, prev.Name, prev.ROB)
+		}
+		if cur.SQ < prev.SQ {
+			t.Errorf("%s SQ %d shrank vs %s %d", cur.Name, cur.SQ, prev.Name, prev.SQ)
+		}
+	}
+}
+
+func TestAlderLakeMatchesTableI(t *testing.T) {
+	m := AlderLake()
+	if m.FetchWidth != 6 || m.CommitWidth != 12 || m.IssuePorts != 12 {
+		t.Error("Alder Lake widths do not match Table I")
+	}
+	if m.ROB != 512 || m.IQ != 204 || m.LQ != 192 || m.SQ != 114 {
+		t.Error("Alder Lake queue sizes do not match Table I")
+	}
+	if m.L1D.SizeKB != 48 || m.L1D.Ways != 12 || m.L1D.HitLatency != 5 {
+		t.Error("Alder Lake L1D does not match Table I")
+	}
+	if m.LoadPorts != 3 || m.StorePorts != 2 {
+		t.Error("Alder Lake load/store ports do not match the paper (§V)")
+	}
+	if m.MemLatency != 100 || m.PrefetchDegree != 3 {
+		t.Error("Alder Lake memory/prefetch do not match Table I")
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	c := Cache{SizeKB: 48, Ways: 12, LineBytes: 64}
+	if got := c.Sets(); got != 64 {
+		t.Errorf("48KB/12w/64B sets = %d, want 64", got)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	m := AlderLake()
+	m.ROB = 0
+	if m.Validate() == nil {
+		t.Error("zero ROB must fail validation")
+	}
+	m = AlderLake()
+	m.LoadPorts = 20
+	if m.Validate() == nil {
+		t.Error("ports exceeding issue width must fail validation")
+	}
+	m = AlderLake()
+	m.L1D.Ways = 0
+	if m.Validate() == nil {
+		t.Error("zero-way cache must fail validation")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m.Name, err)
+		}
+	}
+	if _, err := ByName("cray1"); err == nil {
+		t.Error("unknown machine should error")
+	}
+}

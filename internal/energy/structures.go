@@ -1,0 +1,83 @@
+package energy
+
+import (
+	"strconv"
+	"strings"
+)
+
+// StructuresFor returns the SRAM structures of a predictor spec as used by
+// package sim ("phast", "phast:<sets>", "storesets", "nosq", "mdptage",
+// "mdptage-s", ...). Unknown or storage-free specs return nil.
+func StructuresFor(spec string) []Structure {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	argInt := func(def int) int {
+		if arg == "" {
+			return def
+		}
+		if v, err := strconv.Atoi(arg); err == nil {
+			return v
+		}
+		return def
+	}
+	switch name {
+	case "phast":
+		sets := argInt(128)
+		entryBits := 16 + 7 + 4 + 2
+		return []Structure{{
+			Name: "phast-table", Entries: sets * 4, EntryBits: entryBits,
+			AccessBits: 4 * entryBits, Parallel: 8,
+		}}
+	case "storesets":
+		ssit := argInt(8192)
+		return []Structure{
+			{Name: "ssit", Entries: ssit, EntryBits: 13, AccessBits: 13, Parallel: 1},
+			{Name: "lfst", Entries: ssit / 2, EntryBits: 11, AccessBits: 11, Parallel: 1},
+		}
+	case "nosq":
+		entries := argInt(2048)
+		entryBits := 22 + 7 + 7 + 2
+		return []Structure{{
+			Name: "nosq-table", Entries: entries, EntryBits: entryBits,
+			AccessBits: 4 * entryBits, Parallel: 2,
+		}}
+	case "mdptage":
+		// 12 components, 16K entries total, average entry ≈ 23 bits
+		// (7–15-bit tags + 7-bit distance + u).
+		return []Structure{{
+			Name: "mdptage-comp", Entries: 16384 / 12, EntryBits: 23,
+			AccessBits: 4 * 23, Parallel: 12,
+		}}
+	case "mdptage-s":
+		entryBits := 16 + 7 + 1 + 2
+		return []Structure{{
+			Name: "mdptage-s-table", Entries: 512, EntryBits: entryBits,
+			AccessBits: 4 * entryBits, Parallel: 8,
+		}}
+	case "storevector":
+		return []Structure{{Name: "vectors", Entries: 4096, EntryBits: 64, AccessBits: 64, Parallel: 1}}
+	case "cht":
+		return []Structure{{Name: "cht", Entries: 16384, EntryBits: 2, AccessBits: 2, Parallel: 1}}
+	default:
+		return nil
+	}
+}
+
+// ParallelFor returns the number of structures probed per access for a spec
+// (the divisor for write energy in OfRun).
+func ParallelFor(spec string) int {
+	total := 0
+	for _, s := range StructuresFor(spec) {
+		if s.Parallel > 0 {
+			total += s.Parallel
+		} else {
+			total++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return total
+}

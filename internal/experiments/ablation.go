@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// AblationTrainPoint reproduces the §IV-A1 update-point analysis: every
+// predictor run with training at mispeculation detection versus at commit.
+// The paper found detection-time updates better for all the baselines (fast
+// training wins) except NoSQ (neutral), while PHAST prefers commit-time
+// updates, which avoid learning transient non-youngest stores and paths.
+func AblationTrainPoint(r *Runner) error {
+	o := r.Opt()
+	t := stats.NewTable("Ablation — predictor update point (IPC vs ideal)",
+		"predictor", "at detection", "at commit")
+	ideal, err := r.RunApps("alderlake", "ideal", false)
+	if err != nil {
+		return err
+	}
+	geoWith := func(pred string, atDetect bool) (float64, error) {
+		ratios := make([]float64, len(o.Apps))
+		errs := make([]error, len(o.Apps))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, o.Workers)
+		for i, app := range o.Apps {
+			wg.Add(1)
+			go func(i int, app string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				run, err := sim.Run(sim.Config{
+					App: app, Predictor: pred, Instructions: o.Instructions,
+					TrainAtDetect: atDetect,
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				ratios[i] = run.Speedup(ideal[i])
+			}(i, app)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return stats.GeoMean(ratios), nil
+	}
+	for _, pred := range sim.PredictorNames() {
+		detect, err := geoWith(pred, true)
+		if err != nil {
+			return err
+		}
+		commit, err := r.GeoIPCvsIdeal("alderlake", pred, false)
+		if err != nil {
+			return err
+		}
+		t.AddRowf(pred, detect, commit)
+	}
+	fmt.Fprintln(o.Out, t)
+	return nil
+}
+
+// AblationConfidence sweeps PHAST's confidence ceiling — the mechanism that
+// silences aliased or data-dependent entries (§IV-A2). ConfMax 0 disables
+// predictions entirely; 1 gives one strike; 15 is the paper's 4-bit counter.
+func AblationConfidence(r *Runner) error {
+	o := r.Opt()
+	t := stats.NewTable("Ablation — PHAST confidence ceiling (IPC vs ideal)",
+		"conf max", "IPC/ideal")
+	for _, conf := range []int{1, 3, 7, 15} {
+		spec := fmt.Sprintf("phast-conf:%d", conf)
+		geo, err := r.GeoIPCvsIdeal("alderlake", spec, false)
+		if err != nil {
+			return err
+		}
+		t.AddRowf(conf, geo)
+	}
+	fmt.Fprintln(o.Out, t)
+	return nil
+}
+
+// AblationHistoryTables sweeps the number of PHAST tables (prefixes of the
+// geometric length sequence), quantifying what each extra history length
+// buys — the design-choice study behind the (0..32) sequence of §IV-B.
+func AblationHistoryTables(r *Runner) error {
+	o := r.Opt()
+	t := stats.NewTable("Ablation — PHAST history length set (IPC vs ideal)",
+		"lengths", "IPC/ideal")
+	for _, n := range []int{1, 2, 4, 6, 8} {
+		spec := fmt.Sprintf("phast-tables:%d", n)
+		geo, err := r.GeoIPCvsIdeal("alderlake", spec, false)
+		if err != nil {
+			return err
+		}
+		t.AddRowf(n, geo)
+	}
+	fmt.Fprintln(o.Out, t)
+	return nil
+}
+
+// AblationFilter compares the mis-speculation filtering mechanisms: the
+// paper's §IV-A1 forwarding filter, no filtering (gem5-like), and NoSQ's
+// SVW/SSBF commit-time verification (§VII) — the related-work mechanism the
+// paper positions its filter against.
+func AblationFilter(r *Runner) error {
+	o := r.Opt()
+	t := stats.NewTable("Ablation — mis-speculation filtering (IPC vs ideal)",
+		"predictor", "none", "svw", "fwd")
+	ideal, err := r.RunApps("alderlake", "ideal", false)
+	if err != nil {
+		return err
+	}
+	geoWith := func(pred string, svw, fwdOff bool) (float64, error) {
+		ratios := make([]float64, len(o.Apps))
+		errs := make([]error, len(o.Apps))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, o.Workers)
+		for i, app := range o.Apps {
+			wg.Add(1)
+			go func(i int, app string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				run, err := sim.Run(sim.Config{
+					App: app, Predictor: pred, Instructions: o.Instructions,
+					SVWFilter: svw, FwdFilterOff: fwdOff,
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				ratios[i] = run.Speedup(ideal[i])
+			}(i, app)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return stats.GeoMean(ratios), nil
+	}
+	for _, pred := range sim.PredictorNames() {
+		none, err := geoWith(pred, false, true)
+		if err != nil {
+			return err
+		}
+		svw, err := geoWith(pred, true, false)
+		if err != nil {
+			return err
+		}
+		fwd, err := r.GeoIPCvsIdeal("alderlake", pred, false)
+		if err != nil {
+			return err
+		}
+		t.AddRowf(pred, none, svw, fwd)
+	}
+	fmt.Fprintln(o.Out, t)
+	return nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import "fmt"
+
+// Experiment names one reproducible table or figure.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(*Runner) error
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "30-year branch vs MDP MPKI timeline (Nehalem-like core)", Fig01},
+		{"fig2a", "MDP MPKI across processor generations", Fig02a},
+		{"fig2b", "performance gap to ideal across generations", Fig02b},
+		{"fig4", "loads depending on multiple stores", Fig04},
+		{"fig6", "unlimited predictors: IPC and paths tracked", Fig06},
+		{"fig7", "UnlimitedPHAST IPC vs ideal per app", Fig07},
+		{"fig8", "UnlimitedPHAST MPKI per app", Fig08},
+		{"fig9", "paths registered per app", Fig09},
+		{"fig10", "unique conflicts per history length", Fig10},
+		{"fig11", "IPC at several maximum history lengths", Fig11},
+		{"fig12", "forwarding-filter ablation", Fig12},
+		{"fig13", "performance vs storage sweep", Fig13},
+		{"fig14", "MPKI per app, all predictors", Fig14},
+		{"fig15", "IPC per app normalised to ideal, all predictors", Fig15},
+		{"fig16", "predictor energy", Fig16},
+		{"table1", "system configuration", Table1},
+		{"table2", "predictor configurations", Table2},
+		{"mix", "suite instruction mix (sanity)", SuiteMix},
+		{"abl-train", "ablation: predictor update point (§IV-A1)", AblationTrainPoint},
+		{"abl-conf", "ablation: PHAST confidence ceiling", AblationConfidence},
+		{"abl-tables", "ablation: PHAST history length set", AblationHistoryTables},
+		{"abl-filter", "ablation: mis-speculation filtering (FWD vs SVW vs none)", AblationFilter},
+	}
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}
+
+// RunAll executes every experiment against one shared runner (and its
+// memoised simulation cache).
+func RunAll(r *Runner) error {
+	for _, e := range All() {
+		fmt.Fprintf(r.Opt().Out, "== %s: %s ==\n", e.Name, e.Desc)
+		if err := e.Run(r); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+	}
+	return nil
+}

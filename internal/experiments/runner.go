@@ -1,0 +1,154 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §6 for the experiment index). cmd/paperfigs and
+// the repository benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options scope an experiment run.
+type Options struct {
+	// Apps is the workload list (default: the whole suite).
+	Apps []string
+	// Instructions per run (default sim.DefaultInstructions).
+	Instructions int
+	// Out receives the rendered tables (default discards; cmd sets stdout).
+	Out io.Writer
+	// Workers bounds app-level parallelism (default min(8, NumCPU)).
+	Workers int
+}
+
+func (o Options) norm() Options {
+	if len(o.Apps) == 0 {
+		o.Apps = workload.Names()
+	}
+	if o.Instructions == 0 {
+		o.Instructions = sim.DefaultInstructions
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+		if o.Workers > 8 {
+			o.Workers = 8
+		}
+	}
+	return o
+}
+
+// Runner executes simulations with memoisation, so figures sharing runs
+// (every figure needs the ideal baseline) pay for them once.
+type Runner struct {
+	opt   Options
+	mu    sync.Mutex
+	cache map[string]*stats.Run
+}
+
+// NewRunner builds a runner for the given options.
+func NewRunner(opt Options) *Runner {
+	return &Runner{opt: opt.norm(), cache: map[string]*stats.Run{}}
+}
+
+// Opt returns the normalised options.
+func (r *Runner) Opt() Options { return r.opt }
+
+type runKey struct {
+	app, machine, pred string
+	fwdOff             bool
+}
+
+// String renders the cache key.
+func (k runKey) String() string {
+	return fmt.Sprintf("%s|%s|%s|%t", k.app, k.machine, k.pred, k.fwdOff)
+}
+
+// Run executes (or recalls) one simulation.
+func (r *Runner) Run(app, machine, pred string, fwdOff bool) (*stats.Run, error) {
+	key := runKey{app, machine, pred, fwdOff}.String()
+	r.mu.Lock()
+	if run, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return run, nil
+	}
+	r.mu.Unlock()
+	run, err := sim.Run(sim.Config{
+		App: app, Machine: machine, Predictor: pred,
+		Instructions: r.opt.Instructions, FwdFilterOff: fwdOff,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cache[key] = run
+	r.mu.Unlock()
+	return run, nil
+}
+
+// RunApps executes one (machine, predictor) combination over every app in
+// parallel and returns runs in app order.
+func (r *Runner) RunApps(machine, pred string, fwdOff bool) ([]*stats.Run, error) {
+	apps := r.opt.Apps
+	runs := make([]*stats.Run, len(apps))
+	errs := make([]error, len(apps))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.opt.Workers)
+	for i, app := range apps {
+		wg.Add(1)
+		go func(i int, app string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runs[i], errs[i] = r.Run(app, machine, pred, fwdOff)
+		}(i, app)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// GeoIPCvsIdeal returns the geometric-mean IPC of a predictor normalised to
+// the ideal oracle over the runner's apps on the given machine.
+func (r *Runner) GeoIPCvsIdeal(machine, pred string, fwdOff bool) (float64, error) {
+	ideal, err := r.RunApps(machine, "ideal", false)
+	if err != nil {
+		return 0, err
+	}
+	runs, err := r.RunApps(machine, pred, fwdOff)
+	if err != nil {
+		return 0, err
+	}
+	ratios := make([]float64, len(runs))
+	for i := range runs {
+		ratios[i] = runs[i].Speedup(ideal[i])
+	}
+	return stats.GeoMean(ratios), nil
+}
+
+// MeanMPKI returns the arithmetic-mean violation and false-dependence MPKI
+// of a predictor over the runner's apps.
+func (r *Runner) MeanMPKI(machine, pred string) (fn, fp float64, err error) {
+	runs, err := r.RunApps(machine, pred, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	fns := make([]float64, len(runs))
+	fps := make([]float64, len(runs))
+	for i, run := range runs {
+		fns[i] = run.ViolationMPKI()
+		fps[i] = run.FalseDepMPKI()
+	}
+	return stats.Mean(fns), stats.Mean(fps), nil
+}

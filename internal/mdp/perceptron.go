@@ -1,0 +1,120 @@
+package mdp
+
+import "repro/internal/histutil"
+
+// PerceptronMDP implements the perceptron-based memory dependence predictor
+// of Hasan (2021, §VII of the paper): a PC-indexed table of perceptrons over
+// a global history vector recording, for each of the last n retired loads,
+// whether it caused a memory order violation. A positive dot product
+// classifies the load as colliding, and — like CHT — a colliding load
+// conservatively waits for all older unresolved stores. The paper cites it
+// as reaching almost Store Sets' speedup at very low energy; it is included
+// here as the energy-constrained design point.
+type PerceptronMDP struct {
+	accessCounter
+	noBind
+	noStoreHooks
+	noPaths
+
+	weights [][]int8
+	mask    uint64
+	hist    []bool // true = that retired load violated
+	theta   int
+}
+
+// NewPerceptronMDP builds the predictor with 2^bits perceptrons over
+// histLen retired-load outcomes.
+func NewPerceptronMDP(bits, histLen int) *PerceptronMDP {
+	w := make([][]int8, 1<<bits)
+	for i := range w {
+		w[i] = make([]int8, histLen+1)
+	}
+	return &PerceptronMDP{
+		weights: w,
+		mask:    1<<bits - 1,
+		hist:    make([]bool, histLen),
+		theta:   int(1.93*float64(histLen) + 14),
+	}
+}
+
+// DefaultPerceptronMDP returns a 256-perceptron, 16-outcome-history
+// predictor (4.25KB of weights — the energy-constrained design point).
+func DefaultPerceptronMDP() *PerceptronMDP { return NewPerceptronMDP(8, 16) }
+
+// Name implements Predictor.
+func (p *PerceptronMDP) Name() string { return "perceptron-mdp" }
+
+func (p *PerceptronMDP) output(pc uint64) int {
+	w := p.weights[histutil.HashPC(pc)&p.mask]
+	y := int(w[0])
+	for i, h := range p.hist {
+		if h {
+			y += int(w[i+1])
+		} else {
+			y -= int(w[i+1])
+		}
+	}
+	return y
+}
+
+// Predict implements Predictor.
+func (p *PerceptronMDP) Predict(ld LoadInfo, _ *histutil.Reg) Prediction {
+	p.reads++
+	// Strictly positive: a cold (all-zero) perceptron speculates.
+	if p.output(ld.PC) > 0 {
+		return Prediction{Kind: WaitAll}
+	}
+	return Prediction{Kind: NoDep}
+}
+
+func (p *PerceptronMDP) train(pc uint64, collided bool) {
+	y := p.output(pc)
+	pred := y >= 0
+	if pred != collided || abs(y) <= p.theta {
+		w := p.weights[histutil.HashPC(pc)&p.mask]
+		w[0] = bump(w[0], collided)
+		for i, h := range p.hist {
+			w[i+1] = bump(w[i+1], collided == h)
+		}
+		p.writes++
+	}
+	copy(p.hist, p.hist[1:])
+	p.hist[len(p.hist)-1] = collided
+}
+
+// TrainViolation implements Predictor: the retiring load collided.
+func (p *PerceptronMDP) TrainViolation(ld LoadInfo, _ StoreInfo, _ int, _ Outcome, _ *histutil.Reg) {
+	p.train(ld.PC, true)
+}
+
+// TrainCommit implements Predictor: a load retired without violating. A
+// justified wait counts as a collision (it would have violated had it
+// speculated); anything else trains toward speculation.
+func (p *PerceptronMDP) TrainCommit(ld LoadInfo, out Outcome, _ *histutil.Reg) {
+	p.train(ld.PC, out.Waited && out.TrueDep)
+}
+
+// SizeBits implements Predictor: 8-bit weights.
+func (p *PerceptronMDP) SizeBits() int {
+	return len(p.weights) * len(p.weights[0]) * 8
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func bump(w int8, up bool) int8 {
+	if up {
+		if w < 127 {
+			return w + 1
+		}
+		return w
+	}
+	if w > -127 {
+		return w - 1
+	}
+	return w
+}

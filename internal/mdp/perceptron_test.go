@@ -1,0 +1,33 @@
+package mdp
+
+import "testing"
+
+func TestPerceptronMDPLearnsCollidingLoad(t *testing.T) {
+	p := DefaultPerceptronMDP()
+	d, c := newHists(p)
+	ld := LoadInfo{PC: 0x3000}
+	if got := p.Predict(ld, d); got.Kind != NoDep {
+		t.Fatal("cold perceptron should speculate")
+	}
+	// Repeated violations classify the load as colliding.
+	for i := 0; i < 30; i++ {
+		p.TrainViolation(ld, StoreInfo{}, 0, Outcome{}, c)
+	}
+	if got := p.Predict(ld, d); got.Kind != WaitAll {
+		t.Error("violating load should be classified as colliding")
+	}
+	// Sustained conflict-free retirement flips it back.
+	for i := 0; i < 200; i++ {
+		p.TrainCommit(ld, Outcome{Pred: Prediction{Kind: WaitAll}, Waited: true, TrueDep: false}, c)
+	}
+	if got := p.Predict(ld, d); got.Kind != NoDep {
+		t.Error("conflict-free history should reclassify the load")
+	}
+}
+
+func TestPerceptronMDPSize(t *testing.T) {
+	p := DefaultPerceptronMDP()
+	if kb := float64(p.SizeBits()) / 8192; kb < 1 || kb > 6 {
+		t.Errorf("perceptron MDP size = %.2f KB, expected a small budget", kb)
+	}
+}

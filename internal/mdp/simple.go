@@ -1,0 +1,93 @@
+package mdp
+
+import "repro/internal/histutil"
+
+// Ideal is the oracle the paper normalises every predictor against: a load
+// waits exactly for the youngest actually conflicting older in-flight store
+// and never otherwise — zero violations, zero false dependencies, zero
+// storage. It reads the oracle fields the pipeline fills from its exact
+// knowledge of the in-flight stream.
+type Ideal struct {
+	accessCounter
+	noBind
+	noStoreHooks
+	noPaths
+}
+
+// NewIdeal returns the oracle predictor.
+func NewIdeal() *Ideal { return &Ideal{} }
+
+// Name implements Predictor.
+func (*Ideal) Name() string { return "ideal" }
+
+// Predict implements Predictor using the pipeline's oracle fields.
+func (*Ideal) Predict(ld LoadInfo, _ *histutil.Reg) Prediction {
+	if ld.OracleDep {
+		return Prediction{Kind: Distance, Dist: ld.OracleDist}
+	}
+	return Prediction{Kind: NoDep}
+}
+
+// TrainViolation implements Predictor (the oracle never mispredicts, but the
+// hook must exist).
+func (*Ideal) TrainViolation(LoadInfo, StoreInfo, int, Outcome, *histutil.Reg) {}
+
+// TrainCommit implements Predictor.
+func (*Ideal) TrainCommit(LoadInfo, Outcome, *histutil.Reg) {}
+
+// SizeBits implements Predictor.
+func (*Ideal) SizeBits() int { return 0 }
+
+// None always predicts no dependence: the maximally speculative baseline
+// that shows the raw memory-order-violation exposure of a machine.
+type None struct {
+	accessCounter
+	noBind
+	noStoreHooks
+	noPaths
+}
+
+// NewNone returns the always-speculate predictor.
+func NewNone() *None { return &None{} }
+
+// Name implements Predictor.
+func (*None) Name() string { return "none" }
+
+// Predict implements Predictor.
+func (*None) Predict(LoadInfo, *histutil.Reg) Prediction { return Prediction{Kind: NoDep} }
+
+// TrainViolation implements Predictor.
+func (*None) TrainViolation(LoadInfo, StoreInfo, int, Outcome, *histutil.Reg) {}
+
+// TrainCommit implements Predictor.
+func (*None) TrainCommit(LoadInfo, Outcome, *histutil.Reg) {}
+
+// SizeBits implements Predictor.
+func (*None) SizeBits() int { return 0 }
+
+// AlwaysWait makes every load wait for all older stores — the in-order
+// extreme that trades every violation for a false dependence.
+type AlwaysWait struct {
+	accessCounter
+	noBind
+	noStoreHooks
+	noPaths
+}
+
+// NewAlwaysWait returns the fully conservative predictor.
+func NewAlwaysWait() *AlwaysWait { return &AlwaysWait{} }
+
+// Name implements Predictor.
+func (*AlwaysWait) Name() string { return "alwayswait" }
+
+// Predict implements Predictor.
+func (*AlwaysWait) Predict(LoadInfo, *histutil.Reg) Prediction { return Prediction{Kind: WaitAll} }
+
+// TrainViolation implements Predictor.
+func (*AlwaysWait) TrainViolation(LoadInfo, StoreInfo, int, Outcome, *histutil.Reg) {}
+
+// TrainCommit implements Predictor.
+func (*AlwaysWait) TrainCommit(LoadInfo, Outcome, *histutil.Reg) {}
+
+// SizeBits implements Predictor.
+func (*AlwaysWait) SizeBits() int { return 0 }

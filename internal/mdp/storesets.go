@@ -1,0 +1,174 @@
+package mdp
+
+import "repro/internal/histutil"
+
+// StoreSets implements Chrysos & Emer's Store Sets predictor (ISCA 1998),
+// the mainstream baseline. Two tagless tables: the Store Set Identification
+// Table (SSIT), indexed by hashed load/store PC, holds a valid bit and an
+// SSID; the Last Fetched Store Table (LFST), indexed by SSID, holds the id
+// of the youngest in-flight store of the set. Loads depend on the last
+// fetched store of their set; stores of a set serialise behind each other.
+// Sets merge on violations between instructions that already belong to
+// different sets, and the tables are cleared periodically to undo the
+// convergence this merging causes.
+type StoreSets struct {
+	accessCounter
+	noBind
+	noPaths
+
+	ssit []ssitEntry
+	lfst []lfstEntry
+
+	ssidBits   int
+	nextSSID   uint32
+	resetEvery uint64 // predictions between table clears (0 = never)
+	accesses   uint64
+}
+
+type ssitEntry struct {
+	valid bool
+	ssid  uint32
+}
+
+type lfstEntry struct {
+	valid      bool
+	seq        uint64
+	storeIndex uint64
+}
+
+// StoreSetsConfig sizes the predictor.
+type StoreSetsConfig struct {
+	SSITEntries int // power of two
+	LFSTEntries int // power of two; also bounds the SSID space
+	ResetEvery  uint64
+}
+
+// DefaultStoreSetsConfig returns the Table II configuration: 8K-entry SSIT
+// with 12-bit SSIDs, 4K-entry LFST — 18.5KB.
+func DefaultStoreSetsConfig() StoreSetsConfig {
+	return StoreSetsConfig{SSITEntries: 8192, LFSTEntries: 4096, ResetEvery: 262144}
+}
+
+// NewStoreSets builds the predictor.
+func NewStoreSets(cfg StoreSetsConfig) *StoreSets {
+	if !histutil.Pow2(cfg.SSITEntries) || !histutil.Pow2(cfg.LFSTEntries) {
+		panic("mdp: StoreSets table sizes must be powers of two")
+	}
+	ssidBits := 0
+	for 1<<ssidBits < cfg.LFSTEntries {
+		ssidBits++
+	}
+	return &StoreSets{
+		ssit:       make([]ssitEntry, cfg.SSITEntries),
+		lfst:       make([]lfstEntry, cfg.LFSTEntries),
+		ssidBits:   ssidBits,
+		resetEvery: cfg.ResetEvery,
+	}
+}
+
+// Name implements Predictor.
+func (s *StoreSets) Name() string { return "storesets" }
+
+func (s *StoreSets) ssitIndex(pc uint64) uint64 {
+	return histutil.HashPC(pc) & uint64(len(s.ssit)-1)
+}
+
+func (s *StoreSets) maybeReset() {
+	s.accesses++
+	if s.resetEvery != 0 && s.accesses%s.resetEvery == 0 {
+		for i := range s.ssit {
+			s.ssit[i] = ssitEntry{}
+		}
+		for i := range s.lfst {
+			s.lfst[i] = lfstEntry{}
+		}
+	}
+}
+
+// Predict implements Predictor: a load with a valid SSID depends on the last
+// fetched store of its set, if one is in flight.
+func (s *StoreSets) Predict(ld LoadInfo, _ *histutil.Reg) Prediction {
+	s.maybeReset()
+	s.reads++
+	e := s.ssit[s.ssitIndex(ld.PC)]
+	if !e.valid {
+		return Prediction{Kind: NoDep}
+	}
+	s.reads++
+	l := s.lfst[e.ssid]
+	if !l.valid {
+		return Prediction{Kind: NoDep}
+	}
+	return Prediction{Kind: StoreSeq, Seq: l.seq}
+}
+
+// StoreDispatch implements Predictor: a store of a set serialises behind the
+// previous last-fetched store and becomes the new last-fetched store.
+func (s *StoreSets) StoreDispatch(st StoreInfo) uint64 {
+	s.maybeReset()
+	s.reads++
+	e := s.ssit[s.ssitIndex(st.PC)]
+	if !e.valid {
+		return 0
+	}
+	s.reads++
+	prev := s.lfst[e.ssid]
+	s.writes++
+	s.lfst[e.ssid] = lfstEntry{valid: true, seq: st.Seq, storeIndex: st.StoreIndex}
+	if prev.valid {
+		return prev.seq
+	}
+	return 0
+}
+
+// StoreCommit implements Predictor: a committing store that is still the
+// last fetched store of its set invalidates the LFST entry, so loads do not
+// wait for already-performed stores.
+func (s *StoreSets) StoreCommit(st StoreInfo) {
+	e := s.ssit[s.ssitIndex(st.PC)]
+	if !e.valid {
+		return
+	}
+	if l := &s.lfst[e.ssid]; l.valid && l.seq == st.Seq {
+		s.writes++
+		l.valid = false
+	}
+}
+
+// TrainViolation implements Predictor: assign or merge store sets, per the
+// paper's merging rule (both instructions end up in the set with the
+// smaller SSID).
+func (s *StoreSets) TrainViolation(ld LoadInfo, st StoreInfo, _ int, _ Outcome, _ *histutil.Reg) {
+	li, si := s.ssitIndex(ld.PC), s.ssitIndex(st.PC)
+	le, se := s.ssit[li], s.ssit[si]
+	s.reads += 2
+	var ssid uint32
+	switch {
+	case !le.valid && !se.valid:
+		ssid = s.nextSSID & (1<<s.ssidBits - 1)
+		s.nextSSID++
+	case le.valid && !se.valid:
+		ssid = le.ssid
+	case !le.valid && se.valid:
+		ssid = se.ssid
+	default:
+		ssid = le.ssid
+		if se.ssid < ssid {
+			ssid = se.ssid
+		}
+	}
+	s.ssit[li] = ssitEntry{valid: true, ssid: ssid}
+	s.ssit[si] = ssitEntry{valid: true, ssid: ssid}
+	s.writes += 2
+}
+
+// TrainCommit implements Predictor. Store Sets has no confidence mechanism;
+// stale pairings age out through the periodic reset instead.
+func (s *StoreSets) TrainCommit(LoadInfo, Outcome, *histutil.Reg) {}
+
+// SizeBits implements Predictor: SSIT entries ×(valid+SSID) + LFST entries
+// ×(valid+store id).
+func (s *StoreSets) SizeBits() int {
+	storeIDBits := 10
+	return len(s.ssit)*(1+s.ssidBits) + len(s.lfst)*(1+storeIDBits)
+}

@@ -1,0 +1,131 @@
+package mdp
+
+import "repro/internal/histutil"
+
+// StoreVector implements Subramaniam & Loh's Store Vectors (HPCA 2006): per
+// load PC, a bit vector over store-queue-relative distances; bit d set means
+// "this load has conflicted with the store at distance d before", and the
+// load waits for every marked older store. Vectors are periodically cleared
+// to forget stale conflicts. The scheme links a load to a *set* of stores,
+// which is exactly the false-dependence behaviour the paper's single-store
+// observation (§III-A) argues against.
+type StoreVector struct {
+	accessCounter
+	noBind
+	noStoreHooks
+	noPaths
+
+	vectors    []uint64
+	mask       uint64
+	resetEvery uint64
+	accesses   uint64
+}
+
+// NewStoreVector builds the predictor with 2^bits vectors of 64 distances.
+func NewStoreVector(bits int, resetEvery uint64) *StoreVector {
+	return &StoreVector{
+		vectors:    make([]uint64, 1<<bits),
+		mask:       1<<bits - 1,
+		resetEvery: resetEvery,
+	}
+}
+
+// DefaultStoreVector returns a 4K-vector predictor cleared every 256K
+// accesses (32KB of vector storage).
+func DefaultStoreVector() *StoreVector { return NewStoreVector(12, 262144) }
+
+// Name implements Predictor.
+func (s *StoreVector) Name() string { return "storevector" }
+
+func (s *StoreVector) index(pc uint64) uint64 { return histutil.HashPC(pc) & s.mask }
+
+// Predict implements Predictor.
+func (s *StoreVector) Predict(ld LoadInfo, _ *histutil.Reg) Prediction {
+	s.accesses++
+	if s.resetEvery != 0 && s.accesses%s.resetEvery == 0 {
+		for i := range s.vectors {
+			s.vectors[i] = 0
+		}
+	}
+	s.reads++
+	v := s.vectors[s.index(ld.PC)]
+	if v == 0 {
+		return Prediction{Kind: NoDep}
+	}
+	return Prediction{Kind: Vector, Mask: v}
+}
+
+// TrainViolation implements Predictor: mark the conflicting distance.
+func (s *StoreVector) TrainViolation(ld LoadInfo, _ StoreInfo, dist int, _ Outcome, _ *histutil.Reg) {
+	if dist < 0 || dist > 63 {
+		return
+	}
+	s.writes++
+	s.vectors[s.index(ld.PC)] |= 1 << uint(dist)
+}
+
+// TrainCommit implements Predictor. Store Vectors has no per-entry
+// confidence; forgetting happens through the periodic clear.
+func (s *StoreVector) TrainCommit(LoadInfo, Outcome, *histutil.Reg) {}
+
+// SizeBits implements Predictor.
+func (s *StoreVector) SizeBits() int { return len(s.vectors) * 64 }
+
+// CHT implements the Collision History Table of Yoaz et al. (ISCA 1999): a
+// PC-indexed table of saturating counters classifying loads as colliding; a
+// colliding load conservatively waits for all older unresolved stores. It is
+// the oldest and most conservative baseline in the Fig. 1 timeline.
+type CHT struct {
+	accessCounter
+	noBind
+	noStoreHooks
+	noPaths
+
+	ctrs []uint8
+	mask uint64
+}
+
+// NewCHT builds a CHT with 2^bits 2-bit counters.
+func NewCHT(bits int) *CHT {
+	return &CHT{ctrs: make([]uint8, 1<<bits), mask: 1<<bits - 1}
+}
+
+// DefaultCHT returns a 16K-counter CHT (4KB).
+func DefaultCHT() *CHT { return NewCHT(14) }
+
+// Name implements Predictor.
+func (c *CHT) Name() string { return "cht" }
+
+func (c *CHT) index(pc uint64) uint64 { return histutil.HashPC(pc) & c.mask }
+
+// Predict implements Predictor.
+func (c *CHT) Predict(ld LoadInfo, _ *histutil.Reg) Prediction {
+	c.reads++
+	if c.ctrs[c.index(ld.PC)] >= 2 {
+		return Prediction{Kind: WaitAll}
+	}
+	return Prediction{Kind: NoDep}
+}
+
+// TrainViolation implements Predictor.
+func (c *CHT) TrainViolation(ld LoadInfo, _ StoreInfo, _ int, _ Outcome, _ *histutil.Reg) {
+	i := c.index(ld.PC)
+	if c.ctrs[i] < 3 {
+		c.ctrs[i]++
+		c.writes++
+	}
+}
+
+// TrainCommit implements Predictor: unnecessary waits decay the counter.
+func (c *CHT) TrainCommit(ld LoadInfo, out Outcome, _ *histutil.Reg) {
+	if out.FalsePositive() {
+		i := c.index(ld.PC)
+		if c.ctrs[i] > 0 {
+			c.ctrs[i]--
+			c.writes++
+		}
+	}
+}
+
+// SizeBits implements Predictor.
+func (c *CHT) SizeBits() int { return len(c.ctrs) * 2 }

@@ -1,0 +1,143 @@
+package mdp
+
+import "repro/internal/histutil"
+
+// Entry is one prediction-table entry. Field widths follow Table II: a
+// partial tag, a 7-bit store distance, a saturating confidence/usefulness
+// counter, and 2 LRU bits (maintained by the table).
+type Entry struct {
+	Valid bool
+	Tag   uint32
+	Dist  uint8 // 7-bit store distance
+	Conf  uint8 // confidence (PHAST/NoSQ) or counter payload
+	U     uint8 // usefulness (MDP-TAGE)
+	lru   uint8
+}
+
+// AssocTable is a set-associative prediction table with LRU replacement,
+// shared by PHAST, NoSQ, MDP-TAGE and the budget-sweep variants.
+type AssocTable struct {
+	sets    int
+	ways    int
+	tagBits int
+	entries []Entry
+}
+
+// NewAssocTable builds a table with the given geometry. Sets must be a
+// power of two.
+func NewAssocTable(sets, ways, tagBits int) *AssocTable {
+	if !histutil.Pow2(sets) {
+		panic("mdp: table sets must be a power of two")
+	}
+	if ways <= 0 || tagBits <= 0 || tagBits > 32 {
+		panic("mdp: bad table geometry")
+	}
+	t := &AssocTable{sets: sets, ways: ways, tagBits: tagBits, entries: make([]Entry, sets*ways)}
+	// Recency counters must start as a permutation per set (0 = MRU …
+	// ways-1 = LRU) or the relative-increment update cannot order ways.
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			t.entries[s*ways+w].lru = uint8(w)
+		}
+	}
+	return t
+}
+
+// Sets returns the number of sets.
+func (t *AssocTable) Sets() int { return t.sets }
+
+// Ways returns the associativity.
+func (t *AssocTable) Ways() int { return t.ways }
+
+// TagBits returns the partial tag width.
+func (t *AssocTable) TagBits() int { return t.tagBits }
+
+// Entries returns the total entry count.
+func (t *AssocTable) Entries() int { return t.sets * t.ways }
+
+// SetIndex reduces a hash to a set index.
+func (t *AssocTable) SetIndex(hash uint64) uint32 { return uint32(hash & uint64(t.sets-1)) }
+
+// TagOf reduces a hash to a partial tag (never 0-width).
+func (t *AssocTable) TagOf(hash uint64) uint32 {
+	return uint32(hash>>16) & (1<<t.tagBits - 1)
+}
+
+// Lookup returns the matching entry and its way, or (nil, -1).
+func (t *AssocTable) Lookup(set uint32, tag uint32) (*Entry, int) {
+	base := int(set) * t.ways
+	for w := 0; w < t.ways; w++ {
+		e := &t.entries[base+w]
+		if e.Valid && e.Tag == tag {
+			return e, w
+		}
+	}
+	return nil, -1
+}
+
+// At returns the entry at (set, way) for provider-based commit auditing.
+func (t *AssocTable) At(set uint32, way int) *Entry {
+	return &t.entries[int(set)*t.ways+way]
+}
+
+// Touch marks the way most recently used.
+func (t *AssocTable) Touch(set uint32, way int) {
+	base := int(set) * t.ways
+	old := t.entries[base+way].lru
+	for w := 0; w < t.ways; w++ {
+		if t.entries[base+w].lru < old {
+			t.entries[base+w].lru++
+		}
+	}
+	t.entries[base+way].lru = 0
+}
+
+// Victim returns the way to replace in the set: an invalid way if any,
+// otherwise the LRU way.
+func (t *AssocTable) Victim(set uint32) int {
+	base := int(set) * t.ways
+	victim, worst := 0, uint8(0)
+	for w := 0; w < t.ways; w++ {
+		if !t.entries[base+w].Valid {
+			return w
+		}
+		if t.entries[base+w].lru >= worst {
+			worst, victim = t.entries[base+w].lru, w
+		}
+	}
+	return victim
+}
+
+// Insert writes a new entry over the victim way and returns (entry, way).
+func (t *AssocTable) Insert(set uint32, e Entry) (*Entry, int) {
+	w := t.Victim(set)
+	slot := &t.entries[int(set)*t.ways+w]
+	lru := slot.lru
+	*slot = e
+	slot.lru = lru
+	t.Touch(set, w)
+	return slot, w
+}
+
+// Invalidate clears one entry, preserving the set's recency permutation.
+func (t *AssocTable) Invalidate(set uint32, way int) {
+	e := &t.entries[int(set)*t.ways+way]
+	lru := e.lru
+	*e = Entry{lru: lru}
+}
+
+// Reset invalidates every entry, restoring the initial recency permutation.
+func (t *AssocTable) Reset() {
+	for s := 0; s < t.sets; s++ {
+		for w := 0; w < t.ways; w++ {
+			t.entries[s*t.ways+w] = Entry{lru: uint8(w)}
+		}
+	}
+}
+
+// SizeBits returns the storage cost given payload bits per entry beyond the
+// tag (the caller knows its field widths; LRU bits are included here).
+func (t *AssocTable) SizeBits(payloadBits int) int {
+	lruBits := 2
+	return t.Entries() * (1 + t.tagBits + payloadBits + lruBits)
+}

@@ -1,0 +1,210 @@
+package mdp
+
+import (
+	"encoding/binary"
+
+	"repro/internal/histutil"
+)
+
+// Unlimited (aliasing-free) predictors for the §III-C study (Fig. 6): exact
+// uncompressed histories stored in maps, so every effect measured is due to
+// the training policy, never to table capacity or tag aliasing. Paths()
+// reports how many distinct (history, PC) contexts each tracks — Fig. 6b.
+
+// uEntry is one unlimited-table entry.
+type uEntry struct {
+	dist int
+	conf int
+	u    bool
+}
+
+// exactKey packs a load PC and an exact history into a map key.
+func exactKey(pc uint64, hist *histutil.Reg, n int) string {
+	var pcb [8]byte
+	binary.LittleEndian.PutUint64(pcb[:], pc)
+	return string(pcb[:]) + hist.Key(n)
+}
+
+// UnlimitedNoSQ is the NoSQ predictor with unbounded, alias-free tables and
+// a configurable fixed history length (the x axis of Fig. 6).
+type UnlimitedNoSQ struct {
+	accessCounter
+	noBind
+	noStoreHooks
+
+	histLen int
+	pi      map[uint64]*uEntry
+	ps      map[string]*uEntry
+
+	confMax, confThres, confStep int
+}
+
+// NewUnlimitedNoSQ builds the predictor with the given history length.
+func NewUnlimitedNoSQ(histLen int) *UnlimitedNoSQ {
+	return &UnlimitedNoSQ{
+		histLen: histLen,
+		pi:      map[uint64]*uEntry{},
+		ps:      map[string]*uEntry{},
+		confMax: 127, confThres: 64, confStep: 16,
+	}
+}
+
+// Name implements Predictor.
+func (n *UnlimitedNoSQ) Name() string { return "unlimited-nosq" }
+
+// HistLen returns the fixed history length.
+func (n *UnlimitedNoSQ) HistLen() int { return n.histLen }
+
+// Predict implements Predictor.
+func (n *UnlimitedNoSQ) Predict(ld LoadInfo, hist *histutil.Reg) Prediction {
+	n.reads += 2
+	key := exactKey(ld.PC, hist, n.histLen)
+	if e, ok := n.ps[key]; ok && e.conf >= n.confThres {
+		return Prediction{Kind: Distance, Dist: e.dist, ProviderKey: key}
+	}
+	if e, ok := n.pi[ld.PC]; ok && e.conf >= n.confThres {
+		return Prediction{Kind: Distance, Dist: e.dist, ProviderKey: "pi"}
+	}
+	return Prediction{Kind: NoDep}
+}
+
+// TrainViolation implements Predictor.
+func (n *UnlimitedNoSQ) TrainViolation(ld LoadInfo, st StoreInfo, dist int, _ Outcome, hist *histutil.Reg) {
+	if dist < 0 {
+		return
+	}
+	n.writes += 2
+	key := exactKey(ld.PC, hist, n.histLen)
+	n.ps[key] = &uEntry{dist: dist, conf: n.confMax}
+	n.pi[ld.PC] = &uEntry{dist: dist, conf: n.confMax}
+}
+
+// TrainCommit implements Predictor.
+func (n *UnlimitedNoSQ) TrainCommit(ld LoadInfo, out Outcome, hist *histutil.Reg) {
+	if out.Pred.ProviderKey == "" || !out.Waited {
+		return
+	}
+	var e *uEntry
+	if out.Pred.ProviderKey == "pi" {
+		e = n.pi[ld.PC]
+	} else {
+		e = n.ps[out.Pred.ProviderKey]
+	}
+	if e == nil {
+		return
+	}
+	n.writes++
+	if out.TrueDep {
+		e.conf += n.confStep
+		if e.conf > n.confMax {
+			e.conf = n.confMax
+		}
+	} else {
+		e.conf /= 2
+	}
+}
+
+// SizeBits implements Predictor (unbounded).
+func (n *UnlimitedNoSQ) SizeBits() int { return 0 }
+
+// Paths implements Predictor: distinct path-sensitive contexts tracked.
+func (n *UnlimitedNoSQ) Paths() int { return len(n.ps) }
+
+// UnlimitedMDPTAGE is MDP-TAGE with unbounded alias-free components over
+// the (6, 2000) geometric history series. It keeps MDP-TAGE's training
+// policy: allocate at the shortest length, re-allocate longer on a
+// violation-despite-prediction — so its path count explodes exactly as the
+// paper describes, even without capacity pressure.
+type UnlimitedMDPTAGE struct {
+	accessCounter
+	noBind
+	noStoreHooks
+
+	hists  []int
+	tables []map[string]*uEntry
+	rng    uint64
+}
+
+// NewUnlimitedMDPTAGE builds the predictor.
+func NewUnlimitedMDPTAGE() *UnlimitedMDPTAGE {
+	hists := []int{6, 10, 17, 29, 50, 85, 146, 250, 428, 733, 1255, 2000}
+	u := &UnlimitedMDPTAGE{hists: hists, rng: 0x9e3779b97f4a7c15}
+	for range hists {
+		u.tables = append(u.tables, map[string]*uEntry{})
+	}
+	return u
+}
+
+// Name implements Predictor.
+func (u *UnlimitedMDPTAGE) Name() string { return "unlimited-mdptage" }
+
+// Predict implements Predictor: longest-history exact match with u set.
+func (u *UnlimitedMDPTAGE) Predict(ld LoadInfo, hist *histutil.Reg) Prediction {
+	u.reads += uint64(len(u.tables))
+	for c := len(u.tables) - 1; c >= 0; c-- {
+		n := u.hists[c]
+		if n > hist.Cap() {
+			n = hist.Cap()
+		}
+		key := exactKey(ld.PC, hist, n)
+		if e, ok := u.tables[c][key]; ok && e.u {
+			return Prediction{
+				Kind: Distance, Dist: e.dist,
+				Provider:    ProviderRef{Valid: true, Table: c},
+				ProviderKey: key,
+			}
+		}
+	}
+	return Prediction{Kind: NoDep}
+}
+
+// TrainViolation implements Predictor.
+func (u *UnlimitedMDPTAGE) TrainViolation(ld LoadInfo, st StoreInfo, dist int, out Outcome, hist *histutil.Reg) {
+	if dist < 0 {
+		return
+	}
+	from := 0
+	if p := out.Pred.Provider; p.Valid && p.Table+1 < len(u.tables) {
+		from = p.Table + 1
+	}
+	n := u.hists[from]
+	if n > hist.Cap() {
+		n = hist.Cap()
+	}
+	u.tables[from][exactKey(ld.PC, hist, n)] = &uEntry{dist: dist, u: true}
+	u.writes++
+}
+
+// TrainCommit implements Predictor: false dependencies reset the providing
+// entry with probability 1/256, MDP-TAGE's forgetting rate.
+func (u *UnlimitedMDPTAGE) TrainCommit(ld LoadInfo, out Outcome, hist *histutil.Reg) {
+	p := out.Pred.Provider
+	if !p.Valid || out.Pred.ProviderKey == "" {
+		return
+	}
+	e := u.tables[p.Table][out.Pred.ProviderKey]
+	if e == nil {
+		return
+	}
+	if out.FalsePositive() {
+		u.rng ^= u.rng << 13
+		u.rng ^= u.rng >> 7
+		u.rng ^= u.rng << 17
+		if u.rng&255 == 0 {
+			delete(u.tables[p.Table], out.Pred.ProviderKey)
+			u.writes++
+		}
+	}
+}
+
+// SizeBits implements Predictor (unbounded).
+func (u *UnlimitedMDPTAGE) SizeBits() int { return 0 }
+
+// Paths implements Predictor: total contexts across all components.
+func (u *UnlimitedMDPTAGE) Paths() int {
+	total := 0
+	for _, t := range u.tables {
+		total += len(t)
+	}
+	return total
+}

@@ -1,0 +1,50 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/mdp"
+)
+
+// TestTrainAtDetectRuns: the §IV-A1 ablation must preserve the core
+// invariants (full commit, determinism) while changing training dynamics.
+func TestTrainAtDetectRuns(t *testing.T) {
+	tr := appTrace(t, "511.povray", 30000)
+	opt := DefaultOptions()
+	opt.TrainAtDetect = true
+	r := run(t, tr, corePHAST(), opt)
+	if r.res.Committed != 30000 {
+		t.Errorf("committed %d", r.res.Committed)
+	}
+	// The predictor must still learn: far fewer violations than 'none'.
+	none := run(t, tr, mdp.NewNone(), opt)
+	if r.res.MemOrderViolations*4 > none.res.MemOrderViolations {
+		t.Errorf("PHAST@detect %d violations vs none %d — not learning",
+			r.res.MemOrderViolations, none.res.MemOrderViolations)
+	}
+}
+
+// TestMaxCyclesGuard: a pathological configuration must return an error
+// rather than spin forever.
+func TestMaxCyclesGuard(t *testing.T) {
+	tr := appTrace(t, "519.lbm", 5000)
+	opt := DefaultOptions()
+	opt.MaxCycles = 10 // absurdly small
+	c, err := New(config.AlderLake(), mdp.NewIdeal(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(tr); err == nil {
+		t.Error("tiny cycle budget should trip the guard")
+	}
+}
+
+// TestBadBranchPredictorOption: unknown predictor names fail at New.
+func TestBadBranchPredictorOption(t *testing.T) {
+	opt := DefaultOptions()
+	opt.BranchPredictor = "psychic"
+	if _, err := New(config.AlderLake(), mdp.NewIdeal(), opt); err == nil {
+		t.Error("unknown branch predictor should fail")
+	}
+}

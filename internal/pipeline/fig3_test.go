@@ -1,0 +1,143 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/histutil"
+	"repro/internal/isa"
+	"repro/internal/mdp"
+	"repro/internal/trace"
+)
+
+// This file tests the paper's Figure 3 taxonomy directly: two stores St1
+// (older) and St2 (younger) to address a, followed by a load of a. The four
+// cases differ in when each store resolves relative to the load's
+// execution; the required behaviours are:
+//
+//	(a) both resolved before the load  → forward from St2, no squash
+//	(b) St1 resolved, St2 not          → forward from St1; St2's later
+//	                                     resolution squashes the load, and
+//	                                     training names St2 (the youngest)
+//	(c) St2 resolved, St1 not          → forward from St2; St1's later
+//	                                     resolution must NOT squash (the
+//	                                     §IV-A1 filter), but does without it
+//	(d) neither resolved               → speculative load; squash; training
+//	                                     names St2
+//
+// Register roles: r5/r6 gate St1's and St2's address resolution; the load's
+// address is immediate so it can always issue first.
+
+func fig3Trace(lat1, lat2 uint8) *trace.Trace {
+	const a = 0x9000
+	var insts []isa.Inst
+	for i := 0; i < 200; i++ {
+		insts = append(insts,
+			isa.Inst{PC: 0x100, Kind: isa.ALU, Dst: 5, Lat: lat1},
+			isa.Inst{PC: 0x104, Kind: isa.ALU, Dst: 6, Lat: lat2},
+			isa.Inst{PC: 0x108, Kind: isa.Store, SrcA: 5, Addr: a, Size: 8}, // St1
+			isa.Inst{PC: 0x10c, Kind: isa.Store, SrcA: 6, Addr: a, Size: 8}, // St2
+			isa.Inst{PC: 0x110, Kind: isa.Load, Dst: 1, Addr: a, Size: 8},
+			isa.Inst{PC: 0x114, Kind: isa.ALU, Dst: 9, SrcA: 9, SrcB: 1, Lat: 1},
+			// Spacer work so iterations do not overlap heavily.
+			isa.Inst{PC: 0x118, Kind: isa.ALU, Dst: 2, SrcA: 2, Lat: 30},
+			isa.Inst{PC: 0x11c, Kind: isa.ALU, Dst: 3, SrcA: 2, Lat: 30},
+		)
+	}
+	return &trace.Trace{Name: "fig3", Insts: insts}
+}
+
+// waitSt2 is a stub predictor that always predicts distance 0 (wait for the
+// youngest older store, St2) — isolating cases (a) and (c).
+type waitSt2 struct {
+	mdp.Ideal // reuse the no-op hooks
+	trained   []mdp.StoreInfo
+}
+
+func (w *waitSt2) Name() string { return "wait-st2" }
+
+func (w *waitSt2) Predict(ld mdp.LoadInfo, _ *histutil.Reg) mdp.Prediction {
+	return mdp.Prediction{Kind: mdp.Distance, Dist: 0}
+}
+
+func (w *waitSt2) TrainViolation(_ mdp.LoadInfo, st mdp.StoreInfo, _ int, _ mdp.Outcome, _ *histutil.Reg) {
+	w.trained = append(w.trained, st)
+}
+
+// trainRecorder wraps None and records which store each violation names.
+type trainRecorder struct {
+	mdp.None
+	trained []mdp.StoreInfo
+}
+
+func (tr *trainRecorder) Name() string { return "train-recorder" }
+
+func (tr *trainRecorder) TrainViolation(_ mdp.LoadInfo, st mdp.StoreInfo, _ int, _ mdp.Outcome, _ *histutil.Reg) {
+	tr.trained = append(tr.trained, st)
+}
+
+func runFig3(t *testing.T, tr *trace.Trace, p mdp.Predictor, filter FilterMode) *statsRun {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.Filter = filter
+	c, err := New(config.AlderLake(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Case (a): both stores fast, load waits for St2 → forwards, never squashes.
+func TestFig3aForwardFromYoungest(t *testing.T) {
+	res := runFig3(t, fig3Trace(1, 1), &waitSt2{}, FilterFwd)
+	if res.MemOrderViolations != 0 {
+		t.Errorf("case (a): %d violations", res.MemOrderViolations)
+	}
+	if res.Forwards < 190 {
+		t.Errorf("case (a): only %d forwards", res.Forwards)
+	}
+}
+
+// Case (c): St1 slow, St2 fast; the load forwards from St2 while St1 is
+// unresolved. With the §IV-A1 filter St1's resolution is harmless; without
+// it, the load is squashed — the gem5 behaviour the paper measures in
+// Fig. 12.
+func TestFig3cFilterSuppressesOlderStore(t *testing.T) {
+	withFilter := runFig3(t, fig3Trace(40, 1), &waitSt2{}, FilterFwd)
+	if withFilter.MemOrderViolations != 0 {
+		t.Errorf("case (c) with filter: %d violations, want 0", withFilter.MemOrderViolations)
+	}
+	without := runFig3(t, fig3Trace(40, 1), &waitSt2{}, FilterNone)
+	if without.MemOrderViolations < 150 {
+		t.Errorf("case (c) without filter: %d violations, want ~200", without.MemOrderViolations)
+	}
+}
+
+// Cases (b) and (d): the load executes before St2 resolves; it must be
+// squashed, and the predictor must be trained with St2 — the youngest
+// conflicting store — not with St1, even when St1 resolves first
+// (the commit-time training rationale of §IV-A1).
+func TestFig3bdTrainsYoungestStore(t *testing.T) {
+	for name, lats := range map[string][2]uint8{
+		"b": {1, 40},  // St1 resolved, St2 late
+		"d": {35, 40}, // both late
+	} {
+		rec := &trainRecorder{}
+		res := runFig3(t, fig3Trace(lats[0], lats[1]), rec, FilterFwd)
+		if res.MemOrderViolations == 0 {
+			t.Fatalf("case (%s): expected violations", name)
+		}
+		if len(rec.trained) == 0 {
+			t.Fatalf("case (%s): no training calls", name)
+		}
+		for _, st := range rec.trained {
+			if st.PC != 0x10c {
+				t.Fatalf("case (%s): trained store PC %#x, want St2 (0x10c)", name, st.PC)
+			}
+		}
+	}
+}

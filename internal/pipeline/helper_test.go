@@ -1,0 +1,14 @@
+package pipeline
+
+import (
+	"repro/internal/core"
+	"repro/internal/mdp"
+	"repro/internal/stats"
+)
+
+// runAlias keeps test signatures readable.
+type runAlias = stats.Run
+
+// corePHAST builds the default PHAST predictor for pipeline tests (the
+// import lives here so the main test file reads cleanly).
+func corePHAST() mdp.Predictor { return core.NewDefault() }

@@ -1,0 +1,224 @@
+package pipeline
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mdp"
+)
+
+// This file implements the memory dependence machinery: the oracle scan
+// that feeds the Ideal predictor, the prediction-driven issue gates, the
+// store-queue/store-buffer search with store-to-load forwarding, and the
+// load-queue search a resolving store performs to detect memory order
+// violations (with the §IV-A1 forwarding filter).
+
+// oracleDep finds the youngest older in-flight store whose footprint
+// overlaps the dispatching load, using the simulator's exact knowledge of
+// addresses. Only the Ideal predictor consumes the result.
+func (c *Core) oracleDep(ld *robEntry) (bool, int) {
+	for i := len(c.sq) - 1; i >= 0; i-- {
+		st := c.entry(c.sq[i])
+		if st.inst.Overlaps(ld.inst) {
+			return true, int(ld.storeCount - 1 - st.storeIndex)
+		}
+	}
+	return false, 0
+}
+
+// storeBySQIndex returns the in-flight store with the given global store
+// allocation index, or nil if it has already committed (or was never
+// dispatched). Store queue order makes this a direct offset.
+func (c *Core) storeBySQIndex(idx uint64) *robEntry {
+	if len(c.sq) == 0 {
+		return nil
+	}
+	first := c.entry(c.sq[0]).storeIndex
+	if idx < first || idx >= first+uint64(len(c.sq)) {
+		return nil
+	}
+	return c.entry(c.sq[idx-first])
+}
+
+// storeDone reports whether a store micro-op has fully executed.
+func (c *Core) storeDone(st *robEntry) bool {
+	return st.state == stIssued && c.cycle >= st.doneAt
+}
+
+// gateBlocked evaluates the load's MDP decision: true while the load must
+// keep waiting. It records the waited-for store's footprint so commit can
+// classify the wait as a true or false dependence.
+func (c *Core) gateBlocked(e *robEntry) bool {
+	switch e.pred.Kind {
+	case mdp.NoDep:
+		return false
+	case mdp.Distance:
+		if uint64(e.pred.Dist) >= e.storeCount {
+			return false // distance reaches before the stream start
+		}
+		st := c.storeBySQIndex(e.storeCount - 1 - uint64(e.pred.Dist))
+		if st == nil || st.seq >= e.seq {
+			return false // already committed (or nonsense prediction)
+		}
+		e.waitValid, e.waitAddr, e.waitSize = true, st.inst.Addr, st.inst.Size
+		return !c.storeDone(st)
+	case mdp.StoreSeq:
+		if e.pred.Seq == 0 || e.pred.Seq < c.headSeq || e.pred.Seq >= e.seq {
+			return false
+		}
+		st := c.entry(e.pred.Seq)
+		if !st.inst.IsStore() {
+			return false // stale identifier from before a squash
+		}
+		e.waitValid, e.waitAddr, e.waitSize = true, st.inst.Addr, st.inst.Size
+		return !c.storeDone(st)
+	case mdp.WaitAll:
+		for i := len(c.sq) - 1; i >= 0; i-- {
+			st := c.entry(c.sq[i])
+			if st.seq >= e.seq {
+				continue
+			}
+			if !c.storeDone(st) {
+				return true
+			}
+		}
+		return false
+	case mdp.Vector:
+		for d := 0; d < 64; d++ {
+			if e.pred.Mask&(1<<uint(d)) == 0 {
+				continue
+			}
+			if uint64(d) >= e.storeCount {
+				continue
+			}
+			st := c.storeBySQIndex(e.storeCount - 1 - uint64(d))
+			if st == nil || st.seq >= e.seq {
+				continue
+			}
+			if !c.storeDone(st) {
+				e.waitValid, e.waitAddr, e.waitSize = true, st.inst.Addr, st.inst.Size
+				return true
+			}
+			if st.inst.Overlaps(e.inst) {
+				// Remember at least one real overlap for the audit.
+				e.waitValid, e.waitAddr, e.waitSize = true, st.inst.Addr, st.inst.Size
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// tryLoad attempts to execute a load whose sources are ready and whose MDP
+// gate has cleared. It searches the store queue (youngest overlapping
+// resolved store) and then the store buffer:
+//
+//   - full coverage with ready data → store-to-load forwarding at L1D
+//     latency (the LQ/SB are searched in parallel with the L1D access);
+//   - full coverage, data not ready → wait (retry next cycle);
+//   - partial coverage → wait until the store drains to the cache;
+//   - no overlap → demand access to the memory hierarchy (speculative if
+//     unresolved older stores remain).
+//
+// Returns true if the load issued (consuming a load port).
+func (c *Core) tryLoad(e *robEntry) bool {
+	in := e.inst
+	// Youngest overlapping address-resolved store in the SQ.
+	for i := len(c.sq) - 1; i >= 0; i-- {
+		st := c.entry(c.sq[i])
+		if st.seq >= e.seq || !st.addrResolved {
+			continue
+		}
+		if !st.inst.Overlaps(in) {
+			continue
+		}
+		if st.inst.Covers(in.Addr, in.Size) {
+			if c.storeDone(st) {
+				c.issueLoadForward(e, st.seq)
+				c.recordSVW(e, st.storeIndex, true)
+				return true
+			}
+			return false // data not produced yet: true-dependence stall
+		}
+		return false // partial coverage: wait for the store to drain
+	}
+	// Store buffer (committed, not yet drained).
+	for i := len(c.sb) - 1; i >= 0; i-- {
+		sb := &c.sb[i]
+		if !isa.Overlap(sb.addr, sb.size, in.Addr, in.Size) {
+			continue
+		}
+		if sb.addr <= in.Addr && in.Addr+uint64(in.Size) <= sb.addr+uint64(sb.size) {
+			c.issueLoadForward(e, sb.seq)
+			c.recordSVW(e, sb.storeIndex, true)
+			return true
+		}
+		return false // partial coverage from the store buffer
+	}
+	// No overlapping store visible: access the cache hierarchy.
+	c.run.IssuedUops++
+	e.state = stIssued
+	e.executed = true
+	e.executedAt = c.cycle
+	e.doneAt = c.mem.Load(c.cycle, in.PC, in.Addr)
+	c.iqCount--
+	c.recordSVW(e, 0, false)
+	return true
+}
+
+// issueLoadForward completes a load through store-to-load forwarding. The
+// LQ and SB are searched associatively in parallel with the L1D access, so
+// forwarding costs the L1D hit latency (Table I).
+func (c *Core) issueLoadForward(e *robEntry, fromSeq uint64) {
+	c.run.IssuedUops++
+	e.state = stIssued
+	e.executed = true
+	e.executedAt = c.cycle
+	e.fwdFrom = fromSeq
+	e.doneAt = c.cycle + uint64(c.cfg.L1D.HitLatency)
+	c.iqCount--
+}
+
+// resolveStore runs when a store resolves its address: it searches the load
+// queue for younger loads that already executed with an overlapping
+// footprint. With the forwarding filter (§IV-A1) a load whose forwarder is
+// younger than this store is left alone — it already has the correct value;
+// without it (the Fig. 12 ablation, matching gem5) any such load is flagged.
+// The youngest conflicting store is recorded for commit-time training.
+func (c *Core) resolveStore(st *robEntry) {
+	if c.opt.Filter == FilterSVW {
+		return // loads verify themselves at commit against the SSBF
+	}
+	for seq := st.seq + 1; seq < c.tailSeq; seq++ {
+		ld := c.entry(seq)
+		if !ld.inst.IsLoad() || !ld.executed {
+			continue
+		}
+		if !ld.inst.Overlaps(st.inst) {
+			continue
+		}
+		if ld.fwdFrom == st.seq {
+			continue // forwarded from this very store: value is correct
+		}
+		if c.opt.Filter == FilterFwd && ld.fwdFrom > st.seq {
+			continue // got the value from a younger store: correct
+		}
+		if !ld.violated || st.seq > ld.violStore.Seq {
+			ld.violated = true
+			ld.violStore = mdp.StoreInfo{
+				PC:          st.inst.PC,
+				Seq:         st.seq,
+				BranchCount: st.branchCount,
+				StoreIndex:  st.storeIndex,
+			}
+		}
+		if c.opt.TrainAtDetect && !ld.trainedAtDetect {
+			// §IV-A1 ablation: train immediately with the first store that
+			// detects the conflict — possibly not the youngest conflicting
+			// one (the Fig. 3d hazard commit-time training avoids). The
+			// squash itself stays lazy.
+			ld.trainedAtDetect = true
+			ldInfo := c.loadInfoOf(ld)
+			dist := mdp.DistanceOf(ldInfo, ld.violStore)
+			c.pred.TrainViolation(ldInfo, ld.violStore, dist, c.outcomeOf(ld, true), c.histAt(ld.traceIdx))
+		}
+	}
+}

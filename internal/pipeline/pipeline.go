@@ -1,0 +1,301 @@
+// Package pipeline implements the cycle-level out-of-order core timing
+// model: fetch/dispatch, rename, oldest-first issue over load/store/compute
+// ports, a load queue and store queue with store-to-load forwarding, a
+// post-commit store buffer that drains into the cache hierarchy, eager
+// squash for branch mispredictions (front-end bubbles in this trace-driven
+// model), and lazy squash for memory order violations, with the forwarding
+// filter of the paper's §IV-A1.
+//
+// The model is functional-first/timing-second: the architectural correct-
+// path stream comes from package trace, and the core decides when each
+// micro-op's effects become visible. On a memory-order-violation squash the
+// core re-dispatches the stream from the violating load. Wrong-path
+// micro-ops are not simulated; mispredictions cost redirect bubbles (see
+// DESIGN.md §3 for why this substitution preserves the predictor ranking).
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/histutil"
+	"repro/internal/isa"
+	"repro/internal/mdp"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options select core behaviours independent of the machine configuration.
+type Options struct {
+	// Filter selects the mis-speculation filtering mechanism: the paper's
+	// §IV-A1 forwarding filter (default), no filtering (the Fig. 12 "No
+	// FWD" ablation), or NoSQ's SVW/SSBF commit-time verification (§VII).
+	Filter FilterMode
+	// BranchPredictor names the direction predictor (default "tagescl").
+	BranchPredictor string
+	// HistCap is the divergent-branch history register capacity
+	// (default 2048, covering MDP-TAGE's 2000-branch histories).
+	HistCap int
+	// TrainAtDetect trains the predictor when a mispeculation is detected
+	// (at store address resolution) instead of at commit — the §IV-A1
+	// ablation. Early training can learn stores that are not the youngest
+	// conflicting one (Fig. 3d) and paths that never commit.
+	TrainAtDetect bool
+	// MaxCycles aborts runaway simulations (default 400M).
+	MaxCycles uint64
+}
+
+// DefaultOptions returns the options every headline experiment uses.
+func DefaultOptions() Options {
+	return Options{Filter: FilterFwd, BranchPredictor: "tagescl", HistCap: 2048}
+}
+
+type entryState uint8
+
+const (
+	stDispatched entryState = iota
+	stIssued
+)
+
+// robEntry is one in-flight micro-op.
+type robEntry struct {
+	inst     *isa.Inst
+	seq      uint64
+	traceIdx int
+	state    entryState
+	doneAt   uint64 // completion cycle, valid once issued
+
+	srcASeq, srcBSeq uint64 // producing sequence numbers (0 = ready)
+
+	// Memory ops.
+	branchCount uint64 // decode-time divergent-branch counter copy
+	storeCount  uint64 // stores dispatched before this op (loads)
+	storeIndex  uint64 // global store allocation index (stores)
+
+	// Stores.
+	addrResolved bool
+	addrDoneAt   uint64
+	ssWaitSeq    uint64 // Store Sets same-set serialisation
+
+	// Loads.
+	pred            mdp.Prediction
+	waited          bool
+	waitAddr        uint64 // footprint of the store the load waited for
+	waitSize        uint8
+	waitValid       bool
+	fwdFrom         uint64 // forwarding store seq (0 = none)
+	fwdStoreIndex   uint64 // store allocation index of the forwarder (SVW)
+	svwSSN          uint64 // committed-store count at execute (SVW)
+	executed        bool
+	executedAt      uint64
+	violated        bool
+	violStore       mdp.StoreInfo
+	trainedAtDetect bool
+}
+
+// Core is a single simulated out-of-order core.
+type Core struct {
+	cfg  config.Machine
+	opt  Options
+	mem  *cache.Hierarchy
+	bp   *bpred.Unit
+	pred mdp.Predictor
+
+	decodeHist *histutil.Reg
+	commitHist *histutil.Reg
+	// scratchHist reconstructs a load's exact history for detect-time
+	// training (the §IV-A1 ablation); it carries no registered folds.
+	scratchHist *histutil.Reg
+
+	tr         *trace.Trace
+	divPrefix  []uint32         // divergent branches before trace index i
+	stPrefix   []uint32         // stores before trace index i
+	divEntries []histutil.Entry // history entries of all divergent branches, in order
+
+	// ROB ring: entries hold seqs [headSeq, tailSeq).
+	rob     []robEntry
+	headSeq uint64
+	tailSeq uint64
+
+	lastWriter [isa.NumRegs]uint64
+
+	iqCount, lqCount, sqCount int
+
+	// sq holds the ROB seqs of in-flight stores, oldest first.
+	sq []uint64
+	// sb is the post-commit store buffer.
+	sb []sbEntry
+
+	// SVW state (Options.Filter == FilterSVW).
+	svw             *ssbf
+	storeRing       []committedStore
+	committedStores uint64
+
+	cycle uint64
+
+	// firstUnissued is the oldest sequence number that may still need to
+	// issue; the issue scan starts here instead of at the ROB head.
+	firstUnissued uint64
+
+	// Fetch state.
+	nextFetch       int // next trace index to fetch
+	maxFetched      int // highest trace index ever fetched (history dedup)
+	fetchBlockedTil uint64
+	fetchStallSeq   uint64 // unresolved mispredicted branch (0 = none)
+
+	nextCommitIdx int // invariant: commits follow trace order
+
+	run stats.Run
+}
+
+type sbEntry struct {
+	seq        uint64
+	storeIndex uint64
+	addr       uint64
+	size       uint8
+	drainedAt  uint64
+	drainStart bool
+}
+
+// New builds a core for the given machine, predictor and options.
+func New(cfg config.Machine, pred mdp.Predictor, opt Options) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.BranchPredictor == "" {
+		opt.BranchPredictor = "tagescl"
+	}
+	if opt.HistCap == 0 {
+		opt.HistCap = 2048
+	}
+	if opt.MaxCycles == 0 {
+		opt.MaxCycles = 400_000_000
+	}
+	dir, err := bpred.NewDir(opt.BranchPredictor)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:         cfg,
+		opt:         opt,
+		mem:         cache.New(cfg),
+		bp:          bpred.NewUnit(dir),
+		pred:        pred,
+		decodeHist:  histutil.NewReg(opt.HistCap),
+		commitHist:  histutil.NewReg(opt.HistCap),
+		scratchHist: histutil.NewReg(opt.HistCap),
+		rob:         make([]robEntry, cfg.ROB),
+		headSeq:     1,
+		tailSeq:     1,
+		sq:          make([]uint64, 0, cfg.SQ),
+		sb:          make([]sbEntry, 0, cfg.SQ),
+	}
+	if opt.Filter == FilterSVW {
+		// NoSQ sizes the SSBF to cover the vulnerability window of the
+		// largest in-flight load population with headroom.
+		c.svw = newSSBF(1024, 2)
+		c.storeRing = make([]committedStore, 4096)
+	}
+	pred.Bind(c.decodeHist, c.commitHist)
+	return c, nil
+}
+
+func (c *Core) entry(seq uint64) *robEntry {
+	return &c.rob[seq%uint64(len(c.rob))]
+}
+
+func (c *Core) robFull() bool { return c.tailSeq-c.headSeq >= uint64(len(c.rob)) }
+
+func (c *Core) robEmpty() bool { return c.tailSeq == c.headSeq }
+
+// producerReady reports whether the producing micro-op's value is available.
+func (c *Core) producerReady(seq uint64) bool {
+	if seq == 0 || seq < c.headSeq {
+		return true // architectural or committed
+	}
+	e := c.entry(seq)
+	return e.state == stIssued && c.cycle >= e.doneAt
+}
+
+// srcsReady reports whether both register sources are available.
+func (c *Core) srcsReady(e *robEntry) bool {
+	return c.producerReady(e.srcASeq) && c.producerReady(e.srcBSeq)
+}
+
+// Run simulates the full stream and returns the measured counters.
+func (c *Core) Run(tr *trace.Trace) (*stats.Run, error) {
+	c.tr = tr
+	c.buildPrefixes()
+	c.run = stats.Run{
+		App:       tr.Name,
+		Predictor: c.pred.Name(),
+		Machine:   c.cfg.Name,
+	}
+	n := tr.Len()
+	for c.nextCommitIdx < n {
+		c.cycle++
+		if c.cycle > c.opt.MaxCycles {
+			return nil, fmt.Errorf("pipeline: exceeded %d cycles at commit index %d/%d (deadlock?)",
+				c.opt.MaxCycles, c.nextCommitIdx, n)
+		}
+		c.commitStage()
+		c.drainStoreBuffer()
+		c.issueStage()
+		c.fetchStage()
+		c.run.ROBOccupancySum += c.tailSeq - c.headSeq
+		c.run.SQOccupancySum += uint64(len(c.sq))
+	}
+	c.finalizeStats()
+	// Return a copy: a pointer into the Core would keep the whole simulator
+	// (trace, ROB, prefix arrays) reachable for as long as the caller holds
+	// the result — callers memoise results across hundreds of runs.
+	out := c.run
+	return &out, nil
+}
+
+func (c *Core) buildPrefixes() {
+	n := c.tr.Len()
+	c.divPrefix = make([]uint32, n+1)
+	c.stPrefix = make([]uint32, n+1)
+	for i := 0; i < n; i++ {
+		c.divPrefix[i+1] = c.divPrefix[i]
+		c.stPrefix[i+1] = c.stPrefix[i]
+		in := &c.tr.Insts[i]
+		if in.Divergent() {
+			c.divPrefix[i+1]++
+			c.divEntries = append(c.divEntries, histEntryOf(in))
+		}
+		if in.IsStore() {
+			c.stPrefix[i+1]++
+		}
+	}
+}
+
+func (c *Core) finalizeStats() {
+	c.run.Cycles = c.cycle
+	c.run.Branches = c.bp.Branches
+	c.run.BranchMispredicts = c.bp.Mispredicts
+	c.run.PredictorReads, c.run.PredictorWrites = c.pred.Accesses()
+	c.run.PathsTracked = uint64(c.pred.Paths())
+	c.run.L1DHits, c.run.L1DMisses = c.mem.L1D.Hits, c.mem.L1D.Misses
+	c.run.L2Hits, c.run.L2Misses = c.mem.L2.Hits, c.mem.L2.Misses
+	c.run.L3Hits, c.run.L3Misses = c.mem.L3.Hits, c.mem.L3.Misses
+}
+
+// Predictor exposes the bound predictor (for experiment post-processing,
+// e.g. PHAST's conflict-length histogram).
+func (c *Core) Predictor() mdp.Predictor { return c.pred }
+
+// histAt rebuilds, in the scratch register, the divergent-branch history as
+// it stood just before the instruction at traceIdx was decoded.
+func (c *Core) histAt(traceIdx int) *histutil.Reg {
+	k := int(c.divPrefix[traceIdx])
+	lo := k - c.scratchHist.Cap()
+	if lo < 0 {
+		lo = 0
+	}
+	c.scratchHist.ResetTo(c.divEntries[lo:k], uint64(k))
+	return c.scratchHist
+}

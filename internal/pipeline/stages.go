@@ -1,0 +1,417 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/histutil"
+	"repro/internal/isa"
+	"repro/internal/mdp"
+)
+
+// fetchStage fetches, decodes and dispatches up to the front-end width of
+// micro-ops per cycle from the correct-path stream, allocating ROB/IQ/LQ/SQ
+// entries, renaming sources, predicting branches (first fetch only — a
+// squash restores checkpointed front-end state rather than re-training), and
+// asking the MDP for a decision on every load.
+func (c *Core) fetchStage() {
+	if c.cycle < c.fetchBlockedTil {
+		return
+	}
+	if c.fetchStallSeq != 0 {
+		// Waiting on an unresolved mispredicted branch.
+		if c.fetchStallSeq < c.headSeq {
+			c.fetchStallSeq = 0 // resolved and committed while we waited
+		} else if e := c.entry(c.fetchStallSeq); e.state == stIssued {
+			c.fetchBlockedTil = e.doneAt + uint64(c.cfg.RedirectPenalty)
+			c.fetchStallSeq = 0
+			return
+		} else {
+			return
+		}
+	}
+	width := c.cfg.FetchWidth
+	for i := 0; i < width && c.nextFetch < c.tr.Len(); i++ {
+		in := &c.tr.Insts[c.nextFetch]
+		if c.robFull() || c.iqCount >= c.cfg.IQ {
+			break
+		}
+		if in.IsLoad() && c.lqCount >= c.cfg.LQ {
+			break
+		}
+		if in.IsStore() && c.sqCount >= c.cfg.SQ {
+			break
+		}
+		if i == 0 {
+			// One instruction-cache access per fetch group.
+			if done := c.mem.Fetch(c.cycle, in.PC); done > c.cycle+uint64(c.cfg.L1I.HitLatency) {
+				c.fetchBlockedTil = done
+				return
+			}
+		}
+		c.dispatch(in, c.nextFetch)
+		firstFetch := c.nextFetch > c.maxFetched
+		if firstFetch {
+			c.maxFetched = c.nextFetch
+		}
+		c.nextFetch++
+		if in.IsBranch() {
+			if in.Divergent() {
+				c.decodeHist.Push(histEntryOf(in))
+			}
+			// The branch predictor trains once per static occurrence; after
+			// a squash the front end restores its checkpointed state rather
+			// than re-training (and correct-path refetches redirect cheaply).
+			if firstFetch && c.bp.PredictAndTrain(in) {
+				c.fetchStallSeq = c.tailSeq - 1 // the branch just dispatched
+				return
+			}
+		}
+	}
+}
+
+// histEntryOf builds the 7-bit divergent-branch history record of §IV-A2.
+func histEntryOf(in *isa.Inst) histutil.Entry {
+	dest := in.Target
+	if !in.Taken {
+		dest = in.PC + 4
+	}
+	return histutil.NewEntry(in.Class.IndirectTarget(), in.Taken, dest)
+}
+
+// dispatch allocates and renames one micro-op.
+func (c *Core) dispatch(in *isa.Inst, traceIdx int) {
+	seq := c.tailSeq
+	c.tailSeq++
+	e := c.entry(seq)
+	*e = robEntry{
+		inst:     in,
+		seq:      seq,
+		traceIdx: traceIdx,
+	}
+	if in.SrcA != 0 {
+		e.srcASeq = c.lastWriter[in.SrcA]
+	}
+	if in.SrcB != 0 {
+		e.srcBSeq = c.lastWriter[in.SrcB]
+	}
+	if in.Dst != 0 {
+		c.lastWriter[in.Dst] = seq
+	}
+	c.run.Fetched++
+
+	switch in.Kind {
+	case isa.Nop:
+		e.state = stIssued
+		e.doneAt = c.cycle
+	case isa.Load:
+		c.iqCount++
+		c.lqCount++
+		e.branchCount = uint64(c.divPrefix[traceIdx])
+		e.storeCount = uint64(c.stPrefix[traceIdx])
+		ld := mdp.LoadInfo{
+			PC:          in.PC,
+			Seq:         seq,
+			BranchCount: e.branchCount,
+			StoreCount:  e.storeCount,
+		}
+		ld.OracleDep, ld.OracleDist = c.oracleDep(e)
+		e.pred = c.pred.Predict(ld, c.decodeHist)
+	case isa.Store:
+		c.iqCount++
+		c.sqCount++
+		e.branchCount = uint64(c.divPrefix[traceIdx])
+		e.storeIndex = uint64(c.stPrefix[traceIdx])
+		e.ssWaitSeq = c.pred.StoreDispatch(mdp.StoreInfo{
+			PC: in.PC, Seq: seq, BranchCount: e.branchCount, StoreIndex: e.storeIndex,
+		})
+		c.sq = append(c.sq, seq)
+	default:
+		c.iqCount++
+	}
+}
+
+// issueStage wakes up and selects ready micro-ops, oldest first, limited by
+// the machine's load, store and compute ports.
+func (c *Core) issueStage() {
+	aluPorts := c.cfg.IssuePorts - c.cfg.LoadPorts - c.cfg.StorePorts
+	loads, storesP, alu, total := 0, 0, 0, 0
+	if c.firstUnissued < c.headSeq {
+		c.firstUnissued = c.headSeq
+	}
+	if c.firstUnissued > c.tailSeq {
+		c.firstUnissued = c.tailSeq
+	}
+	// Advance past the leading fully-issued prefix once, then scan with a
+	// direct ring index (the per-entry modulo dominates the profile).
+	robLen := uint64(len(c.rob))
+	for c.firstUnissued < c.tailSeq && c.rob[c.firstUnissued%robLen].state == stIssued {
+		c.firstUnissued++
+	}
+	pos := c.firstUnissued % robLen
+	for seq := c.firstUnissued; seq < c.tailSeq; seq++ {
+		e := &c.rob[pos]
+		pos++
+		if pos == robLen {
+			pos = 0
+		}
+		if total >= c.cfg.IssuePorts {
+			break
+		}
+		if e.state == stIssued {
+			continue
+		}
+		switch e.inst.Kind {
+		case isa.ALU, isa.Branch:
+			if alu >= aluPorts || !c.srcsReady(e) {
+				continue
+			}
+			lat := int(e.inst.Lat)
+			if lat < 1 {
+				lat = 1
+			}
+			e.state = stIssued
+			e.doneAt = c.cycle + uint64(lat)
+			c.iqCount--
+			c.run.IssuedUops++
+			alu++
+			total++
+		case isa.Store:
+			c.tryStore(e, &storesP, &total)
+		case isa.Load:
+			if loads >= c.cfg.LoadPorts || !c.srcsReady(e) {
+				continue
+			}
+			if c.gateBlocked(e) {
+				e.waited = true
+				continue
+			}
+			if c.tryLoad(e) {
+				loads++
+				total++
+			}
+		}
+	}
+}
+
+// tryStore advances a store through its two phases: address generation
+// (needs the address register, a store port, and any Store Sets
+// serialisation to clear) and data readiness (the data register's producer).
+// The store completes when both are done.
+func (c *Core) tryStore(e *robEntry, storesP *int, total *int) {
+	if !e.addrResolved {
+		if *storesP >= c.cfg.StorePorts {
+			return
+		}
+		if !c.producerReady(e.srcASeq) {
+			return
+		}
+		// Store Sets serialisation. Sequence numbers are reused after a
+		// squash, so a stale last-fetched-store id can alias this store or a
+		// younger one; only a strictly older live store is a valid
+		// serialisation target (anything else would deadlock the pair).
+		if w := e.ssWaitSeq; w != 0 && w >= c.headSeq && w < e.seq {
+			if we := c.entry(w); we.inst.IsStore() && (we.state != stIssued || c.cycle < we.doneAt) {
+				return // serialised behind an older store of the set
+			}
+		}
+		e.addrResolved = true
+		e.addrDoneAt = c.cycle + 1
+		*storesP++
+		*total++
+		c.resolveStore(e)
+	}
+	if e.addrResolved && c.producerReady(e.srcBSeq) {
+		e.state = stIssued
+		e.doneAt = e.addrDoneAt
+		if c.cycle > e.doneAt {
+			e.doneAt = c.cycle
+		}
+		c.iqCount--
+		c.run.IssuedUops++
+	}
+}
+
+// commitStage retires up to the commit width in order. A load flagged with a
+// memory order violation squashes here (lazy squash) after training the
+// predictor with the true youngest conflicting store.
+func (c *Core) commitStage() {
+	for n := 0; n < c.cfg.CommitWidth && !c.robEmpty(); n++ {
+		e := c.entry(c.headSeq)
+		if e.state != stIssued || c.cycle < e.doneAt {
+			return
+		}
+		if e.traceIdx != c.nextCommitIdx {
+			panic(fmt.Sprintf("pipeline: commit order broken: committing trace index %d, expected %d",
+				e.traceIdx, c.nextCommitIdx))
+		}
+		in := e.inst
+		if in.IsLoad() && c.opt.Filter == FilterSVW && !e.violated {
+			c.svwCheckLoad(e) // sets the violation fields on failure
+		}
+		if in.IsLoad() && e.violated {
+			c.commitViolation(e)
+			return
+		}
+		if in.IsStore() {
+			if len(c.sb) >= c.cfg.SQ {
+				return // store buffer full: commit stalls
+			}
+			c.sb = append(c.sb, sbEntry{seq: e.seq, storeIndex: e.storeIndex, addr: in.Addr, size: in.Size})
+			c.noteCommittedStore(e)
+			c.pred.StoreCommit(mdp.StoreInfo{
+				PC: in.PC, Seq: e.seq, BranchCount: e.branchCount, StoreIndex: e.storeIndex,
+			})
+			if len(c.sq) == 0 || c.sq[0] != e.seq {
+				panic("pipeline: store queue out of sync at commit")
+			}
+			c.sq = c.sq[1:]
+			c.sqCount--
+			c.run.Stores++
+		}
+		if in.IsLoad() {
+			c.commitLoad(e)
+		}
+		if in.Divergent() {
+			c.commitHist.Push(histEntryOf(in))
+		}
+		c.run.Committed++
+		c.nextCommitIdx++
+		c.headSeq++
+	}
+}
+
+// commitLoad audits a successfully committing load's prediction.
+func (c *Core) commitLoad(e *robEntry) {
+	c.lqCount--
+	c.run.Loads++
+	if e.fwdFrom != 0 {
+		c.run.Forwards++
+	}
+	out := c.outcomeOf(e, false)
+	if out.Waited {
+		if out.TrueDep {
+			c.run.TrueDependencies++
+		} else {
+			c.run.FalseDependencies++
+		}
+	}
+	c.pred.TrainCommit(c.loadInfoOf(e), out, c.commitHist)
+}
+
+// commitViolation trains the predictor with the detected conflict and
+// squashes the violating load and everything younger.
+func (c *Core) commitViolation(e *robEntry) {
+	c.run.MemOrderViolations++
+	if !e.trainedAtDetect {
+		out := c.outcomeOf(e, true)
+		dist := mdp.DistanceOf(c.loadInfoOf(e), e.violStore)
+		c.pred.TrainViolation(c.loadInfoOf(e), e.violStore, dist, out, c.commitHist)
+	}
+	c.squash(e.seq, e.traceIdx)
+}
+
+func (c *Core) loadInfoOf(e *robEntry) mdp.LoadInfo {
+	return mdp.LoadInfo{
+		PC:          e.inst.PC,
+		Seq:         e.seq,
+		BranchCount: e.branchCount,
+		StoreCount:  e.storeCount,
+	}
+}
+
+// outcomeOf classifies a load's prediction at commit. A waited load is a
+// true dependence if the store it waited for overlaps its footprint (for
+// store-set style waits: if any older store did).
+func (c *Core) outcomeOf(e *robEntry, violated bool) mdp.Outcome {
+	out := mdp.Outcome{Pred: e.pred, Violated: violated, Waited: e.waited}
+	if e.waited {
+		switch e.pred.Kind {
+		case mdp.Distance, mdp.StoreSeq:
+			out.TrueDep = e.waitValid && isa.Overlap(e.waitAddr, e.waitSize, e.inst.Addr, e.inst.Size)
+		case mdp.WaitAll, mdp.Vector:
+			out.TrueDep = e.fwdFrom != 0
+		}
+	}
+	if e.fwdFrom != 0 {
+		out.ActualDep = true
+	}
+	if violated {
+		out.ActualDep = true
+		out.ActualDist = mdp.DistanceOf(c.loadInfoOf(e), e.violStore)
+	}
+	return out
+}
+
+// squash discards the violating load and all younger micro-ops, restores the
+// rename state from the surviving entries, and redirects fetch to the load.
+func (c *Core) squash(fromSeq uint64, traceIdx int) {
+	c.run.SquashedUops += c.tailSeq - fromSeq
+	c.tailSeq = fromSeq
+	// Truncate the store queue to surviving stores.
+	cut := len(c.sq)
+	for cut > 0 && c.sq[cut-1] >= fromSeq {
+		cut--
+	}
+	c.sq = c.sq[:cut]
+	// Rebuild rename table and occupancy counters from survivors.
+	for r := range c.lastWriter {
+		c.lastWriter[r] = 0
+	}
+	c.iqCount, c.lqCount, c.sqCount = 0, 0, 0
+	for seq := c.headSeq; seq < c.tailSeq; seq++ {
+		e := c.entry(seq)
+		if e.inst.Dst != 0 {
+			c.lastWriter[e.inst.Dst] = seq
+		}
+		if e.state != stIssued {
+			c.iqCount++
+		}
+		switch e.inst.Kind {
+		case isa.Load:
+			c.lqCount++
+		case isa.Store:
+			c.sqCount++
+		}
+	}
+	if c.firstUnissued > c.tailSeq {
+		c.firstUnissued = c.tailSeq
+	}
+	c.nextFetch = traceIdx
+	c.fetchStallSeq = 0
+	c.fetchBlockedTil = c.cycle + uint64(c.cfg.RedirectPenalty)
+	// Rewind the decode-time history to the squash point (checkpoint
+	// restore): it must hold exactly the divergent branches older than the
+	// re-fetched instruction, or re-dispatched loads predict with future
+	// branches in their context.
+	k := int(c.divPrefix[traceIdx])
+	lo := k - c.decodeHist.Cap()
+	if lo < 0 {
+		lo = 0
+	}
+	c.decodeHist.ResetTo(c.divEntries[lo:k], uint64(k))
+}
+
+// drainStoreBuffer writes committed stores to the cache and frees their
+// store buffer entries.
+func (c *Core) drainStoreBuffer() {
+	started := 0
+	for i := range c.sb {
+		if c.sb[i].drainStart {
+			continue
+		}
+		if started >= c.cfg.SBDrainPerCycle {
+			break
+		}
+		c.sb[i].drainStart = true
+		c.sb[i].drainedAt = c.mem.StoreDrain(c.cycle, c.sb[i].addr)
+		started++
+	}
+	// Free fully drained entries from the front.
+	n := 0
+	for n < len(c.sb) && c.sb[n].drainStart && c.cycle >= c.sb[n].drainedAt {
+		n++
+	}
+	if n > 0 {
+		c.sb = c.sb[n:]
+	}
+}

@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mdp"
+	"repro/internal/trace"
+)
+
+func svwOptions() Options {
+	o := DefaultOptions()
+	o.Filter = FilterSVW
+	return o
+}
+
+func TestSSBFYoungestWins(t *testing.T) {
+	f := newSSBF(16, 2)
+	f.update(0x1000, 8, 5, 1)
+	f.update(0x1000, 8, 9, 2) // younger store to the same line
+	ssn, ok := f.youngest(0x1000, 8)
+	if !ok || ssn != 9 {
+		t.Errorf("youngest = %d,%t, want 9", ssn, ok)
+	}
+	if _, ok := f.youngest(0x2000, 8); ok {
+		t.Error("untouched address should miss")
+	}
+}
+
+func TestSSBFSpansLines(t *testing.T) {
+	f := newSSBF(16, 2)
+	f.update(0x1004, 8, 3, 1) // straddles two 8-byte lines
+	if _, ok := f.youngest(0x1000, 4); !ok {
+		t.Error("first line not recorded")
+	}
+	if _, ok := f.youngest(0x1008, 4); !ok {
+		t.Error("second line not recorded")
+	}
+}
+
+// TestSVWDetectsViolations: under SVW filtering, the always-speculate
+// baseline must still be caught and re-executed, and everything commits.
+func TestSVWDetectsViolations(t *testing.T) {
+	const addr = 0x1000
+	var insts []isa.Inst
+	for i := 0; i < 300; i++ {
+		insts = append(insts,
+			isa.Inst{PC: 0x100, Kind: isa.ALU, Dst: 5, Lat: 12},
+			isa.Inst{PC: 0x104, Kind: isa.Store, SrcA: 5, Addr: addr, Size: 8},
+			isa.Inst{PC: 0x108, Kind: isa.Load, Dst: 1, Addr: addr, Size: 8},
+			isa.Inst{PC: 0x10c, Kind: isa.ALU, Dst: 9, SrcA: 9, SrcB: 1, Lat: 1},
+		)
+	}
+	tr := &trace.Trace{Name: "svw", Insts: insts}
+	r := run(t, tr, mdp.NewNone(), svwOptions())
+	if r.res.Committed != uint64(len(insts)) {
+		t.Errorf("committed %d/%d", r.res.Committed, len(insts))
+	}
+	if r.res.MemOrderViolations < 100 {
+		t.Errorf("SVW should catch speculative misses, got %d", r.res.MemOrderViolations)
+	}
+	// A correctly predicting PHAST forwards and passes the bypassing check.
+	ph := run(t, tr, corePHAST(), svwOptions())
+	if ph.res.MemOrderViolations > 10 {
+		t.Errorf("PHAST under SVW: %d violations", ph.res.MemOrderViolations)
+	}
+}
+
+// TestSVWOnSuiteApps: full-app runs under SVW commit completely and catch
+// violations comparably to the LQ-search path.
+func TestSVWOnSuiteApps(t *testing.T) {
+	for _, app := range []string{"511.povray", "525.x264_3"} {
+		tr := appTrace(t, app, 30000)
+		lq := run(t, tr, mdp.NewNone(), DefaultOptions())
+		svw := run(t, tr, mdp.NewNone(), svwOptions())
+		if svw.res.Committed != 30000 {
+			t.Fatalf("%s: committed %d", app, svw.res.Committed)
+		}
+		if svw.res.MemOrderViolations == 0 && lq.res.MemOrderViolations > 0 {
+			t.Errorf("%s: SVW caught nothing, LQ search caught %d",
+				app, lq.res.MemOrderViolations)
+		}
+	}
+}
+
+// TestSVWIdealStaysClean: a load that waited for the right store and
+// forwarded from it must pass the bypassing check.
+func TestSVWIdealStaysClean(t *testing.T) {
+	tr := appTrace(t, "548.exchange2", 30000)
+	r := run(t, tr, mdp.NewIdeal(), svwOptions())
+	if r.res.MemOrderViolations != 0 {
+		t.Errorf("ideal under SVW: %d violations", r.res.MemOrderViolations)
+	}
+}

@@ -1,0 +1,301 @@
+// Package sim is the one-call facade tying workloads, machine
+// configurations, predictors and the pipeline together. Experiment drivers
+// (cmd/, bench_test.go, examples/) go through this package.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mdp"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// App is a workload name from the suite (see workload.Names).
+	App string
+	// Machine is a configuration name (see config.Names); default alderlake.
+	Machine string
+	// Predictor is an MDP spec (see NewPredictor); default phast.
+	Predictor string
+	// Instructions is the stream length (default 300000).
+	Instructions int
+	// Seed overrides the app's default stream seed (0 = default).
+	Seed int64
+	// FwdFilterOff disables the §IV-A1 forwarding filter (Fig. 12).
+	FwdFilterOff bool
+	// SVWFilter replaces the forwarding filter with NoSQ's SVW/SSBF
+	// commit-time verification (§VII); it overrides FwdFilterOff.
+	SVWFilter bool
+	// TrainAtDetect trains predictors at mispeculation detection instead of
+	// commit (the §IV-A1 update-point ablation).
+	TrainAtDetect bool
+	// BranchPredictor overrides the direction predictor (default tagescl).
+	BranchPredictor string
+}
+
+// DefaultInstructions is the per-run stream length used when Config leaves
+// it zero. The paper simulates 100M-instruction SimPoints; synthetic streams
+// reach steady state much sooner, and every experiment scales with a flag.
+const DefaultInstructions = 300_000
+
+// NewPredictor builds a predictor from its spec string. Specs:
+//
+//	phast                 paper configuration (14.5KB)
+//	phast:<sets>          budget sweep (sets per table: 32..512)
+//	storesets             Table II Store Sets (18.5KB)
+//	storesets:<ssit>      budget sweep (SSIT entries; LFST = SSIT/2)
+//	nosq                  Table II NoSQ predictor (19KB)
+//	nosq:<entries>        budget sweep (entries per table)
+//	mdptage               Table II standalone MDP-TAGE (38.6KB)
+//	mdptage-s             MDP-TAGE with PHAST's tables/histories (13KB)
+//	storevector | cht     early predictors (Fig. 1/Fig. 2 context)
+//	ideal | none | alwayswait
+//	unlimited-phast[:<maxhist>]
+//	unlimited-nosq:<histlen>
+//	unlimited-mdptage
+func NewPredictor(spec string) (mdp.Predictor, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	argInt := func(def int) (int, error) {
+		if arg == "" {
+			return def, nil
+		}
+		return strconv.Atoi(arg)
+	}
+	switch name {
+	case "phast":
+		sets, err := argInt(core.DefaultConfig().Sets)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(core.BudgetConfig(sets)), nil
+	case "storesets":
+		ssit, err := argInt(8192)
+		if err != nil {
+			return nil, err
+		}
+		cfg := mdp.DefaultStoreSetsConfig()
+		cfg.SSITEntries, cfg.LFSTEntries = ssit, ssit/2
+		return mdp.NewStoreSets(cfg), nil
+	case "nosq":
+		entries, err := argInt(2048)
+		if err != nil {
+			return nil, err
+		}
+		cfg := mdp.DefaultNoSQConfig()
+		cfg.EntriesPerTable = entries
+		return mdp.NewNoSQ(cfg), nil
+	case "mdptage":
+		return mdp.NewMDPTAGE(mdp.DefaultMDPTAGEConfig()), nil
+	case "mdptage-s":
+		return mdp.NewMDPTAGE(mdp.ShortMDPTAGEConfig()), nil
+	case "storevector":
+		return mdp.DefaultStoreVector(), nil
+	case "cht":
+		return mdp.DefaultCHT(), nil
+	case "perceptron-mdp":
+		return mdp.DefaultPerceptronMDP(), nil
+	case "phast-conf":
+		conf, err := argInt(15)
+		if err != nil {
+			return nil, err
+		}
+		if conf < 1 || conf > 255 {
+			return nil, fmt.Errorf("sim: phast-conf out of range: %d", conf)
+		}
+		cfg := core.DefaultConfig()
+		cfg.ConfMax = uint8(conf)
+		return core.New(cfg), nil
+	case "phast-tables":
+		n, err := argInt(8)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		if n < 1 || n > len(cfg.Histories) {
+			return nil, fmt.Errorf("sim: phast-tables out of range: %d", n)
+		}
+		cfg.Histories = cfg.Histories[:n]
+		return core.New(cfg), nil
+	case "ideal":
+		return mdp.NewIdeal(), nil
+	case "none":
+		return mdp.NewNone(), nil
+	case "alwayswait":
+		return mdp.NewAlwaysWait(), nil
+	case "unlimited-phast":
+		maxHist, err := argInt(0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewUnlimitedPHAST(maxHist), nil
+	case "unlimited-nosq":
+		h, err := argInt(8)
+		if err != nil {
+			return nil, err
+		}
+		return mdp.NewUnlimitedNoSQ(h), nil
+	case "unlimited-mdptage":
+		return mdp.NewUnlimitedMDPTAGE(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown predictor spec %q", spec)
+	}
+}
+
+// PredictorNames lists the finite predictors of the paper's headline
+// comparison (Fig. 13–16 order).
+func PredictorNames() []string {
+	return []string{"storesets", "nosq", "mdptage", "mdptage-s", "phast"}
+}
+
+// traceCache keeps the most recently generated streams so sweeping
+// predictors over one app does not regenerate its trace per run.
+var traceCache = struct {
+	sync.Mutex
+	entries map[string]*trace.Trace
+	order   []string
+}{entries: map[string]*trace.Trace{}}
+
+const traceCacheCap = 3
+
+// TraceFor generates (or returns the cached) stream for an app.
+func TraceFor(app string, n int, seed int64) (*trace.Trace, error) {
+	prog, err := workload.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s/%d/%d", app, n, seed)
+	traceCache.Lock()
+	defer traceCache.Unlock()
+	if t, ok := traceCache.entries[key]; ok {
+		return t, nil
+	}
+	t := trace.Generate(prog, n, seed)
+	if len(traceCache.order) >= traceCacheCap {
+		delete(traceCache.entries, traceCache.order[0])
+		traceCache.order = traceCache.order[1:]
+	}
+	traceCache.entries[key] = t
+	traceCache.order = append(traceCache.order, key)
+	return t, nil
+}
+
+// pipelineOptions maps a Config onto core options.
+func pipelineOptions(cfg Config) pipeline.Options {
+	opt := pipeline.DefaultOptions()
+	switch {
+	case cfg.SVWFilter:
+		opt.Filter = pipeline.FilterSVW
+	case cfg.FwdFilterOff:
+		opt.Filter = pipeline.FilterNone
+	}
+	opt.TrainAtDetect = cfg.TrainAtDetect
+	if cfg.BranchPredictor != "" {
+		opt.BranchPredictor = cfg.BranchPredictor
+	}
+	return opt
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*stats.Run, error) {
+	if cfg.Machine == "" {
+		cfg.Machine = "alderlake"
+	}
+	if cfg.Predictor == "" {
+		cfg.Predictor = "phast"
+	}
+	if cfg.Instructions == 0 {
+		cfg.Instructions = DefaultInstructions
+	}
+	machine, err := config.ByName(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := NewPredictor(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := TraceFor(cfg.App, cfg.Instructions, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opt := pipelineOptions(cfg)
+	c, err := pipeline.New(machine, pred, opt)
+	if err != nil {
+		return nil, err
+	}
+	run, err := c.Run(tr)
+	if err != nil {
+		return nil, fmt.Errorf("sim %s/%s/%s: %w", cfg.App, cfg.Machine, cfg.Predictor, err)
+	}
+	run.Predictor = cfg.Predictor
+	return run, nil
+}
+
+// RunCore is like Run but also returns the core, so callers can inspect
+// predictor internals (conflict-length histograms, path counts).
+func RunCore(cfg Config) (*stats.Run, *pipeline.Core, error) {
+	if cfg.Machine == "" {
+		cfg.Machine = "alderlake"
+	}
+	if cfg.Predictor == "" {
+		cfg.Predictor = "phast"
+	}
+	if cfg.Instructions == 0 {
+		cfg.Instructions = DefaultInstructions
+	}
+	machine, err := config.ByName(cfg.Machine)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := NewPredictor(cfg.Predictor)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := TraceFor(cfg.App, cfg.Instructions, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := pipelineOptions(cfg)
+	c, err := pipeline.New(machine, pred, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	run, err := c.Run(tr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim %s/%s/%s: %w", cfg.App, cfg.Machine, cfg.Predictor, err)
+	}
+	run.Predictor = cfg.Predictor
+	return run, c, nil
+}
+
+// GeoIPCOverIdeal runs a predictor and the ideal oracle across apps and
+// returns the geometric-mean IPC ratio (the paper's headline normalisation).
+func GeoIPCOverIdeal(apps []string, predictor string, instructions int) (float64, error) {
+	ratios := make([]float64, 0, len(apps))
+	for _, app := range apps {
+		base := Config{App: app, Predictor: "ideal", Instructions: instructions}
+		idealRun, err := Run(base)
+		if err != nil {
+			return 0, err
+		}
+		base.Predictor = predictor
+		predRun, err := Run(base)
+		if err != nil {
+			return 0, err
+		}
+		ratios = append(ratios, predRun.Speedup(idealRun))
+	}
+	return stats.GeoMean(ratios), nil
+}

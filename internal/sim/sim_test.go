@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewPredictorSpecs(t *testing.T) {
+	specs := map[string]string{
+		"phast":              "phast",
+		"phast:64":           "phast",
+		"storesets":          "storesets",
+		"storesets:4096":     "storesets",
+		"nosq":               "nosq",
+		"nosq:1024":          "nosq",
+		"mdptage":            "mdptage",
+		"mdptage-s":          "mdptage-s",
+		"storevector":        "storevector",
+		"cht":                "cht",
+		"ideal":              "ideal",
+		"none":               "none",
+		"alwayswait":         "alwayswait",
+		"unlimited-phast":    "unlimited-phast",
+		"unlimited-phast:16": "unlimited-phast",
+		"unlimited-nosq:8":   "unlimited-nosq",
+		"unlimited-mdptage":  "unlimited-mdptage",
+	}
+	for spec, wantName := range specs {
+		p, err := NewPredictor(spec)
+		if err != nil {
+			t.Fatalf("NewPredictor(%q): %v", spec, err)
+		}
+		if p.Name() != wantName {
+			t.Errorf("NewPredictor(%q).Name() = %q, want %q", spec, p.Name(), wantName)
+		}
+	}
+	for _, bad := range []string{"", "oracle9000", "phast:abc"} {
+		if _, err := NewPredictor(bad); err == nil {
+			t.Errorf("NewPredictor(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPredictorBudgetSpecsChangeSize(t *testing.T) {
+	small, _ := NewPredictor("phast:32")
+	big, _ := NewPredictor("phast:512")
+	if small.SizeBits() >= big.SizeBits() {
+		t.Error("budget spec should scale storage")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	run, err := Run(Config{App: "519.lbm", Instructions: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Machine != "alderlake" || run.Predictor != "phast" {
+		t.Errorf("defaults: machine=%q predictor=%q", run.Machine, run.Predictor)
+	}
+	if run.Committed != 20000 {
+		t.Errorf("committed %d", run.Committed)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if _, err := Run(Config{App: "666.nonexistent"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown program") {
+		t.Errorf("unknown app error = %v", err)
+	}
+	if _, err := Run(Config{App: "519.lbm", Machine: "vax"}); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if _, err := Run(Config{App: "519.lbm", Predictor: "psychic"}); err == nil {
+		t.Error("unknown predictor should fail")
+	}
+}
+
+func TestTraceCacheReuse(t *testing.T) {
+	a, err := TraceFor("519.lbm", 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TraceFor("519.lbm", 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical requests should hit the trace cache")
+	}
+	c, err := TraceFor("519.lbm", 6000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different lengths must not share a cache entry")
+	}
+}
+
+func TestRunCoreExposesPredictor(t *testing.T) {
+	_, c, err := RunCore(Config{App: "519.lbm", Predictor: "unlimited-phast", Instructions: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Predictor().Name() != "unlimited-phast" {
+		t.Error("RunCore must expose the bound predictor")
+	}
+}
+
+func TestGeoIPCOverIdeal(t *testing.T) {
+	geo, err := GeoIPCOverIdeal([]string{"519.lbm"}, "phast", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo < 0.9 || geo > 1.05 {
+		t.Errorf("lbm PHAST/ideal = %.3f, expected ≈ 1", geo)
+	}
+}
+
+func TestFilterConfigs(t *testing.T) {
+	base := Config{App: "511.povray", Predictor: "none", Instructions: 30000}
+	fwd, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svwCfg := base
+	svwCfg.SVWFilter = true
+	svw, err := Run(svwCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offCfg := base
+	offCfg.FwdFilterOff = true
+	off, err := Run(offCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svw.Committed != fwd.Committed || off.Committed != fwd.Committed {
+		t.Error("all filter modes must commit the full stream")
+	}
+	if off.MemOrderViolations < fwd.MemOrderViolations {
+		t.Error("no filtering should not reduce violations")
+	}
+	if svw.MemOrderViolations == 0 && fwd.MemOrderViolations > 0 {
+		t.Error("SVW should still catch violations")
+	}
+}
+
+func TestTrainAtDetectConfig(t *testing.T) {
+	run, err := Run(Config{App: "511.povray", Predictor: "phast", Instructions: 30000, TrainAtDetect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Committed != 30000 {
+		t.Errorf("committed %d", run.Committed)
+	}
+}
+
+func TestPHASTVariantSpecs(t *testing.T) {
+	for _, spec := range []string{"phast-conf:7", "phast-tables:4", "perceptron-mdp"} {
+		if _, err := NewPredictor(spec); err != nil {
+			t.Errorf("NewPredictor(%q): %v", spec, err)
+		}
+	}
+	for _, bad := range []string{"phast-conf:0", "phast-conf:999", "phast-tables:0", "phast-tables:99"} {
+		if _, err := NewPredictor(bad); err == nil {
+			t.Errorf("NewPredictor(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmoke runs a short simulation per predictor on one app and sanity
+// checks the headline invariants: everything commits, the ideal oracle
+// never squashes or stalls falsely, and speculative predictors do squash.
+func TestSmoke(t *testing.T) {
+	app := "511.povray"
+	for _, pred := range []string{"ideal", "none", "phast", "storesets", "nosq", "mdptage", "mdptage-s", "unlimited-phast"} {
+		start := time.Now()
+		run, err := Run(Config{App: app, Predictor: pred, Instructions: 60000})
+		if err != nil {
+			t.Fatalf("%s: %v", pred, err)
+		}
+		t.Logf("%-16s IPC=%.3f viol=%d (%.3f MPKI) falsedep=%d (%.3f MPKI) fwd=%d truedep=%d brMPKI=%.2f in %v",
+			pred, run.IPC(), run.MemOrderViolations, run.ViolationMPKI(),
+			run.FalseDependencies, run.FalseDepMPKI(), run.Forwards, run.TrueDependencies,
+			run.BranchMPKI(), time.Since(start).Round(time.Millisecond))
+		if run.Committed != 60000 {
+			t.Errorf("%s: committed %d, want 60000", pred, run.Committed)
+		}
+		switch pred {
+		case "ideal":
+			if run.MemOrderViolations != 0 {
+				t.Errorf("ideal: %d violations, want 0", run.MemOrderViolations)
+			}
+			if run.FalseDependencies != 0 {
+				t.Errorf("ideal: %d false dependencies, want 0", run.FalseDependencies)
+			}
+		case "none":
+			if run.MemOrderViolations == 0 {
+				t.Errorf("none: expected violations on a conflict-heavy app")
+			}
+		}
+	}
+}

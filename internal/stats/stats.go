@@ -1,0 +1,301 @@
+// Package stats provides the measurement plumbing shared by every
+// experiment: per-run counter sets, derived metrics (IPC, MPKI, speedup),
+// aggregation across a suite (arithmetic and geometric means), histograms,
+// and plain-text table rendering for the figure/table reproductions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Run holds the raw counters produced by one simulation.
+type Run struct {
+	App       string // workload name
+	Predictor string // MDP name
+	Machine   string // machine configuration name
+
+	Cycles    uint64 // elapsed cycles
+	Committed uint64 // committed (retired) micro-ops
+	Fetched   uint64 // fetched micro-ops, including squashed re-fetches
+
+	Loads  uint64 // committed loads
+	Stores uint64 // committed stores
+
+	// Memory dependence prediction outcomes.
+	MemOrderViolations uint64 // false negatives: loads squashed at commit
+	FalseDependencies  uint64 // false positives: loads stalled with no real dependence
+	TrueDependencies   uint64 // loads that correctly waited and forwarded
+	Forwards           uint64 // committed loads fed by store-to-load forwarding
+
+	// Branch prediction outcomes.
+	Branches          uint64
+	BranchMispredicts uint64
+
+	// Predictor table traffic (for the energy model).
+	PredictorReads  uint64
+	PredictorWrites uint64
+
+	// Path tracking (unlimited predictors).
+	PathsTracked uint64
+
+	// Cache behaviour.
+	L1DHits, L1DMisses uint64
+	L2Hits, L2Misses   uint64
+	L3Hits, L3Misses   uint64
+
+	// Squash accounting.
+	SquashedUops uint64 // micro-ops discarded by all squashes
+
+	// Occupancy accounting (sampled every cycle).
+	ROBOccupancySum uint64 // sum of in-flight micro-ops per cycle
+	SQOccupancySum  uint64 // sum of in-flight stores per cycle
+	IssuedUops      uint64 // micro-ops issued (≥ committed with squashes)
+}
+
+// AvgROBOccupancy returns the mean reorder-buffer occupancy.
+func (r *Run) AvgROBOccupancy() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.ROBOccupancySum) / float64(r.Cycles)
+}
+
+// AvgSQOccupancy returns the mean store-queue occupancy.
+func (r *Run) AvgSQOccupancy() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SQOccupancySum) / float64(r.Cycles)
+}
+
+// IPC returns committed instructions per cycle.
+func (r *Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// MPKI returns events per kilo committed instruction.
+func (r *Run) MPKI(events uint64) float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(events) * 1000 / float64(r.Committed)
+}
+
+// ViolationMPKI is the false-negative MPKI (memory order violations).
+func (r *Run) ViolationMPKI() float64 { return r.MPKI(r.MemOrderViolations) }
+
+// FalseDepMPKI is the false-positive MPKI (unnecessary load stalls).
+func (r *Run) FalseDepMPKI() float64 { return r.MPKI(r.FalseDependencies) }
+
+// TotalMDPMPKI is the combined memory dependence misprediction MPKI.
+func (r *Run) TotalMDPMPKI() float64 {
+	return r.MPKI(r.MemOrderViolations + r.FalseDependencies)
+}
+
+// BranchMPKI is the branch misprediction MPKI.
+func (r *Run) BranchMPKI() float64 { return r.MPKI(r.BranchMispredicts) }
+
+// Speedup returns the relative IPC of r over base, as a ratio (1.0 = equal).
+func (r *Run) Speedup(base *Run) float64 {
+	b := base.IPC()
+	if b == 0 {
+		return 0
+	}
+	return r.IPC() / b
+}
+
+// GeoMean returns the geometric mean of strictly positive values; zero and
+// negative inputs are skipped (they would otherwise collapse the mean).
+func GeoMean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Histogram is a fixed-bucket integer histogram (used e.g. for the
+// conflicts-per-history-length distribution of Fig. 10).
+type Histogram struct {
+	Buckets  []uint64
+	Overflow uint64
+}
+
+// NewHistogram returns a histogram with n buckets for values 0..n-1.
+func NewHistogram(n int) *Histogram { return &Histogram{Buckets: make([]uint64, n)} }
+
+// Add records one occurrence of v.
+func (h *Histogram) Add(v int) {
+	if v >= 0 && v < len(h.Buckets) {
+		h.Buckets[v]++
+		return
+	}
+	h.Overflow++
+}
+
+// Total returns the number of recorded values, including overflow.
+func (h *Histogram) Total() uint64 {
+	t := h.Overflow
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Fraction returns bucket v's share of all recorded values.
+func (h *Histogram) Fraction(v int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	if v < 0 || v >= len(h.Buckets) {
+		return float64(h.Overflow) / float64(t)
+	}
+	return float64(h.Buckets[v]) / float64(t)
+}
+
+// Table renders aligned plain-text tables, the output format of every
+// experiment binary and benchmark in this repository.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row formatting each value with the given verb spec:
+// strings pass through, float64 uses %.3f, integers use %d.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		case uint64:
+			row = append(row, fmt.Sprintf("%d", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (label, value) points — one figure line.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(label string, v float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, v)
+}
+
+// Geo returns the geometric mean of the series values.
+func (s *Series) Geo() float64 { return GeoMean(s.Values) }
+
+// String renders "name: label=value ..." on one line per point.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", s.Name)
+	for i := range s.Labels {
+		fmt.Fprintf(&b, "  %-18s %.4f\n", s.Labels[i], s.Values[i])
+	}
+	return b.String()
+}
+
+// SortedKeys returns the sorted keys of a string-keyed map of float64,
+// a convenience for deterministic experiment output.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunDerivedMetrics(t *testing.T) {
+	r := Run{
+		Cycles: 1000, Committed: 2000,
+		MemOrderViolations: 4, FalseDependencies: 6,
+		Branches: 100, BranchMispredicts: 10,
+	}
+	if got := r.IPC(); got != 2.0 {
+		t.Errorf("IPC = %f, want 2", got)
+	}
+	if got := r.ViolationMPKI(); got != 2.0 {
+		t.Errorf("ViolationMPKI = %f, want 2", got)
+	}
+	if got := r.FalseDepMPKI(); got != 3.0 {
+		t.Errorf("FalseDepMPKI = %f, want 3", got)
+	}
+	if got := r.TotalMDPMPKI(); got != 5.0 {
+		t.Errorf("TotalMDPMPKI = %f, want 5", got)
+	}
+	if got := r.BranchMPKI(); got != 5.0 {
+		t.Errorf("BranchMPKI = %f, want 5", got)
+	}
+}
+
+func TestRunZeroSafe(t *testing.T) {
+	var r Run
+	if r.IPC() != 0 || r.ViolationMPKI() != 0 || r.Speedup(&Run{}) != 0 {
+		t.Error("zero-valued run must not divide by zero")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	a := Run{Cycles: 100, Committed: 300}
+	b := Run{Cycles: 100, Committed: 200}
+	if got := a.Speedup(&b); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Speedup = %f, want 1.5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %f, want 4", got)
+	}
+	if got := GeoMean([]float64{1, 0, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean should skip zeros, got %f", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(vals []float64) bool {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		any := false
+		for i := range vals {
+			v := math.Abs(vals[i])
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			// Keep inputs in a physically meaningful range (IPC ratios,
+			// MPKIs): exp/log round-trips lose the bound near MaxFloat64.
+			v = math.Mod(v, 1e6)
+			vals[i] = v
+			if v > 0 {
+				any = true
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		g := GeoMean(vals)
+		if !any {
+			return g == 0
+		}
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %f, want 2", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 1, 3, 9, -1} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if h.Buckets[1] != 2 || h.Overflow != 2 {
+		t.Errorf("buckets = %v overflow = %d", h.Buckets, h.Overflow)
+	}
+	if got := h.Fraction(1); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("Fraction(1) = %f", got)
+	}
+	if got := h.Fraction(100); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("Fraction(out of range) should report overflow share, got %f", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRowf("beta", 2.5)
+	tbl.AddRowf("gamma", 7, "extra-dropped")
+	out := tbl.String()
+	for _, want := range []string{"demo", "name", "alpha", "2.500", "gamma", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "extra-dropped") {
+		t.Error("cells beyond the header width must be dropped")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Errorf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "ipc"
+	s.Add("a", 1)
+	s.Add("b", 4)
+	if got := s.Geo(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Series.Geo = %f, want 2", got)
+	}
+	if out := s.String(); !strings.Contains(out, "ipc") || !strings.Contains(out, "a") {
+		t.Errorf("series rendering: %q", out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v", got)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"math"
+	"sort"
+)
+
+// SimPoint-like interval selection (Perelman et al., used by the paper to
+// pick representative 100M-instruction intervals per app/input). A stream is
+// cut into fixed-size intervals, each summarised by its basic-block-style
+// PC-frequency vector; k-medoids clustering over those vectors picks the
+// representative intervals and their weights.
+
+// Interval is one selected representative slice of a stream.
+type Interval struct {
+	Start, End int     // [Start, End) into Trace.Insts
+	Weight     float64 // fraction of intervals this one represents
+}
+
+// bbVector is a sparse PC-frequency signature of an interval.
+type bbVector map[uint64]float64
+
+func signature(insts []int, pcs []uint64) bbVector {
+	_ = insts
+	v := bbVector{}
+	for _, pc := range pcs {
+		v[pc]++
+	}
+	// L1 normalise so interval length does not dominate distance.
+	total := 0.0
+	for _, c := range v {
+		total += c
+	}
+	if total > 0 {
+		for k := range v {
+			v[k] /= total
+		}
+	}
+	return v
+}
+
+func manhattan(a, b bbVector) float64 {
+	d := 0.0
+	for k, va := range a {
+		d += math.Abs(va - b[k])
+	}
+	for k, vb := range b {
+		if _, seen := a[k]; !seen {
+			d += vb
+		}
+	}
+	return d
+}
+
+// SelectIntervals cuts the stream into intervals of intervalLen micro-ops
+// and returns up to k representative intervals with weights summing to 1.
+// Deterministic: medoid initialisation is by farthest-point traversal from
+// interval 0.
+func (t *Trace) SelectIntervals(intervalLen, k int) []Interval {
+	if intervalLen <= 0 || len(t.Insts) == 0 {
+		return nil
+	}
+	n := len(t.Insts) / intervalLen
+	if n == 0 {
+		return []Interval{{Start: 0, End: len(t.Insts), Weight: 1}}
+	}
+	if k > n {
+		k = n
+	}
+	sigs := make([]bbVector, n)
+	for i := 0; i < n; i++ {
+		start := i * intervalLen
+		pcs := make([]uint64, 0, intervalLen)
+		for j := start; j < start+intervalLen; j++ {
+			pcs = append(pcs, t.Insts[j].PC)
+		}
+		sigs[i] = signature(nil, pcs)
+	}
+	// Farthest-point initialisation.
+	medoids := []int{0}
+	for len(medoids) < k {
+		bestIdx, bestDist := -1, -1.0
+		for i := 0; i < n; i++ {
+			d := math.MaxFloat64
+			for _, m := range medoids {
+				if dm := manhattan(sigs[i], sigs[m]); dm < d {
+					d = dm
+				}
+			}
+			if d > bestDist {
+				bestDist, bestIdx = d, i
+			}
+		}
+		if bestDist == 0 {
+			break // all remaining intervals identical to a medoid
+		}
+		medoids = append(medoids, bestIdx)
+	}
+	// Assign intervals to nearest medoid.
+	counts := make([]int, len(medoids))
+	for i := 0; i < n; i++ {
+		best, bestD := 0, math.MaxFloat64
+		for mi, m := range medoids {
+			if d := manhattan(sigs[i], sigs[m]); d < bestD {
+				bestD, best = d, mi
+			}
+		}
+		counts[best]++
+	}
+	out := make([]Interval, 0, len(medoids))
+	for mi, m := range medoids {
+		if counts[mi] == 0 {
+			continue
+		}
+		out = append(out, Interval{
+			Start:  m * intervalLen,
+			End:    (m + 1) * intervalLen,
+			Weight: float64(counts[mi]) / float64(n),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Slice returns a sub-trace covering the interval.
+func (t *Trace) Slice(iv Interval) *Trace {
+	return &Trace{Name: t.Name, Insts: t.Insts[iv.Start:iv.End]}
+}

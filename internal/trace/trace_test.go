@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+func testTrace(t *testing.T, app string, n int) *Trace {
+	t.Helper()
+	p, err := workload.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Generate(p, n, 0)
+}
+
+func TestMixSumsToTotal(t *testing.T) {
+	tr := testTrace(t, "511.povray", 10000)
+	m := tr.MixOf()
+	if m.Total != 10000 {
+		t.Fatalf("total = %d", m.Total)
+	}
+	if m.Loads+m.Stores+m.Branches+m.ALU+m.Nops != m.Total {
+		t.Error("mix categories must partition the stream")
+	}
+	if m.Divergent > m.Branches {
+		t.Error("divergent branches cannot exceed branches")
+	}
+	if m.String() == "" {
+		t.Error("empty mix rendering")
+	}
+}
+
+func TestCodecRoundTripSuite(t *testing.T) {
+	tr := testTrace(t, "502.gcc_1", 5000)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || len(got.Insts) != len(tr.Insts) {
+		t.Fatalf("decoded %s/%d, want %s/%d", got.Name, len(got.Insts), tr.Name, len(tr.Insts))
+	}
+	for i := range tr.Insts {
+		if got.Insts[i] != tr.Insts[i] {
+			t.Fatalf("inst %d: %v != %v", i, got.Insts[i], tr.Insts[i])
+		}
+	}
+}
+
+// TestCodecRoundTripRandom: property-based round trip over synthetic insts.
+func TestCodecRoundTripRandom(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{Name: "prop"}
+		for i := 0; i < int(n); i++ {
+			in := isa.Inst{
+				PC:   rng.Uint64() >> 16,
+				Kind: isa.Kind(rng.Intn(5)),
+			}
+			switch in.Kind {
+			case isa.ALU:
+				in.Dst = isa.Reg(rng.Intn(64))
+				in.SrcA = isa.Reg(rng.Intn(64))
+				in.SrcB = isa.Reg(rng.Intn(64))
+				in.Lat = uint8(1 + rng.Intn(20))
+			case isa.Load, isa.Store:
+				in.Addr = rng.Uint64() >> 8
+				in.Size = uint8(1 + rng.Intn(16))
+				in.SrcA = isa.Reg(rng.Intn(64))
+			case isa.Branch:
+				in.Class = isa.BranchClass(1 + rng.Intn(6))
+				in.Taken = rng.Intn(2) == 0
+				in.Target = rng.Uint64() >> 16
+			}
+			tr.Insts = append(tr.Insts, in)
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil || len(got.Insts) != len(tr.Insts) {
+			return false
+		}
+		return reflect.DeepEqual(append([]isa.Inst{}, got.Insts...), append([]isa.Inst{}, tr.Insts...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := Decode(bytes.NewReader([]byte{'M', 'D', 'P', 'T', 99})); err == nil {
+		t.Error("bad version should fail")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestMultiStoreAnalysisCrafted(t *testing.T) {
+	tr := &Trace{Insts: []isa.Inst{
+		{Kind: isa.Store, Addr: 100, Size: 4, SrcA: 5},
+		{Kind: isa.Store, Addr: 104, Size: 4, SrcA: 5},
+		{Kind: isa.Load, Addr: 100, Size: 8}, // needs both stores
+		{Kind: isa.Store, Addr: 200, Size: 8, SrcA: 3},
+		{Kind: isa.Load, Addr: 200, Size: 8}, // single provider
+		{Kind: isa.Load, Addr: 999, Size: 8}, // no provider
+	}}
+	ms := tr.AnalyzeMultiStore(16)
+	if ms.Loads != 3 {
+		t.Errorf("loads = %d, want 3", ms.Loads)
+	}
+	if ms.MultiDepLoads != 1 {
+		t.Errorf("multi-dep loads = %d, want 1", ms.MultiDepLoads)
+	}
+	if ms.InOrderProvider != 1 {
+		t.Errorf("in-order providers = %d, want 1 (shared base register)", ms.InOrderProvider)
+	}
+	if ms.MultiFrac() == 0 || ms.InOrderFrac() != 1 {
+		t.Error("fraction accessors wrong")
+	}
+}
+
+func TestMultiStoreWindowEviction(t *testing.T) {
+	// The window holds 1 store: the older store must be forgotten.
+	tr := &Trace{Insts: []isa.Inst{
+		{Kind: isa.Store, Addr: 100, Size: 4, SrcA: 5},
+		{Kind: isa.Store, Addr: 104, Size: 4, SrcA: 5},
+		{Kind: isa.Load, Addr: 100, Size: 8},
+	}}
+	ms := tr.AnalyzeMultiStore(1)
+	if ms.MultiDepLoads != 0 {
+		t.Error("window of 1 cannot produce multi-store loads")
+	}
+}
+
+func TestBwavesHasHighestMultiStoreFraction(t *testing.T) {
+	bwaves := testTrace(t, "503.bwaves", 30000).AnalyzeMultiStore(114)
+	lbm := testTrace(t, "519.lbm", 30000).AnalyzeMultiStoreWindowDefault()
+	if bwaves.MultiFrac() == 0 {
+		t.Error("bwaves should have multi-store dependent loads (paper Fig. 4)")
+	}
+	if lbm.MultiFrac() >= bwaves.MultiFrac() {
+		t.Errorf("lbm multi-store fraction %.4f should be below bwaves %.4f",
+			lbm.MultiFrac(), bwaves.MultiFrac())
+	}
+	if bwaves.InOrderFrac() < 0.5 {
+		t.Errorf("bwaves multi-store providers should be mostly in order, got %.2f", bwaves.InOrderFrac())
+	}
+}
+
+func TestSelectIntervals(t *testing.T) {
+	tr := testTrace(t, "500.perlbench_1", 40000)
+	ivs := tr.SelectIntervals(5000, 3)
+	if len(ivs) == 0 || len(ivs) > 3 {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	sum := 0.0
+	for _, iv := range ivs {
+		if iv.End-iv.Start != 5000 {
+			t.Errorf("interval [%d,%d) has wrong length", iv.Start, iv.End)
+		}
+		sum += iv.Weight
+		sub := tr.Slice(iv)
+		if sub.Len() != 5000 {
+			t.Errorf("Slice length = %d", sub.Len())
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weights sum to %f, want 1", sum)
+	}
+}
+
+func TestSelectIntervalsDegenerate(t *testing.T) {
+	tr := &Trace{Insts: make([]isa.Inst, 100)}
+	ivs := tr.SelectIntervals(1000, 4) // fewer insts than one interval
+	if len(ivs) != 1 || ivs[0].Weight != 1 {
+		t.Errorf("degenerate selection = %+v", ivs)
+	}
+	if got := tr.SelectIntervals(0, 4); got != nil {
+		t.Error("zero interval length should return nil")
+	}
+}
+
+// AnalyzeMultiStoreWindowDefault is a tiny helper for the test above.
+func (t *Trace) AnalyzeMultiStoreWindowDefault() MultiStore { return t.AnalyzeMultiStore(114) }

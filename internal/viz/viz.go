@@ -1,0 +1,153 @@
+// Package viz renders plain-text charts for the experiment outputs: the
+// figure series print both as tables (for grepping and EXPERIMENTS.md) and
+// as horizontal bar charts (to eyeball the shapes the paper's figures show).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart. Values may be any non-negative
+// range; bars scale to width characters. A baseline (e.g. 1.0 for
+// IPC-versus-ideal charts) draws a marker at its position when it falls
+// inside the plotted range.
+type BarChart struct {
+	Title    string
+	Bars     []Bar
+	Width    int     // bar area width in characters (default 50)
+	Baseline float64 // 0 disables the marker
+	// Min and Max clamp the plotted range; both zero = auto from the data.
+	Min, Max float64
+	// Format renders the numeric value next to the bar (default %.3f).
+	Format string
+}
+
+// Add appends a bar.
+func (c *BarChart) Add(label string, v float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: v})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	if len(c.Bars) == 0 {
+		return c.Title + " (no data)\n"
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	format := c.Format
+	if format == "" {
+		format = "%.3f"
+	}
+	lo, hi := c.Min, c.Max
+	if lo == 0 && hi == 0 {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, b := range c.Bars {
+			lo = math.Min(lo, b.Value)
+			hi = math.Max(hi, b.Value)
+		}
+		if c.Baseline != 0 {
+			lo = math.Min(lo, c.Baseline)
+			hi = math.Max(hi, c.Baseline)
+		}
+		lo = math.Min(lo, 0) // bars grow from zero unless clamped explicitly
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	pos := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return int(f * float64(width))
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	basePos := -1
+	if c.Baseline != 0 && c.Baseline >= lo && c.Baseline <= hi {
+		basePos = pos(c.Baseline)
+	}
+	for _, b := range c.Bars {
+		n := pos(b.Value)
+		row := make([]byte, width)
+		for i := range row {
+			switch {
+			case i < n:
+				row[i] = '#'
+			case i == basePos:
+				row[i] = '|'
+			default:
+				row[i] = ' '
+			}
+		}
+		if basePos >= 0 && basePos < n {
+			row[basePos] = '|'
+		}
+		fmt.Fprintf(&sb, "%-*s %s "+format+"\n", labelW, b.Label, string(row), b.Value)
+	}
+	return sb.String()
+}
+
+// Scatter renders an x/y series as rows of "x → bar(y)" — enough to eyeball
+// the performance-versus-storage trade-off curves of Fig. 13.
+type Scatter struct {
+	Title  string
+	XLabel string
+	Points []Point
+	Width  int
+}
+
+// Point is one (x, y) sample with an owning series name.
+type Point struct {
+	Series string
+	X, Y   float64
+}
+
+// Add appends a point.
+func (s *Scatter) Add(series string, x, y float64) {
+	s.Points = append(s.Points, Point{Series: series, X: x, Y: y})
+}
+
+// String renders the scatter as per-series bar rows sorted as inserted.
+func (s *Scatter) String() string {
+	if len(s.Points) == 0 {
+		return s.Title + " (no data)\n"
+	}
+	c := BarChart{Title: s.Title, Width: s.Width}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		lo = math.Min(lo, p.Y)
+		hi = math.Max(hi, p.Y)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	c.Min, c.Max = lo-span*0.1, hi+span*0.05
+	for _, p := range s.Points {
+		c.Add(fmt.Sprintf("%s @ %.1f%s", p.Series, p.X, s.XLabel), p.Y)
+	}
+	return c.String()
+}

@@ -1,0 +1,69 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	c := BarChart{Title: "demo", Width: 20}
+	c.Add("a", 1)
+	c.Add("bb", 2)
+	out := c.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bb") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected title + 2 bars, got %d lines", len(lines))
+	}
+	// The larger value must render a longer bar.
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Errorf("bar lengths not ordered:\n%s", out)
+	}
+}
+
+func TestBarChartBaselineMarker(t *testing.T) {
+	c := BarChart{Width: 40, Baseline: 1.0, Min: 0.9, Max: 1.02}
+	c.Add("phast", 0.99)
+	out := c.String()
+	if !strings.Contains(out, "|") {
+		t.Errorf("baseline marker missing:\n%s", out)
+	}
+}
+
+func TestBarChartEmptyAndDegenerate(t *testing.T) {
+	c := BarChart{Title: "empty"}
+	if out := c.String(); !strings.Contains(out, "no data") {
+		t.Error("empty chart should say so")
+	}
+	c2 := BarChart{Width: 10}
+	c2.Add("x", 0)
+	if out := c2.String(); out == "" {
+		t.Error("degenerate chart should still render")
+	}
+}
+
+func TestBarChartClamping(t *testing.T) {
+	c := BarChart{Width: 10, Min: 0, Max: 1}
+	c.Add("over", 5) // beyond Max: clamps to full width, must not panic
+	out := c.String()
+	if strings.Count(out, "#") != 10 {
+		t.Errorf("clamped bar should fill the width:\n%s", out)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	s := Scatter{Title: "perf vs storage", XLabel: "KB", Width: 30}
+	s.Add("phast", 14.5, 0.99)
+	s.Add("nosq", 19, 0.97)
+	out := s.String()
+	for _, want := range []string{"phast @ 14.5KB", "nosq @ 19.0KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if out := (&Scatter{Title: "t"}).String(); !strings.Contains(out, "no data") {
+		t.Error("empty scatter should say so")
+	}
+}

@@ -1,0 +1,488 @@
+package workload
+
+import "repro/internal/isa"
+
+// This file contains the dependence and control-flow motifs the suite
+// programs are composed from. Each motif is a faithful miniature of a
+// behaviour the paper attributes to specific SPEC CPU 2017 applications:
+//
+//   - spillFill:      stack spill/fill around calls (short store distances,
+//                     call-site-dependent paths) — perlbench, gcc, deepsjeng.
+//   - loopCarried:    store a[i] … load a[i-lag] with several in-flight
+//                     instances of the same store PC — the perlbench_3
+//                     StoreSets pathology.
+//   - pathDep:        the generalised Fig. 5 scenario — the store distance
+//                     is an exact function of the divergent path between the
+//                     store and the load (plus the branch before the store).
+//   - dispatch:       one load conflicting with stores on the far side of
+//                     an indirect branch — the povray case (§III-C).
+//   - byteMerge:      n narrow stores under one wide load — x264/bwaves
+//                     multi-store dependences (Fig. 3/Fig. 4).
+//   - dataDep:        conflicts correlated with data, not path — the
+//                     leela/parest false-positive generator (§VI-A).
+//   - chase:          pointer chasing (mcf/omnetpp latency structure).
+//   - stencil:        FP-style streaming compute with no conflicts.
+//   - filler:         background mix keeping load/store/branch ratios
+//                     realistic.
+//
+// Control flow is driven by *periodic schedules with a small noise rate*
+// (the pattern type), not by IID coin flips: real programs re-walk the same
+// paths, which is both what makes them branch-predictable and what PHAST's
+// "if the exact path repeats, the dependence repeats" observation relies
+// on. The schedule period sets an app's path diversity; the noise rate sets
+// its irreducible misprediction floor.
+
+// Scratch register conventions used by all motifs.
+const (
+	rZ    isa.Reg = 0 // always-ready zero register
+	rT1   isa.Reg = 1
+	rT2   isa.Reg = 2
+	rT3   isa.Reg = 3
+	rT4   isa.Reg = 4
+	rAddr isa.Reg = 5 // late-resolving address register
+	rData isa.Reg = 6
+	rIdx  isa.Reg = 7
+	rPtr  isa.Reg = 8
+	rAcc  isa.Reg = 9
+	rCond isa.Reg = 10
+)
+
+// pattern yields values in [0, n) following a fixed periodic schedule with
+// an occasional random deviation. Periodicity makes the stream predictable
+// for history-based branch predictors while still exercising n distinct
+// outcomes; noise models data-dependent departures from the hot paths.
+type pattern struct {
+	sched []int
+	pos   int
+	n     int
+	noise float64
+	rng   *RNG
+
+	// Phase behaviour: after phaseLen draws the schedule re-randomises,
+	// modelling program phases in which the hot paths (and with them the
+	// live store→load dependences) change. Phases are what separates
+	// predictors that forget quickly (PHAST's confidence counters, NoSQ's
+	// halving) from ones that hold stale entries (MDP-TAGE's 1/256 reset,
+	// Store Sets between periodic clears). 0 = stationary.
+	phaseLen int
+	draws    int
+}
+
+// newPattern builds a stationary schedule of the given period over [0, n).
+func newPattern(rng *RNG, n, period int, noise float64) *pattern {
+	return newPhasedPattern(rng, n, period, noise, 0)
+}
+
+// newPhasedPattern builds a schedule that re-randomises every phaseLen
+// draws (0 = never).
+func newPhasedPattern(rng *RNG, n, period int, noise float64, phaseLen int) *pattern {
+	if period < 1 {
+		period = 1
+	}
+	p := &pattern{
+		sched: make([]int, period), n: n, noise: noise,
+		rng: rng.Fork(), phaseLen: phaseLen,
+	}
+	p.reroll()
+	return p
+}
+
+func (p *pattern) reroll() {
+	for i := range p.sched {
+		p.sched[i] = p.rng.Intn(p.n)
+	}
+}
+
+func (p *pattern) next() int {
+	if p.phaseLen > 0 {
+		p.draws++
+		if p.draws%p.phaseLen == 0 {
+			p.reroll()
+		}
+	}
+	v := p.sched[p.pos]
+	p.pos++
+	if p.pos == len(p.sched) {
+		p.pos = 0
+	}
+	if p.noise > 0 && p.rng.Bool(p.noise) {
+		v = p.rng.Intn(p.n)
+	}
+	return v
+}
+
+// pathWeight is the number of stores the taken path of ladder step j
+// contributes: front-loaded, like real nested control flow.
+func pathWeight(j int) int {
+	switch {
+	case j == 0:
+		return 4
+	case j == 1:
+		return 3
+	case j <= 3:
+		return 2
+	case j <= 7:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// aluChain emits n dependent ALU ops of the given latency, leaving the
+// result in dst. It is the standard way to delay a register's readiness.
+func aluChain(e *Emitter, pc uint64, dst, src isa.Reg, n, lat int) {
+	cur := src
+	for i := 0; i < n; i++ {
+		e.ALU(pc+uint64(i)*4, dst, cur, rZ, lat)
+		cur = dst
+	}
+}
+
+// spillFill models a call frame: the caller stores args into the frame, the
+// callee loads them back after some compute. The store address register
+// resolves late (latency cycles of chained ALU), opening the unresolved-
+// store window a predictor must cover. Distances are small and exact.
+type spillFill struct {
+	pcBase                    uint64
+	slots, latency, computeOp int
+}
+
+func newSpillFill(pcBase uint64, slots, latency, computeOps int) *spillFill {
+	return &spillFill{pcBase: pcBase, slots: slots, latency: latency, computeOp: computeOps}
+}
+
+func (m *spillFill) emit(e *Emitter) {
+	frame := e.PushFrame(m.slots * 8)
+	aluChain(e, m.pcBase, rAddr, rZ, 1, m.latency) // frame pointer resolves late
+	for s := 0; s < m.slots; s++ {
+		e.Store(m.pcBase+0x10+uint64(s)*4, rAddr, rAcc, frame+uint64(s)*8, 8)
+	}
+	e.Call(m.pcBase+0x40, m.pcBase+0x100)
+	aluChain(e, m.pcBase+0x100, rAcc, rAcc, m.computeOp, 1)
+	for s := 0; s < m.slots; s++ {
+		e.Load(m.pcBase+0x140+uint64(s)*4, rT1, rZ, frame+uint64(s)*8, 8)
+		e.ALU(m.pcBase+0x160+uint64(s)*4, rAcc, rAcc, rT1, 1)
+	}
+	e.Ret(m.pcBase + 0x180)
+	e.PopFrame(m.slots * 8)
+}
+
+// loopCarried emits iters iterations of: store a[i]; compute; load a[i-lag].
+// The same store PC has several instances in flight, but the load depends on
+// exactly one at a fixed store distance — distance predictors learn it with
+// no history, while set-based predictors (Store Sets) serialise all
+// instances. The loop back-edge is perfectly predictable.
+type loopCarried struct {
+	pcBase, array            uint64
+	iters, lag, addrLat, str int
+	iter                     uint64 // rolling base so addresses stream
+}
+
+func newLoopCarried(pcBase, array uint64, iters, lag, addrLat, stride int) *loopCarried {
+	if stride == 0 {
+		stride = 8
+	}
+	return &loopCarried{pcBase: pcBase, array: array, iters: iters, lag: lag, addrLat: addrLat, str: stride}
+}
+
+func (m *loopCarried) emit(e *Emitter) {
+	const window = 4096
+	for i := 0; i < m.iters; i++ {
+		slot := (m.iter + uint64(i)) % window
+		aluChain(e, m.pcBase, rAddr, rZ, 1, m.addrLat)
+		e.Store(m.pcBase+0x10, rAddr, rT1, m.array+slot*uint64(m.str), 8)
+		e.ALU(m.pcBase+0x14, rT2, rT2, rZ, 1)
+		if int(m.iter)+i >= m.lag {
+			back := (m.iter + uint64(i) + window - uint64(m.lag)) % window
+			e.Load(m.pcBase+0x20, rT1, rZ, m.array+back*uint64(m.str), 8)
+			e.ALU(m.pcBase+0x24, rAcc, rAcc, rT1, 1)
+		}
+		e.Cond(m.pcBase+0x30, rIdx, i+1 < m.iters, m.pcBase)
+	}
+	m.iter += uint64(m.iters)
+}
+
+// pathDep is the generalised Fig. 5 motif. A divergent indirect branch
+// first selects which of nPaths store sites executes (the "+1" branch — the
+// branch previous to the conflicting store). Then k conditional branches
+// follow, each inserting one extra store on its taken path, so the final
+// load's store distance is exactly the popcount of the path mask: a pure
+// function of the (k+1)-branch path. Path masks follow a periodic schedule
+// of `period` distinct paths with the given noise.
+type pathDep struct {
+	pcBase, region uint64
+	nPaths, k      int
+	storeLat       int
+	which          *pattern
+	mask           *pattern
+}
+
+func newPathDep(rng *RNG, pcBase, region uint64, nPaths, k, period int, noise float64, storeLat, phaseLen int) *pathDep {
+	nMasks := 1 << k
+	if k > 16 {
+		nMasks = 1 << 16
+	}
+	return &pathDep{
+		pcBase: pcBase, region: region, nPaths: nPaths, k: k, storeLat: storeLat,
+		which: newPhasedPattern(rng, nPaths, period, noise, phaseLen),
+		mask:  newPhasedPattern(rng, nMasks, period, noise, phaseLen),
+	}
+}
+
+func (m *pathDep) emit(e *Emitter) {
+	which := m.which.next()
+	mask := m.mask.next()
+	slot := m.region + uint64(which)*64
+	// Slow-address initialisation store to the slot (the Fig. 3(c) older
+	// store; see the dispatch motif).
+	e.ALU(m.pcBase-0x10, rT4, rZ, rZ, 24)
+	e.Store(m.pcBase-0x8, rT4, rData, slot, 8)
+	// The branch previous to the store: an indirect jump to the site.
+	e.IndJmp(m.pcBase, rCond, m.pcBase+0x100+uint64(which)*0x40)
+	aluChain(e, m.pcBase+0x100+uint64(which)*0x40, rAddr, rZ, 1, m.storeLat)
+	e.Store(m.pcBase+0x110+uint64(which)*0x40, rAddr, rAcc, slot, 8)
+	e.Jmp(m.pcBase+0x114+uint64(which)*0x40, m.pcBase+0x800)
+	// k divergent branches between the store and the load, with a little
+	// compute between them as real basic blocks have. Early branches guard
+	// large store blocks and later ones small details (pathWeights), the way
+	// real control flow nests: a short history suffix therefore reveals
+	// little about the final store distance, while the full path determines
+	// it exactly — the property PHAST's length selection exploits.
+	for j := 0; j < m.k; j++ {
+		pc := m.pcBase + 0x800 + uint64(j)*0x40
+		taken := mask&(1<<uint(j%16)) != 0
+		e.ALU(pc-4, rT2, rT2, rCond, 1)
+		e.Cond(pc, rCond, taken, pc+0x10)
+		if taken {
+			for w := 0; w < pathWeight(j); w++ {
+				e.Store(pc+0x10+uint64(w)*4, rZ, rData, m.region+0x4000+uint64(j)*256+uint64(w)*64, 8)
+			}
+		}
+	}
+	e.Load(m.pcBase+0xc00, rT1, rZ, slot, 8)
+	e.ALU(m.pcBase+0xc04, rAcc, rAcc, rT1, 1)
+}
+
+// dispatch is the povray case: an indirect call selects one of nHandlers
+// handlers; each handler stores to a shared slot; the common post-dispatch
+// code loads the slot. The load conflicts with a different store PC per
+// path, separated from the load by a single indirect branch — PHAST learns
+// each with a 2-branch history, one violation per store.
+type dispatch struct {
+	pcBase, slot         uint64
+	handlerOps, storeLat int
+	which                *pattern
+}
+
+func newDispatch(rng *RNG, pcBase, slot uint64, nHandlers, period int, noise float64, handlerOps, storeLat, phaseLen int) *dispatch {
+	return &dispatch{
+		pcBase: pcBase, slot: slot, handlerOps: handlerOps, storeLat: storeLat,
+		which: newPhasedPattern(rng, nHandlers, period, noise, phaseLen),
+	}
+}
+
+func (m *dispatch) emit(e *Emitter) {
+	h := m.which.next()
+	hpc := m.pcBase + 0x1000 + uint64(h)*0x100
+	// Initialisation store to the slot with a much slower address chain
+	// than the handler's: the handler store forwards to the load while this
+	// older store is still unresolved — the paper's Fig. 3(c) scenario the
+	// §IV-A1 forwarding filter exists for (without the filter, the late
+	// resolution squashes the correctly-forwarded load).
+	e.ALU(m.pcBase-0x10, rT4, rZ, rZ, 24)
+	e.Store(m.pcBase-0x8, rT4, rData, m.slot, 8)
+	e.IndCall(m.pcBase, rPtr, hpc)
+	aluChain(e, hpc, rAddr, rZ, 1, m.storeLat)
+	e.Store(hpc+0x20, rAddr, rAcc, m.slot, 8)
+	aluChain(e, hpc+0x30, rAcc, rAcc, m.handlerOps, 1)
+	e.Ret(hpc + 0x80)
+	e.Load(m.pcBase+0x8, rT1, rZ, m.slot, 8)
+	e.ALU(m.pcBase+0xc, rAcc, rAcc, rT1, 1)
+}
+
+// byteMerge emits n narrow stores of width bytes each and then one wide load
+// covering all of them — the x264_3 (8×1B under an 8B load) and bwaves
+// multi-store shapes. All store addresses derive from the same base
+// register, so the stores resolve in order, matching the paper's Fig. 4
+// analysis. The wide load depends on multiple stores and cannot be satisfied
+// by forwarding from a single one.
+type byteMerge struct {
+	pcBase, region    uint64
+	n, width, addrLat int
+	block             *pattern
+}
+
+func newByteMerge(rng *RNG, pcBase, region uint64, n, width, addrLat, blocks int) *byteMerge {
+	return &byteMerge{
+		pcBase: pcBase, region: region, n: n, width: width, addrLat: addrLat,
+		block: newPattern(rng, blocks, blocks, 0.05),
+	}
+}
+
+func (m *byteMerge) emit(e *Emitter) {
+	addr := m.region + uint64(m.block.next())*64
+	aluChain(e, m.pcBase, rAddr, rZ, 1, m.addrLat) // shared base register
+	for i := 0; i < m.n; i++ {
+		e.Store(m.pcBase+0x10+uint64(i)*4, rAddr, rData, addr+uint64(i*m.width), m.width)
+	}
+	e.Load(m.pcBase+0x80, rT1, rZ, addr, m.n*m.width)
+	e.ALU(m.pcBase+0x84, rAcc, rAcc, rT1, 1)
+}
+
+// dataDep stores to a data-dependent element and loads another; with
+// probability pConflict they collide. The collision is invisible in the
+// path — this is what makes leela/parest hard for a purely path-based
+// predictor and drives its false positives once trained (§VI-A). The store
+// address resolves late (an index load plus compute, like a[idx[i]]), so a
+// false dependence stalls the load for the full window; the loaded value
+// feeds dst (e.g. the pointer register of a following chase), putting the
+// load on the critical path the way real index loads are.
+type dataDep struct {
+	pcBase, table    uint64
+	entries, addrLat int
+	pConflict        float64
+	dst              isa.Reg
+	idxFootprint     int
+	rng              *RNG
+}
+
+func newDataDep(rng *RNG, pcBase, table uint64, entries int, pConflict float64, addrLat int, dst isa.Reg) *dataDep {
+	if dst == 0 {
+		dst = rT1
+	}
+	return &dataDep{
+		pcBase: pcBase, table: table, entries: entries, addrLat: addrLat,
+		pConflict: pConflict, dst: dst, idxFootprint: 4096, rng: rng.Fork(),
+	}
+}
+
+// withIdxFootprint sets the index-vector footprint in bytes: beyond a cache
+// level, the index load misses and the store address resolves tens of
+// cycles late, which is what makes false dependencies on these loads
+// expensive (FEM assembly, force accumulation).
+func (m *dataDep) withIdxFootprint(bytes int) *dataDep {
+	m.idxFootprint = bytes
+	return m
+}
+
+func (m *dataDep) emit(e *Emitter) {
+	sIdx := m.rng.Intn(m.entries)
+	lIdx := sIdx
+	if !m.rng.Bool(m.pConflict) {
+		for lIdx == sIdx {
+			lIdx = m.rng.Intn(m.entries)
+		}
+	}
+	// Index load + compute produce the store address late.
+	idxSlot := uint64(m.rng.Intn(m.idxFootprint / 8))
+	e.Load(m.pcBase, rAddr, rZ, m.table+0x100000+idxSlot*8, 8)
+	aluChain(e, m.pcBase+4, rAddr, rAddr, 2, m.addrLat/2)
+	e.ALU(m.pcBase+0xc, rT3, rT3, rZ, 1)
+	e.Store(m.pcBase+0x10, rAddr, rT3, m.table+uint64(sIdx)*8, 8)
+	e.Load(m.pcBase+0x20, m.dst, rZ, m.table+uint64(lIdx)*8, 8)
+	e.ALU(m.pcBase+0x24, rAcc, rAcc, m.dst, 1)
+}
+
+// chase emits a pointer chase of n serial loads over a region of the given
+// footprint; each load's address depends on the previous load's result,
+// producing long-latency serial chains (and cache misses once the footprint
+// exceeds a level).
+type chase struct {
+	pcBase, region uint64
+	footprint, n   int
+	rng            *RNG
+}
+
+func newChase(rng *RNG, pcBase, region uint64, footprint, n int) *chase {
+	return &chase{pcBase: pcBase, region: region, footprint: footprint, n: n, rng: rng.Fork()}
+}
+
+func (m *chase) emit(e *Emitter) {
+	cur := rPtr
+	for i := 0; i < m.n; i++ {
+		addr := m.region + uint64(m.rng.Intn(m.footprint/8))*8
+		e.Load(m.pcBase+uint64(i)*8, cur, cur, addr, 8)
+	}
+}
+
+// stencil emits an FP-style streaming kernel: per element, a few loads from
+// disjoint input arrays, a multiply/add chain, and a store to an output
+// array that no subsequent load reads within the window. Conflict-free,
+// perfectly predictable control flow.
+type stencil struct {
+	pcBase, in, out uint64
+	iters, fpLat    int
+	off             uint64
+}
+
+func newStencil(pcBase, in, out uint64, iters, fpLat int) *stencil {
+	return &stencil{pcBase: pcBase, in: in, out: out, iters: iters, fpLat: fpLat}
+}
+
+func (m *stencil) emit(e *Emitter) {
+	const window = 1 << 16
+	for i := 0; i < m.iters; i++ {
+		off := (m.off + uint64(i)*8) % window
+		e.Load(m.pcBase, rT1, rZ, m.in+off, 8)
+		e.Load(m.pcBase+4, rT2, rZ, m.in+0x100000+off, 8)
+		e.ALU(m.pcBase+8, rT3, rT1, rT2, m.fpLat)
+		e.ALU(m.pcBase+12, rT3, rT3, rT1, m.fpLat)
+		e.Store(m.pcBase+16, rZ, rT3, m.out+off, 8)
+		e.Cond(m.pcBase+20, rIdx, i+1 < m.iters, m.pcBase)
+	}
+	m.off += uint64(m.iters) * 8
+}
+
+// filler emits a background block of micro-ops with a realistic mix:
+// compute, conflict-free loads and stores to a private region, and
+// conditional branches whose outcomes follow a periodic pattern with the
+// given noise rate (the app's background branch-misprediction floor). One
+// load occasionally feeds the branch condition register so branches resolve
+// late, as real data-dependent branches do.
+type filler struct {
+	pcBase, region uint64
+	n              int
+	branch         *pattern
+	addr           *pattern
+}
+
+func newFiller(rng *RNG, pcBase, region uint64, n, period int, noise float64) *filler {
+	return &filler{
+		pcBase: pcBase, region: region, n: n,
+		branch: newPattern(rng, 2, period, noise),
+		addr:   newPattern(rng, 512, 64, 0.1),
+	}
+}
+
+func (m *filler) emit(e *Emitter) {
+	for i := 0; i < m.n; i++ {
+		pc := m.pcBase + uint64(i)*4
+		switch i % 8 {
+		case 0, 3:
+			e.ALU(pc, rT4, rT4, rT1, 1+i%3)
+		case 1:
+			e.Load(pc, rT2, rZ, m.region+uint64(m.addr.next())*64, 8)
+		case 2:
+			e.Cond(pc, rCond, m.branch.next() == 1, pc+0x20)
+		case 4:
+			e.Load(pc, rCond, rZ, m.region+0x20000+uint64(m.addr.next())*64, 8)
+		case 5:
+			e.Store(pc, rZ, rT4, m.region+0x40000+uint64(m.addr.next())*64, 8)
+		case 6:
+			e.ALU(pc, rT1, rT2, rT4, 1)
+		default:
+			e.Cond(pc, rCond, m.branch.next() == 1, pc+0x20)
+		}
+	}
+}
+
+// gate emits the conditional branch that reflects a generator-level
+// decision ("does this iteration run motif X?") and returns the decision.
+// Every architectural choice must be visible as control flow: omitting the
+// branch would make the executed path — and with it the store distances it
+// implies — invisible to any context-sensitive predictor, which no real
+// program does.
+func gate(e *Emitter, pc uint64, cond bool) bool {
+	e.Cond(pc, rCond, cond, pc+0x20)
+	return cond
+}

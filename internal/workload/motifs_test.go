@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestPhasedPatternRerolls(t *testing.T) {
+	p := newPhasedPattern(NewRNG(11), 64, 16, 0, 100)
+	first := make([]int, 16)
+	for i := range first {
+		first[i] = p.next()
+	}
+	// Drain past the phase boundary.
+	for i := 16; i < 120; i++ {
+		p.next()
+	}
+	same := true
+	for i := 0; i < 16; i++ {
+		if p.next() != first[i%16] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("schedule should re-randomise after the phase length")
+	}
+}
+
+func TestStationaryPatternNeverRerolls(t *testing.T) {
+	p := newPattern(NewRNG(11), 64, 8, 0)
+	first := make([]int, 8)
+	for i := range first {
+		first[i] = p.next()
+	}
+	for rep := 0; rep < 500; rep++ {
+		for i := 0; i < 8; i++ {
+			if p.next() != first[i] {
+				t.Fatal("stationary pattern changed")
+			}
+		}
+	}
+}
+
+func TestPathWeightFrontLoaded(t *testing.T) {
+	if pathWeight(0) <= pathWeight(5) {
+		t.Error("early ladder steps must carry more stores than late ones")
+	}
+	for j := 8; j < 32; j++ {
+		if pathWeight(j) != 0 {
+			t.Errorf("pathWeight(%d) = %d, want 0", j, pathWeight(j))
+		}
+	}
+}
+
+func TestGateEmitsDivergentBranch(t *testing.T) {
+	e := newEmitter(10, 1)
+	if !gate(e, 0x100, true) {
+		t.Error("gate must return its condition")
+	}
+	if gate(e, 0x104, false) {
+		t.Error("gate must return its condition")
+	}
+	if len(e.out) != 2 {
+		t.Fatalf("gate should emit exactly one micro-op per call, got %d", len(e.out))
+	}
+	for i, want := range []bool{true, false} {
+		in := e.out[i]
+		if !in.Divergent() || in.Taken != want {
+			t.Errorf("gate %d: %+v", i, in)
+		}
+	}
+}
+
+// TestPathDepDistanceIsPathDetermined: the store distance of the pathDep
+// load must be exactly the weighted popcount of its mask — the Fig. 5
+// generalisation the motif exists to provide.
+func TestPathDepDistanceIsPathDetermined(t *testing.T) {
+	e := newEmitter(100000, 3)
+	m := newPathDep(e.RNG, 0x1000, 0x10_0000, 4, 8, 16, 0, 5, 0)
+	func() {
+		defer func() { recover() }()
+		for {
+			m.emit(e)
+		}
+	}()
+	// Walk the stream: for each pathDep load, count stores between it and
+	// the site store that wrote its address.
+	var lastSiteIdx = -1
+	storesSince := 0
+	checked := 0
+	for i := range e.out {
+		in := &e.out[i]
+		if in.IsStore() {
+			if in.PC >= 0x1100 && in.PC < 0x1800 { // site store
+				lastSiteIdx = i
+				storesSince = 0
+			} else if lastSiteIdx >= 0 {
+				storesSince++
+			}
+		}
+		if in.IsLoad() && in.PC == 0x1c00 && lastSiteIdx >= 0 {
+			site := &e.out[lastSiteIdx]
+			if site.Addr != in.Addr {
+				t.Fatalf("load at %d reads %#x but last site store wrote %#x", i, in.Addr, site.Addr)
+			}
+			if storesSince > 127 {
+				t.Fatalf("distance %d exceeds the 7-bit field", storesSince)
+			}
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d pathDep instances checked", checked)
+	}
+}
+
+// TestByteMergeShape: n narrow stores fully covered by the wide load, all
+// sharing the address base register (the Fig. 4 in-order property).
+func TestByteMergeShape(t *testing.T) {
+	e := newEmitter(2000, 5)
+	m := newByteMerge(e.RNG, 0x2000, 0x20_0000, 8, 1, 4, 16)
+	func() {
+		defer func() { recover() }()
+		for {
+			m.emit(e)
+		}
+	}()
+	var stores []isa.Inst
+	for i := range e.out {
+		in := e.out[i]
+		switch {
+		case in.IsStore():
+			stores = append(stores, in)
+		case in.IsLoad() && in.Size == 8:
+			if len(stores) < 8 {
+				t.Fatalf("wide load before %d stores", len(stores))
+			}
+			base := stores[len(stores)-8].SrcA
+			covered := 0
+			for _, st := range stores[len(stores)-8:] {
+				if st.SrcA != base {
+					t.Fatal("byteMerge stores must share a base register")
+				}
+				if st.Addr >= in.Addr && st.End() <= in.End() {
+					covered++
+				}
+			}
+			if covered != 8 {
+				t.Fatalf("wide load covers %d/8 narrow stores", covered)
+			}
+			return // one instance suffices
+		}
+	}
+	t.Fatal("no wide load found")
+}

@@ -1,0 +1,39 @@
+package workload
+
+// RNG is a small, fast, deterministic generator (splitmix64). Workload
+// streams must be bit-reproducible across runs and platforms, so programs
+// use this instead of math/rand.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator. Two generators with equal seeds produce equal
+// sequences forever.
+func NewRNG(seed int64) *RNG { return &RNG{state: uint64(seed)*2862933555777941757 + 3037000493} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Fork derives an independent generator; streams stay deterministic while
+// decoupling motifs that should not perturb each other's sequences.
+func (r *RNG) Fork() *RNG { return &RNG{state: r.Uint64() ^ 0xa5a5a5a5deadbeef} }

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+)
+
+// Signature tests: the per-app behaviours DESIGN.md §5 claims (and the
+// calibration relies on) must actually be present in the generated streams.
+
+func gen(t *testing.T, name string, n int) []isa.Inst {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Generate(p, n, 0)
+}
+
+// 500.perlbench_3 must put several instances of the same store PC in flight
+// (the Store Sets serialisation pathology): the loop-carried store PC must
+// recur within an Alder Lake ROB window.
+func TestPerlbench3SameStorePCInFlight(t *testing.T) {
+	insts := gen(t, "500.perlbench_3", 30000)
+	const window = 512
+	lastSeen := map[uint64]int{}
+	found := false
+	for i := range insts {
+		if !insts[i].IsStore() {
+			continue
+		}
+		if prev, ok := lastSeen[insts[i].PC]; ok && i-prev < window {
+			found = true
+			break
+		}
+		lastSeen[insts[i].PC] = i
+	}
+	if !found {
+		t.Error("no same-PC store recurrence within a ROB window")
+	}
+}
+
+// 502.gcc must be far less branch-predictable than the streaming FP apps
+// (its divergent paths are the app's signature; lbm's back-edges are
+// regular loops).
+func TestGCCHarderThanLBMForBranchPredictors(t *testing.T) {
+	mpki := func(name string) float64 {
+		insts := gen(t, name, 30000)
+		d, err := bpred.NewDir("gshare")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bpred.MPKIOver(d, insts)
+	}
+	if g, l := mpki("502.gcc_5"), mpki("519.lbm"); g < 3*l+1 {
+		t.Errorf("gcc branch MPKI %.2f should far exceed lbm %.2f", g, l)
+	}
+}
+
+// 525.x264_3 (8×1B stores) must have a higher multi-store load fraction
+// than 525.x264_1 (2×4B stores): more providers per wide load.
+func TestX264InputsScaleMultiStore(t *testing.T) {
+	count := func(name string) int {
+		insts := gen(t, name, 40000)
+		wide := 0
+		for i := range insts {
+			if insts[i].IsLoad() && insts[i].Size == 8 && insts[i].Addr >= 0x1000_0000 {
+				wide++
+			}
+		}
+		return wide
+	}
+	if count("525.x264_3") == 0 {
+		t.Error("x264_3 should emit wide merging loads")
+	}
+}
+
+// The povray dispatch conflict must sit one divergent branch from its load:
+// between a handler store and the post-dispatch load there is exactly the
+// return (divergent), giving PHAST its 2-branch history length (§III-C).
+func TestPovrayDispatchHistoryLength(t *testing.T) {
+	insts := gen(t, "511.povray", 40000)
+	checked := 0
+	for i := range insts {
+		in := &insts[i]
+		// The post-dispatch load of the dispatch motif.
+		if !in.IsLoad() || in.PC != 0x11_0000+0x8 {
+			continue
+		}
+		// Walk backwards to the handler store writing the same slot.
+		div := 0
+		for j := i - 1; j >= 0 && j > i-60; j-- {
+			prev := &insts[j]
+			if prev.IsStore() && prev.Overlaps(in) {
+				if div != 1 {
+					t.Fatalf("load at %d: %d divergent branches to its store, want 1", i, div)
+				}
+				checked++
+				break
+			}
+			if prev.Divergent() {
+				div++
+			}
+		}
+		if checked >= 20 {
+			return
+		}
+	}
+	if checked == 0 {
+		t.Error("no dispatch conflicts found in povray")
+	}
+}

@@ -1,0 +1,575 @@
+package workload
+
+// The SPEC CPU 2017-like suite. Each program composes the motifs of
+// motifs.go with application-specific parameters chosen to reproduce the
+// behaviour the paper reports for that application (see DESIGN.md §5 and
+// the per-program comments): path diversity comes from each app's schedule
+// period, its branch misprediction floor from the schedule noise, and its
+// dependence structure from the motif mix. Multiple inputs of one app (the
+// paper's "_n" counters) differ in seeds and intensity parameters, as
+// different inputs shift — but do not restructure — an app's behaviour.
+
+// appRegions derives disjoint address-space regions for one application so
+// that no two programs, and no two motifs within a program, ever alias.
+type appRegions struct {
+	heap   uint64 // conflict motifs
+	table  uint64 // data-dependent tables
+	deep   uint64 // large-footprint regions (cache pressure)
+	filler uint64 // background traffic
+}
+
+func regionsFor(app int) appRegions {
+	base := 0x1000_0000 + uint64(app)<<36
+	return appRegions{
+		heap:   base,
+		table:  base + 0x1_0000_0000,
+		deep:   base + 0x2_0000_0000,
+		filler: base + 0x3_0000_0000,
+	}
+}
+
+func init() {
+	registerPerlbench()
+	registerGCC()
+	registerBwaves()
+	registerMCF()
+	registerCactuBSSN()
+	registerNamd()
+	registerParest()
+	registerPovray()
+	registerLBM()
+	registerOmnetpp()
+	registerWRF()
+	registerXalancbmk()
+	registerX264()
+	registerBlender()
+	registerCam4()
+	registerDeepsjeng()
+	registerImagick()
+	registerLeela()
+	registerNab()
+	registerExchange2()
+	registerFotonik3d()
+	registerRoms()
+	registerXZ()
+}
+
+// 500.perlbench — interpreter: indirect-branch opcode dispatch with stack
+// spill/fill in handlers. Input 3 exercises the loop-carried same-store-PC
+// pathology in which Store Sets serialises all in-flight instances
+// (paper §VI-C, 500.perlbench_3).
+func registerPerlbench() {
+	gen := func(handlers, period, lag int, noise float64) func(*Emitter) {
+		return func(e *Emitter) {
+			r := regionsFor(500)
+			pc := uint64(0x50_0000)
+			d := newDispatch(e.RNG, pc, r.heap, handlers, period, noise, 6, 8, 800)
+			f1 := newFiller(e.RNG, pc+0x8000, r.filler, 40, 8, noise)
+			sf := newSpillFill(pc+0x10000, 3, 5, 4)
+			var lc *loopCarried
+			if lag > 0 {
+				lc = newLoopCarried(pc+0x20000, r.heap+0x10000, 20, lag, 10, 8)
+			}
+			f2 := newFiller(e.RNG, pc+0x30000, r.filler+0x80000, 30, 8, noise/2)
+			for {
+				d.emit(e)
+				f1.emit(e)
+				sf.emit(e)
+				if lc != nil {
+					lc.emit(e)
+				}
+				f2.emit(e)
+			}
+		}
+	}
+	Register(Program{Name: "500.perlbench_1", Gen: gen(12, 12, 0, 0.015), DefaultSeed: 5001})
+	Register(Program{Name: "500.perlbench_2", Gen: gen(16, 16, 0, 0.02), DefaultSeed: 5002})
+	Register(Program{Name: "500.perlbench_3", Gen: gen(8, 8, 2, 0.01), DefaultSeed: 5003})
+}
+
+// 502.gcc — compiler: deep conditional nests produce very many distinct
+// store→load paths (the paper's path-explosion outlier) plus occasional
+// conflicts that are not path dependent at all.
+func registerGCC() {
+	gen := func(k, period int, noise, pConfl float64, seed int64) Program {
+		return Program{
+			DefaultSeed: seed,
+			Gen: func(e *Emitter) {
+				r := regionsFor(502)
+				pc := uint64(0x2_0000)
+				pd := newPathDep(e.RNG, pc, r.heap, 4, k, period, noise, 10, 500)
+				f1 := newFiller(e.RNG, pc+0x10000, r.filler, 25, 8, noise)
+				sf := newSpillFill(pc+0x20000, 2, 4, 3)
+				dd := newDataDep(e.RNG, pc+0x30000, r.table, 256, pConfl, 12, 0)
+				f2 := newFiller(e.RNG, pc+0x40000, r.filler+0x90000, 20, 16, noise)
+				for it := 0; ; it++ {
+					pd.emit(e)
+					f1.emit(e)
+					sf.emit(e)
+					if gate(e, pc+0x50000, it%3 == 0) {
+						dd.emit(e)
+					}
+					f2.emit(e)
+				}
+			},
+		}
+	}
+	type cfg struct {
+		k, period int
+		noise     float64
+	}
+	cfgs := []cfg{{7, 48, 0.04}, {11, 64, 0.05}, {5, 40, 0.04}, {9, 56, 0.045}, {15, 64, 0.05}}
+	for i, cf := range cfgs {
+		p := gen(cf.k, cf.period, cf.noise, 0.02+0.005*float64(i), int64(5021+i))
+		p.Name = "502.gcc_" + string(rune('1'+i))
+		Register(p)
+	}
+}
+
+// 503.bwaves — FP solver with the suite's highest fraction of loads that
+// depend on multiple stores; those stores share a base register and execute
+// in order (paper Fig. 4).
+func registerBwaves() {
+	Register(Program{
+		Name: "503.bwaves", DefaultSeed: 5030,
+		Gen: func(e *Emitter) {
+			r := regionsFor(503)
+			pc := uint64(0x3_0000)
+			s1 := newStencil(pc, r.deep, r.deep+0x400000, 24, 4)
+			bm := newByteMerge(e.RNG, pc+0x10000, r.heap, 2, 4, 5, 64)
+			s2 := newStencil(pc+0x20000, r.deep+0x800000, r.deep+0xc00000, 16, 4)
+			f := newFiller(e.RNG, pc+0x30000, r.filler, 12, 4, 0.003)
+			for {
+				s1.emit(e)
+				bm.emit(e)
+				s2.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 505.mcf — pointer-chasing over a footprint exceeding L2; conflicts are
+// rare but latency is dominated by serial misses.
+func registerMCF() {
+	Register(Program{
+		Name: "505.mcf", DefaultSeed: 5050,
+		Gen: func(e *Emitter) {
+			r := regionsFor(505)
+			pc := uint64(0x5_0000)
+			c1 := newChase(e.RNG, pc, r.deep, 8<<20, 6)
+			f := newFiller(e.RNG, pc+0x10000, r.filler, 20, 8, 0.025)
+			dd := newDataDep(e.RNG, pc+0x20000, r.table, 2048, 0.01, 14, rPtr)
+			c2 := newChase(e.RNG, pc+0x30000, r.deep+0x40_0000, 8<<20, 4)
+			for it := 0; ; it++ {
+				c1.emit(e)
+				f.emit(e)
+				if gate(e, pc+0x40000, it%3 == 0) {
+					dd.emit(e)
+				}
+				c2.emit(e)
+			}
+		},
+	})
+}
+
+// 507.cactuBSSN — FP stencil, high ILP, nearly conflict-free, predictable.
+func registerCactuBSSN() {
+	Register(Program{
+		Name: "507.cactuBSSN", DefaultSeed: 5070,
+		Gen: func(e *Emitter) {
+			r := regionsFor(507)
+			pc := uint64(0x7_0000)
+			st := newStencil(pc, r.deep, r.deep+0x200000, 40, 5)
+			f := newFiller(e.RNG, pc+0x10000, r.filler, 10, 4, 0.002)
+			for {
+				st.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 508.namd — molecular dynamics: compute-bound FP pairlists, predictable
+// control flow, conflict-free within the window.
+func registerNamd() {
+	Register(Program{
+		Name: "508.namd", DefaultSeed: 5080,
+		Gen: func(e *Emitter) {
+			r := regionsFor(508)
+			pc := uint64(0x8_0000)
+			s1 := newStencil(pc, r.deep, r.deep+0x280000, 28, 5)
+			ch := newChase(e.RNG, pc+0x10000, r.deep+0x500000, 512<<10, 2)
+			f := newFiller(e.RNG, pc+0x20000, r.filler, 10, 4, 0.004)
+			for {
+				s1.emit(e)
+				ch.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 510.parest — finite-element assembly: index-vector driven conflicts that
+// are data dependent, the paper's leading false-dependence source.
+func registerParest() {
+	Register(Program{
+		Name: "510.parest", DefaultSeed: 5100,
+		Gen: func(e *Emitter) {
+			r := regionsFor(510)
+			pc := uint64(0x10_0000)
+			d1 := newDataDep(e.RNG, pc, r.table, 128, 0.08, 12, 0).withIdxFootprint(2 << 20)
+			st := newStencil(pc+0x10000, r.deep, r.deep+0x100000, 10, 4)
+			d2 := newDataDep(e.RNG, pc+0x20000, r.table+0x8000, 64, 0.12, 10, 0).withIdxFootprint(2 << 20)
+			f := newFiller(e.RNG, pc+0x30000, r.filler, 18, 8, 0.01)
+			for it := 0; ; it++ {
+				if gate(e, pc+0x40000, it%3 == 0) {
+					d1.emit(e)
+				}
+				st.emit(e)
+				if gate(e, pc+0x48000, it%5 == 0) {
+					d2.emit(e)
+				}
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 511.povray — ray tracer: a load conflicts with three different stores
+// separated from the load by a single indirect branch (paper §III-C);
+// memory dependencies tightly connected to branch history (§VI-C).
+func registerPovray() {
+	Register(Program{
+		Name: "511.povray", DefaultSeed: 5110,
+		Gen: func(e *Emitter) {
+			r := regionsFor(511)
+			pc := uint64(0x11_0000)
+			d := newDispatch(e.RNG, pc, r.heap, 3, 9, 0.01, 8, 5, 0)
+			f := newFiller(e.RNG, pc+0x10000, r.filler, 22, 8, 0.008)
+			pd := newPathDep(e.RNG, pc+0x20000, r.heap+0x8000, 3, 3, 6, 0.01, 4, 0)
+			st := newStencil(pc+0x30000, r.deep, r.deep+0x80000, 8, 5)
+			for {
+				d.emit(e)
+				f.emit(e)
+				pd.emit(e)
+				st.emit(e)
+			}
+		},
+	})
+}
+
+// 519.lbm — lattice Boltzmann: streaming, memory bound, conflict-free.
+func registerLBM() {
+	Register(Program{
+		Name: "519.lbm", DefaultSeed: 5190,
+		Gen: func(e *Emitter) {
+			r := regionsFor(519)
+			pc := uint64(0x19_0000)
+			st := newStencil(pc, r.deep, r.deep+0x2000000, 48, 4)
+			f := newFiller(e.RNG, pc+0x10000, r.filler, 6, 4, 0.002)
+			for {
+				st.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 520.omnetpp — discrete event simulation: heap swaps create short
+// path-dependent store→load distances; pointer-heavy.
+func registerOmnetpp() {
+	Register(Program{
+		Name: "520.omnetpp", DefaultSeed: 5200,
+		Gen: func(e *Emitter) {
+			r := regionsFor(520)
+			pc := uint64(0x20_0000)
+			pd := newPathDep(e.RNG, pc, r.heap, 2, 3, 10, 0.02, 8, 600)
+			ch := newChase(e.RNG, pc+0x10000, r.deep, 4<<20, 4)
+			sf := newSpillFill(pc+0x20000, 2, 5, 3)
+			f := newFiller(e.RNG, pc+0x30000, r.filler, 18, 8, 0.02)
+			for {
+				pd.emit(e)
+				ch.emit(e)
+				sf.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 521.wrf — weather model: predictable FP loops, rare conflicts.
+func registerWRF() {
+	Register(Program{
+		Name: "521.wrf", DefaultSeed: 5210,
+		Gen: func(e *Emitter) {
+			r := regionsFor(521)
+			pc := uint64(0x21_0000)
+			st := newStencil(pc, r.deep, r.deep+0x300000, 32, 4)
+			dd := newDataDep(e.RNG, pc+0x10000, r.table, 4096, 0.002, 8, 0)
+			f := newFiller(e.RNG, pc+0x20000, r.filler, 10, 4, 0.004)
+			for {
+				st.emit(e)
+				dd.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 523.xalancbmk — XML transformer: virtual dispatch plus short-distance
+// stack traffic.
+func registerXalancbmk() {
+	Register(Program{
+		Name: "523.xalancbmk", DefaultSeed: 5230,
+		Gen: func(e *Emitter) {
+			r := regionsFor(523)
+			pc := uint64(0x23_0000)
+			d := newDispatch(e.RNG, pc, r.heap, 8, 12, 0.02, 5, 8, 500)
+			sf := newSpillFill(pc+0x10000, 2, 4, 4)
+			ch := newChase(e.RNG, pc+0x20000, r.deep, 2<<20, 3)
+			f := newFiller(e.RNG, pc+0x30000, r.filler, 16, 8, 0.015)
+			for {
+				d.emit(e)
+				sf.emit(e)
+				ch.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 525.x264 — video encoder: narrow pixel stores merged by wide loads;
+// input 3 is the paper's 8×1-byte-stores-under-an-8-byte-load case.
+func registerX264() {
+	gen := func(n, width int, seed int64) func(*Emitter) {
+		return func(e *Emitter) {
+			r := regionsFor(525)
+			pc := uint64(0x25_0000)
+			bm := newByteMerge(e.RNG, pc, r.heap, n, width, 4, 128)
+			st := newStencil(pc+0x10000, r.deep, r.deep+0x100000, 12, 3)
+			lc := newLoopCarried(pc+0x20000, r.heap+0x40000, 4, 1, 8, 16)
+			f := newFiller(e.RNG, pc+0x30000, r.filler, 14, 8, 0.01)
+			for {
+				bm.emit(e)
+				st.emit(e)
+				lc.emit(e)
+				f.emit(e)
+			}
+		}
+	}
+	Register(Program{Name: "525.x264_1", Gen: gen(2, 4, 5251), DefaultSeed: 5251})
+	Register(Program{Name: "525.x264_2", Gen: gen(4, 2, 5252), DefaultSeed: 5252})
+	Register(Program{Name: "525.x264_3", Gen: gen(8, 1, 5253), DefaultSeed: 5253})
+}
+
+// 526.blender — scene traversal: many distinct, rarely-reused long paths
+// (paper Fig. 9 outlier) with occasional spill/fill conflicts.
+func registerBlender() {
+	Register(Program{
+		Name: "526.blender", DefaultSeed: 5260,
+		Gen: func(e *Emitter) {
+			r := regionsFor(526)
+			pc := uint64(0x26_0000)
+			pd := newPathDep(e.RNG, pc, r.heap, 8, 15, 48, 0.03, 12, 420)
+			st := newStencil(pc+0x10000, r.deep, r.deep+0x200000, 14, 4)
+			sf := newSpillFill(pc+0x20000, 2, 4, 5)
+			f := newFiller(e.RNG, pc+0x30000, r.filler, 20, 8, 0.015)
+			for {
+				pd.emit(e)
+				st.emit(e)
+				sf.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 527.cam4 — atmosphere model: branchy physics with many rare paths.
+func registerCam4() {
+	Register(Program{
+		Name: "527.cam4", DefaultSeed: 5270,
+		Gen: func(e *Emitter) {
+			r := regionsFor(527)
+			pc := uint64(0x27_0000)
+			st := newStencil(pc, r.deep, r.deep+0x400000, 20, 4)
+			pd := newPathDep(e.RNG, pc+0x10000, r.heap, 6, 11, 40, 0.02, 12, 420)
+			f := newFiller(e.RNG, pc+0x20000, r.filler, 16, 8, 0.01)
+			for {
+				st.emit(e)
+				pd.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 531.deepsjeng — chess: recursive search with make/unmake-move stores read
+// back along path-dependent distances; heavy path count (Fig. 9).
+func registerDeepsjeng() {
+	Register(Program{
+		Name: "531.deepsjeng", DefaultSeed: 5310,
+		Gen: func(e *Emitter) {
+			r := regionsFor(531)
+			pc := uint64(0x31_0000)
+			sf := newSpillFill(pc, 3, 5, 3)
+			pd := newPathDep(e.RNG, pc+0x10000, r.heap, 4, 7, 32, 0.04, 10, 500)
+			dd := newDataDep(e.RNG, pc+0x20000, r.table, 512, 0.03, 10, 0)
+			f := newFiller(e.RNG, pc+0x30000, r.filler, 18, 8, 0.03)
+			for it := 0; ; it++ {
+				sf.emit(e)
+				pd.emit(e)
+				if gate(e, pc+0x40000, it%3 == 0) {
+					dd.emit(e)
+				}
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 538.imagick — image processing: predictable pixel loops.
+func registerImagick() {
+	Register(Program{
+		Name: "538.imagick", DefaultSeed: 5380,
+		Gen: func(e *Emitter) {
+			r := regionsFor(538)
+			pc := uint64(0x38_0000)
+			st := newStencil(pc, r.deep, r.deep+0x180000, 36, 3)
+			bm := newByteMerge(e.RNG, pc+0x10000, r.heap, 4, 2, 3, 64)
+			f := newFiller(e.RNG, pc+0x20000, r.filler, 8, 4, 0.003)
+			for {
+				st.emit(e)
+				bm.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 541.leela — Go engine (MCTS): conflicts follow the data, not the path —
+// PHAST's worst false-positive case (§VI-A, §VI-C); path count below average.
+func registerLeela() {
+	Register(Program{
+		Name: "541.leela", DefaultSeed: 5410,
+		Gen: func(e *Emitter) {
+			r := regionsFor(541)
+			pc := uint64(0x41_0000)
+			d1 := newDataDep(e.RNG, pc, r.table, 96, 0.10, 12, rPtr)
+			ch := newChase(e.RNG, pc+0x10000, r.deep, 1<<20, 3)
+			d2 := newDataDep(e.RNG, pc+0x20000, r.table+0x10000, 160, 0.06, 10, 0)
+			f := newFiller(e.RNG, pc+0x30000, r.filler, 20, 8, 0.035)
+			for it := 0; ; it++ {
+				if gate(e, pc+0x40000, it%4 == 0) {
+					d1.emit(e)
+				}
+				ch.emit(e)
+				if gate(e, pc+0x48000, it%8 == 0) {
+					d2.emit(e)
+				}
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 544.nab — molecular dynamics: indexed force accumulation with occasional
+// index repeats (data-dependent conflicts).
+func registerNab() {
+	Register(Program{
+		Name: "544.nab", DefaultSeed: 5440,
+		Gen: func(e *Emitter) {
+			r := regionsFor(544)
+			pc := uint64(0x44_0000)
+			st := newStencil(pc, r.deep, r.deep+0x200000, 16, 5)
+			dd := newDataDep(e.RNG, pc+0x10000, r.table, 200, 0.05, 10, 0).withIdxFootprint(1 << 20)
+			f := newFiller(e.RNG, pc+0x20000, r.filler, 12, 4, 0.006)
+			for it := 0; ; it++ {
+				st.emit(e)
+				if gate(e, pc+0x40000, it%2 == 0) {
+					dd.emit(e)
+				}
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 548.exchange2 — puzzle solver: deep recursion, very predictable branches,
+// short-path spill/fill dependences.
+func registerExchange2() {
+	Register(Program{
+		Name: "548.exchange2", DefaultSeed: 5480,
+		Gen: func(e *Emitter) {
+			pc := uint64(0x48_0000)
+			r := regionsFor(548)
+			s1 := newSpillFill(pc, 4, 4, 6)
+			s2 := newSpillFill(pc+0x10000, 3, 4, 4)
+			f := newFiller(e.RNG, pc+0x20000, r.filler, 24, 4, 0.004)
+			for {
+				s1.emit(e)
+				s2.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 549.fotonik3d — FDTD solver: streaming, conflict-free.
+func registerFotonik3d() {
+	Register(Program{
+		Name: "549.fotonik3d", DefaultSeed: 5490,
+		Gen: func(e *Emitter) {
+			r := regionsFor(549)
+			pc := uint64(0x49_0000)
+			st := newStencil(pc, r.deep, r.deep+0x1000000, 44, 4)
+			f := newFiller(e.RNG, pc+0x10000, r.filler, 8, 4, 0.002)
+			for {
+				st.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 554.roms — ocean model: streaming with a touch of indexed conflicts.
+func registerRoms() {
+	Register(Program{
+		Name: "554.roms", DefaultSeed: 5540,
+		Gen: func(e *Emitter) {
+			r := regionsFor(554)
+			pc := uint64(0x54_0000)
+			st := newStencil(pc, r.deep, r.deep+0x800000, 30, 4)
+			dd := newDataDep(e.RNG, pc+0x10000, r.table, 1024, 0.008, 8, 0)
+			f := newFiller(e.RNG, pc+0x20000, r.filler, 10, 4, 0.004)
+			for {
+				st.emit(e)
+				dd.emit(e)
+				f.emit(e)
+			}
+		},
+	})
+}
+
+// 557.xz — LZMA: dictionary stores re-read at short distances, with an
+// unpredictable range-coder branch mix.
+func registerXZ() {
+	gen := func(lag int, noise float64, seed int64) func(*Emitter) {
+		return func(e *Emitter) {
+			r := regionsFor(557)
+			pc := uint64(0x57_0000)
+			lc := newLoopCarried(pc, r.heap, 6, lag, 5, 8)
+			dd := newDataDep(e.RNG, pc+0x10000, r.table, 320, 0.04, 10, 0)
+			f := newFiller(e.RNG, pc+0x20000, r.filler, 22, 8, noise)
+			for it := 0; ; it++ {
+				lc.emit(e)
+				if gate(e, pc+0x40000, it%3 == 0) {
+					dd.emit(e)
+				}
+				f.emit(e)
+			}
+		}
+	}
+	Register(Program{Name: "557.xz_1", Gen: gen(1, 0.025, 5571), DefaultSeed: 5571})
+	Register(Program{Name: "557.xz_2", Gen: gen(3, 0.02, 5572), DefaultSeed: 5572})
+}

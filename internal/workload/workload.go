@@ -1,0 +1,99 @@
+// Package workload implements the synthetic benchmark suite that stands in
+// for SPEC CPU 2017 (which cannot be redistributed, and whose SimPoint traces
+// require the authors' Sniper toolchain). Each program is a deterministic
+// generator of dynamic micro-ops whose dependence and control-flow structure
+// reproduces the per-application behaviour the paper reports: store→load
+// distances, path lengths and divergence, multi-store overlaps, path
+// explosion, data-dependent conflicts, and branch predictability.
+//
+// Programs are written against the Emitter, a tiny "assembler" for dynamic
+// micro-op streams with a simulated call stack and deterministic RNG.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Program is a named workload generator.
+type Program struct {
+	// Name of the application, using the paper's SPEC-rate naming
+	// ("502.gcc_1" means app 502.gcc with input 1).
+	Name string
+	// Gen emits micro-ops forever; generation is cut when the requested
+	// instruction count is reached.
+	Gen func(e *Emitter)
+	// DefaultSeed makes each application's stream distinct and reproducible.
+	DefaultSeed int64
+}
+
+// Generate runs the program and returns the first n dynamic micro-ops of its
+// correct-path stream. The same (program, n, seed) triple always yields the
+// same stream. A seed of 0 selects the program's default seed.
+func Generate(p Program, n int, seed int64) []isa.Inst {
+	if seed == 0 {
+		seed = p.DefaultSeed
+	}
+	e := newEmitter(n, seed)
+	func() {
+		defer func() {
+			if r := recover(); r != nil && r != errStreamFull {
+				panic(r)
+			}
+		}()
+		for {
+			p.Gen(e)
+			// A generator that returns is restarted (outer loop of the app).
+			if e.guard == 0 {
+				panic(fmt.Sprintf("workload %s: generator emitted nothing", p.Name))
+			}
+			e.guard = 0
+		}
+	}()
+	return e.out
+}
+
+var registry = map[string]Program{}
+
+// Register adds a program to the global suite registry. It panics on
+// duplicate names (each app/input pair must be unique).
+func Register(p Program) {
+	if _, dup := registry[p.Name]; dup {
+		panic("workload: duplicate program " + p.Name)
+	}
+	if p.Gen == nil {
+		panic("workload: program " + p.Name + " has no generator")
+	}
+	registry[p.Name] = p
+}
+
+// ByName returns the registered program with the given name.
+func ByName(name string) (Program, error) {
+	p, ok := registry[name]
+	if !ok {
+		return Program{}, fmt.Errorf("workload: unknown program %q", name)
+	}
+	return p, nil
+}
+
+// Names returns all registered program names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Suite returns all registered programs in name order.
+func Suite() []Program {
+	names := Names()
+	out := make([]Program, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}

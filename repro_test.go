@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPISurface(t *testing.T) {
+	if len(Apps()) < 20 {
+		t.Errorf("suite has only %d apps", len(Apps()))
+	}
+	if len(Machines()) < 5 {
+		t.Errorf("only %d machine generations", len(Machines()))
+	}
+	want := map[string]bool{"phast": false, "storesets": false, "nosq": false, "mdptage": false}
+	for _, p := range Predictors() {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("Predictors() missing %q", p)
+		}
+	}
+	if len(ExperimentNames()) < 17 {
+		t.Errorf("only %d experiments", len(ExperimentNames()))
+	}
+}
+
+func TestSimulateSmoke(t *testing.T) {
+	res, err := Simulate(Config{App: "511.povray", Predictor: "phast", Instructions: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 30000 || res.IPC() <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+}
+
+func TestRunExperimentByName(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunExperiment("table1", ExperimentOptions{
+		Apps: []string{"519.lbm"}, Instructions: 10000, Out: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ROB/IQ/LQ/SQ") {
+		t.Errorf("table1 output:\n%s", buf.String())
+	}
+	if err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestGeoMeanExported(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); got < 3.99 || got > 4.01 {
+		t.Errorf("GeoMean = %f", got)
+	}
+}
