@@ -1,8 +1,29 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench figures examples clean
+.PHONY: all build test bench figures examples clean check cache-smoke
 
 all: build test
+
+# Full pre-merge gate: vet + build + race-enabled tests + a cached-vs-
+# uncached paperfigs smoke proving the persistent run cache reproduces
+# byte-identical tables with zero re-simulations.
+check:
+	go vet ./...
+	go build ./...
+	go test -race ./...
+	$(MAKE) cache-smoke
+
+SMOKEDIR := $(or $(TMPDIR),/tmp)/phast-cache-smoke
+SMOKEFLAGS := -fig fig12 -apps 511.povray,519.lbm -n 30000 -cache $(SMOKEDIR)/cache -metrics
+
+cache-smoke:
+	rm -rf $(SMOKEDIR)
+	mkdir -p $(SMOKEDIR)
+	go run ./cmd/paperfigs $(SMOKEFLAGS) >$(SMOKEDIR)/first.txt 2>$(SMOKEDIR)/first.err
+	go run ./cmd/paperfigs $(SMOKEFLAGS) >$(SMOKEDIR)/second.txt 2>$(SMOKEDIR)/second.err
+	cmp $(SMOKEDIR)/first.txt $(SMOKEDIR)/second.txt
+	grep -Eq '^runs.simulated +0 *$$' $(SMOKEDIR)/second.err
+	@echo "cache smoke ok: byte-identical tables, zero re-simulations"
 
 build:
 	go build ./...

@@ -11,7 +11,7 @@ package repro
 // quarter hour on one core. Flags:
 //
 //	-repro.full        use the whole suite
-//	-repro.n=N         instructions per run (default 120000)
+//	-repro.n=N         instructions per run (default 100000)
 //	-repro.v           print the regenerated tables to stdout
 
 import (

@@ -5,7 +5,11 @@
 //	paperfigs -fig all                 # everything, full suite
 //	paperfigs -fig fig15 -n 1000000    # one figure, longer runs
 //	paperfigs -fig fig14 -apps 511.povray,541.leela
+//	paperfigs -fig all -cache ~/.cache/phast   # persist runs; rerun is ~free
 //	paperfigs -list
+//
+// Tables go to stdout; progress, metrics (-metrics) and timing go to
+// stderr, so repeated invocations with the same flags are byte-comparable.
 package main
 
 import (
@@ -16,16 +20,21 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment to run (fig1..fig16, table1, table2, mix, all)")
-		n       = flag.Int("n", sim.DefaultInstructions, "instructions per run")
-		apps    = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
-		workers = flag.Int("workers", 0, "parallel runs (default: min(8, NumCPU))")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		fig        = flag.String("fig", "all", "experiment to run (fig1..fig16, table1, table2, mix, all)")
+		n          = flag.Int("n", sim.DefaultInstructions, "instructions per run")
+		apps       = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
+		workers    = flag.Int("workers", 0, "parallel runs (default: min(8, NumCPU))")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		cacheDir   = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
+		metrics    = flag.Bool("metrics", false, "print cache/simulation metrics to stderr at exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -36,14 +45,22 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Instructions: *n, Out: os.Stdout, Workers: *workers}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+
+	opt := experiments.Options{
+		Instructions: *n, Out: os.Stdout, Workers: *workers, CacheDir: *cacheDir,
+	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
 	}
 	r := experiments.NewRunner(opt)
+	defer r.Close()
 
 	start := time.Now()
-	var err error
 	if *fig == "all" {
 		err = experiments.RunAll(r)
 	} else {
@@ -58,5 +75,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	if *metrics {
+		r.WriteMetrics(os.Stderr)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs: profile:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -15,6 +15,8 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/pipeline"
+	"repro/internal/prof"
+	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -23,21 +25,49 @@ import (
 
 func main() {
 	var (
-		app       = flag.String("app", "511.povray", "workload name (see -list)")
-		predictor = flag.String("predictor", "phast", "predictor spec (phast, storesets, nosq, mdptage, mdptage-s, ideal, none, unlimited-phast, ...)")
-		machine   = flag.String("machine", "alderlake", "machine configuration")
-		n         = flag.Int("n", sim.DefaultInstructions, "instructions to simulate")
-		seed      = flag.Int64("seed", 0, "stream seed override (0 = app default)")
-		noFwd     = flag.Bool("no-fwd-filter", false, "disable the §IV-A1 forwarding filter")
-		bp        = flag.String("bp", "tagescl", "branch predictor (bimodal, gshare, perceptron, tage, tagescl)")
-		list      = flag.Bool("list", false, "list apps, machines and predictors, then exit")
-		vsIdeal   = flag.Bool("vs-ideal", false, "also run the ideal predictor and report the gap")
-		saveTrace = flag.String("save-trace", "", "write the generated stream to this file and exit")
-		loadTrace = flag.String("load-trace", "", "replay a stream saved with -save-trace instead of generating one")
-		simpoints = flag.Int("simpoints", 0, "simulate k representative intervals instead of the whole stream (SimPoint-style)")
-		interval  = flag.Int("interval", 50000, "interval length for -simpoints")
+		app        = flag.String("app", "511.povray", "workload name (see -list)")
+		predictor  = flag.String("predictor", "phast", "predictor spec (phast, storesets, nosq, mdptage, mdptage-s, ideal, none, unlimited-phast, ...)")
+		machine    = flag.String("machine", "alderlake", "machine configuration")
+		n          = flag.Int("n", sim.DefaultInstructions, "instructions to simulate")
+		seed       = flag.Int64("seed", 0, "stream seed override (0 = app default)")
+		noFwd      = flag.Bool("no-fwd-filter", false, "disable the §IV-A1 forwarding filter")
+		bp         = flag.String("bp", "tagescl", "branch predictor (bimodal, gshare, perceptron, tage, tagescl)")
+		list       = flag.Bool("list", false, "list apps, machines and predictors, then exit")
+		vsIdeal    = flag.Bool("vs-ideal", false, "also run the ideal predictor and report the gap")
+		saveTrace  = flag.String("save-trace", "", "write the generated stream to this file and exit")
+		loadTrace  = flag.String("load-trace", "", "replay a stream saved with -save-trace instead of generating one")
+		simpoints  = flag.Int("simpoints", 0, "simulate k representative intervals instead of the whole stream (SimPoint-style)")
+		interval   = flag.Int("interval", 50000, "interval length for -simpoints")
+		cacheDir   = flag.String("cache", "", "persistent run-cache directory (empty = always simulate)")
+		metrics    = flag.Bool("metrics", false, "print cache/simulation metrics to stderr at exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phastsim:", err)
+		os.Exit(1)
+	}
+	// simulate routes full runs through the persistent cache when enabled;
+	// -load-trace and -simpoints always simulate (their inputs are not part
+	// of the content address).
+	reg := stats.NewMetrics()
+	simulate := sim.Run
+	if *cacheDir != "" {
+		cache := runcache.New(runcache.NewStore(*cacheDir), reg)
+		simulate = cache.Run
+	}
+	finish := func() {
+		if *metrics {
+			reg.WriteTo(os.Stderr)
+		}
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "phastsim: profile:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *list {
 		fmt.Println("apps:")
@@ -77,7 +107,6 @@ func main() {
 	}
 
 	var run *stats.Run
-	var err error
 	switch {
 	case *simpoints > 0:
 		err = runSimpoints(cfg, *simpoints, *interval)
@@ -85,11 +114,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "phastsim:", err)
 			os.Exit(1)
 		}
+		finish()
 		return
 	case *loadTrace != "":
 		run, err = replay(*loadTrace, cfg)
 	default:
-		run, err = sim.Run(cfg)
+		run, err = simulate(cfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phastsim:", err)
@@ -99,7 +129,7 @@ func main() {
 
 	if *vsIdeal {
 		cfg.Predictor = "ideal"
-		ideal, err := sim.Run(cfg)
+		ideal, err := simulate(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "phastsim:", err)
 			os.Exit(1)
@@ -107,6 +137,7 @@ func main() {
 		fmt.Printf("\nideal IPC %.4f; %s reaches %.2f%% of ideal\n",
 			ideal.IPC(), *predictor, 100*run.Speedup(ideal))
 	}
+	finish()
 }
 
 // runSimpoints selects k representative intervals of the stream (SimPoint-

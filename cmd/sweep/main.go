@@ -18,27 +18,39 @@ import (
 	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		kind      = flag.String("kind", "budget", "sweep kind: budget, history, machine, window")
-		n         = flag.Int("n", sim.DefaultInstructions, "instructions per run")
-		apps      = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
-		predictor = flag.String("predictor", "phast", "predictor for the machine sweep")
-		workers   = flag.Int("workers", 0, "parallel runs")
+		kind       = flag.String("kind", "budget", "sweep kind: budget, history, machine, window")
+		n          = flag.Int("n", sim.DefaultInstructions, "instructions per run")
+		apps       = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
+		predictor  = flag.String("predictor", "phast", "predictor for the machine sweep")
+		workers    = flag.Int("workers", 0, "parallel runs")
+		cacheDir   = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
+		metrics    = flag.Bool("metrics", false, "print cache/simulation metrics to stderr at exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Instructions: *n, Out: os.Stdout, Workers: *workers}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	opt := experiments.Options{
+		Instructions: *n, Out: os.Stdout, Workers: *workers, CacheDir: *cacheDir,
+	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
 	}
 	r := experiments.NewRunner(opt)
-
-	var err error
+	defer r.Close()
 	switch *kind {
 	case "budget":
 		err = experiments.Fig13(r)
@@ -55,6 +67,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	if *metrics {
+		r.WriteMetrics(os.Stderr)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep: profile:", err)
 		os.Exit(1)
 	}
 }

@@ -2,11 +2,31 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// geoVsIdeal runs one config variant per app on the runner's shared worker
+// pool (and through its cache) and returns the geometric-mean speedup over
+// the supplied ideal runs. variant receives the app name and returns the
+// per-app Config.
+func geoVsIdeal(r *Runner, ideal []*stats.Run, variant func(app string) sim.Config) (float64, error) {
+	apps := r.Opt().Apps
+	cfgs := make([]sim.Config, len(apps))
+	for i, app := range apps {
+		cfgs[i] = variant(app)
+	}
+	runs, err := r.RunConfigs(cfgs)
+	if err != nil {
+		return 0, err
+	}
+	ratios := make([]float64, len(runs))
+	for i := range runs {
+		ratios[i] = runs[i].Speedup(ideal[i])
+	}
+	return stats.GeoMean(ratios), nil
+}
 
 // AblationTrainPoint reproduces the §IV-A1 update-point analysis: every
 // predictor run with training at mispeculation detection versus at commit.
@@ -22,34 +42,12 @@ func AblationTrainPoint(r *Runner) error {
 		return err
 	}
 	geoWith := func(pred string, atDetect bool) (float64, error) {
-		ratios := make([]float64, len(o.Apps))
-		errs := make([]error, len(o.Apps))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, o.Workers)
-		for i, app := range o.Apps {
-			wg.Add(1)
-			go func(i int, app string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				run, err := sim.Run(sim.Config{
-					App: app, Predictor: pred, Instructions: o.Instructions,
-					TrainAtDetect: atDetect,
-				})
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				ratios[i] = run.Speedup(ideal[i])
-			}(i, app)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return 0, err
+		return geoVsIdeal(r, ideal, func(app string) sim.Config {
+			return sim.Config{
+				App: app, Predictor: pred, Instructions: o.Instructions,
+				TrainAtDetect: atDetect,
 			}
-		}
-		return stats.GeoMean(ratios), nil
+		})
 	}
 	for _, pred := range sim.PredictorNames() {
 		detect, err := geoWith(pred, true)
@@ -117,34 +115,12 @@ func AblationFilter(r *Runner) error {
 		return err
 	}
 	geoWith := func(pred string, svw, fwdOff bool) (float64, error) {
-		ratios := make([]float64, len(o.Apps))
-		errs := make([]error, len(o.Apps))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, o.Workers)
-		for i, app := range o.Apps {
-			wg.Add(1)
-			go func(i int, app string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				run, err := sim.Run(sim.Config{
-					App: app, Predictor: pred, Instructions: o.Instructions,
-					SVWFilter: svw, FwdFilterOff: fwdOff,
-				})
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				ratios[i] = run.Speedup(ideal[i])
-			}(i, app)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return 0, err
+		return geoVsIdeal(r, ideal, func(app string) sim.Config {
+			return sim.Config{
+				App: app, Predictor: pred, Instructions: o.Instructions,
+				SVWFilter: svw, FwdFilterOff: fwdOff,
 			}
-		}
-		return stats.GeoMean(ratios), nil
+		})
 	}
 	for _, pred := range sim.PredictorNames() {
 		none, err := geoWith(pred, false, true)

@@ -113,40 +113,27 @@ func Fig10(r *Runner) error {
 	o := r.Opt()
 	agg := make([]uint64, 513)
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errs := make([]error, len(o.Apps))
-	sem := make(chan struct{}, o.Workers)
-	for i, app := range o.Apps {
-		wg.Add(1)
-		go func(i int, app string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			_, c, err := sim.RunCore(sim.Config{
-				App: app, Predictor: "unlimited-phast", Instructions: o.Instructions,
-			})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			up, ok := c.Predictor().(*core.UnlimitedPHAST)
-			if !ok {
-				errs[i] = fmt.Errorf("fig10: unexpected predictor type")
-				return
-			}
-			counts := up.ConflictLengthCounts()
-			mu.Lock()
-			for l, n := range counts {
-				agg[l] += n
-			}
-			mu.Unlock()
-		}(i, app)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := r.ForEachApp(func(_ int, app string) error {
+		_, c, err := sim.RunCore(sim.Config{
+			App: app, Predictor: "unlimited-phast", Instructions: o.Instructions,
+		})
 		if err != nil {
 			return err
 		}
+		up, ok := c.Predictor().(*core.UnlimitedPHAST)
+		if !ok {
+			return fmt.Errorf("fig10: unexpected predictor type")
+		}
+		counts := up.ConflictLengthCounts()
+		mu.Lock()
+		for l, n := range counts {
+			agg[l] += n
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	var total, upto32 uint64
 	for l, n := range agg {

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -24,6 +25,13 @@ type Options struct {
 	Out io.Writer
 	// Workers bounds app-level parallelism (default min(8, NumCPU)).
 	Workers int
+	// CacheDir roots the persistent run cache; empty keeps memoisation
+	// in-process only (every prior release's behaviour).
+	CacheDir string
+	// Metrics receives the runner's counters (cache hits/misses, runs
+	// simulated, simulator wall-time). Default: a private registry,
+	// readable via Runner.Metrics.
+	Metrics *stats.Metrics
 }
 
 func (o Options) norm() Options {
@@ -42,73 +50,78 @@ func (o Options) norm() Options {
 			o.Workers = 8
 		}
 	}
+	if o.Metrics == nil {
+		o.Metrics = stats.NewMetrics()
+	}
 	return o
 }
 
-// Runner executes simulations with memoisation, so figures sharing runs
-// (every figure needs the ideal baseline) pay for them once.
+// Runner executes simulations behind a layered cache (in-process map →
+// persistent store → simulate, see internal/runcache) so figures sharing
+// runs (every figure needs the ideal baseline) pay for them once — and,
+// with a cache directory, pay for them once across process invocations.
+// All fan-out goes through one shared worker pool.
 type Runner struct {
 	opt   Options
-	mu    sync.Mutex
-	cache map[string]*stats.Run
+	cache *runcache.Cache
+	sched *scheduler
 }
 
 // NewRunner builds a runner for the given options.
 func NewRunner(opt Options) *Runner {
-	return &Runner{opt: opt.norm(), cache: map[string]*stats.Run{}}
+	opt = opt.norm()
+	var disk *runcache.Store
+	if opt.CacheDir != "" {
+		disk = runcache.NewStore(opt.CacheDir)
+	}
+	return &Runner{
+		opt:   opt,
+		cache: runcache.New(disk, opt.Metrics),
+		sched: newScheduler(opt.Workers),
+	}
 }
 
 // Opt returns the normalised options.
 func (r *Runner) Opt() Options { return r.opt }
 
-type runKey struct {
-	app, machine, pred string
-	fwdOff             bool
-}
+// Metrics returns the runner's counter registry.
+func (r *Runner) Metrics() *stats.Metrics { return r.opt.Metrics }
 
-// String renders the cache key.
-func (k runKey) String() string {
-	return fmt.Sprintf("%s|%s|%s|%t", k.app, k.machine, k.pred, k.fwdOff)
-}
+// Close stops the worker pool. It is safe to call more than once; using
+// the runner's batch APIs after Close panics.
+func (r *Runner) Close() { r.sched.close() }
 
 // Run executes (or recalls) one simulation.
 func (r *Runner) Run(app, machine, pred string, fwdOff bool) (*stats.Run, error) {
-	key := runKey{app, machine, pred, fwdOff}.String()
-	r.mu.Lock()
-	if run, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return run, nil
-	}
-	r.mu.Unlock()
-	run, err := sim.Run(sim.Config{
+	return r.RunConfig(sim.Config{
 		App: app, Machine: machine, Predictor: pred,
 		Instructions: r.opt.Instructions, FwdFilterOff: fwdOff,
 	})
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.cache[key] = run
-	r.mu.Unlock()
-	return run, nil
 }
 
-// RunApps executes one (machine, predictor) combination over every app in
-// parallel and returns runs in app order.
-func (r *Runner) RunApps(machine, pred string, fwdOff bool) ([]*stats.Run, error) {
-	apps := r.opt.Apps
-	runs := make([]*stats.Run, len(apps))
-	errs := make([]error, len(apps))
+// RunConfig executes (or recalls) the simulation described by cfg. The
+// runner's instruction count applies when cfg leaves it zero.
+func (r *Runner) RunConfig(cfg sim.Config) (*stats.Run, error) {
+	if cfg.Instructions == 0 {
+		cfg.Instructions = r.opt.Instructions
+	}
+	return r.cache.Run(cfg)
+}
+
+// RunConfigs executes a batch of simulations on the shared worker pool and
+// returns runs in input order. The first error aborts the result (after
+// every job finishes).
+func (r *Runner) RunConfigs(cfgs []sim.Config) ([]*stats.Run, error) {
+	runs := make([]*stats.Run, len(cfgs))
+	errs := make([]error, len(cfgs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, r.opt.Workers)
-	for i, app := range apps {
+	for i, cfg := range cfgs {
+		i, cfg := i, cfg
 		wg.Add(1)
-		go func(i int, app string) {
+		r.sched.submit(func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			runs[i], errs[i] = r.Run(app, machine, pred, fwdOff)
-		}(i, app)
+			runs[i], errs[i] = r.RunConfig(cfg)
+		})
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -117,6 +130,43 @@ func (r *Runner) RunApps(machine, pred string, fwdOff bool) ([]*stats.Run, error
 		}
 	}
 	return runs, nil
+}
+
+// ForEachApp runs fn(i, app) for every app on the shared worker pool and
+// returns the first error once all have finished. It is the escape hatch
+// for experiments needing more than cached stats.Run counters (predictor
+// internals via sim.RunCore); such work bypasses the run cache.
+func (r *Runner) ForEachApp(fn func(i int, app string) error) error {
+	errs := make([]error, len(r.opt.Apps))
+	var wg sync.WaitGroup
+	for i, app := range r.opt.Apps {
+		i, app := i, app
+		wg.Add(1)
+		r.sched.submit(func() {
+			defer wg.Done()
+			errs[i] = fn(i, app)
+		})
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunApps executes one (machine, predictor) combination over every app in
+// parallel and returns runs in app order.
+func (r *Runner) RunApps(machine, pred string, fwdOff bool) ([]*stats.Run, error) {
+	cfgs := make([]sim.Config, len(r.opt.Apps))
+	for i, app := range r.opt.Apps {
+		cfgs[i] = sim.Config{
+			App: app, Machine: machine, Predictor: pred,
+			Instructions: r.opt.Instructions, FwdFilterOff: fwdOff,
+		}
+	}
+	return r.RunConfigs(cfgs)
 }
 
 // GeoIPCvsIdeal returns the geometric-mean IPC of a predictor normalised to
@@ -151,4 +201,30 @@ func (r *Runner) MeanMPKI(machine, pred string) (fn, fp float64, err error) {
 		fps[i] = run.FalseDepMPKI()
 	}
 	return stats.Mean(fns), stats.Mean(fps), nil
+}
+
+// WriteMetrics renders the runner's counters plus derived simulator
+// throughput (micro-ops per second of simulator wall-time). The cache
+// counters always appear, even at zero, so "second run re-simulated
+// nothing" is a visible row rather than an absent one.
+func (r *Runner) WriteMetrics(w io.Writer) {
+	m := r.opt.Metrics
+	snap := m.Snapshot()
+	for _, name := range []string{
+		runcache.CounterMemHits, runcache.CounterDiskHits, runcache.CounterMisses,
+		runcache.CounterRunsSimulated,
+	} {
+		if _, ok := snap[name]; !ok {
+			snap[name] = 0
+		}
+	}
+	t := stats.NewTable("runner metrics", "counter", "value")
+	for _, name := range stats.SortedKeys(snap) {
+		t.AddRowf(name, snap[name])
+	}
+	if ns := snap[runcache.CounterSimNanos]; ns > 0 {
+		uops := float64(snap[runcache.CounterSimUops])
+		t.AddRow("sim.uops.per_sec", fmt.Sprintf("%.0f", uops/(float64(ns)/1e9)))
+	}
+	fmt.Fprint(w, t)
 }

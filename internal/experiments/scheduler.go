@@ -1,0 +1,44 @@
+package experiments
+
+import "sync"
+
+// scheduler is the fixed-size worker pool shared by every figure a Runner
+// regenerates. All fan-out (RunApps, RunConfigs, the ablation sweeps) feeds
+// one pool, so app-level parallelism is bounded globally rather than per
+// call site and runs batched across figures contend for the same workers.
+type scheduler struct {
+	jobs      chan func()
+	workers   int
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+func newScheduler(workers int) *scheduler {
+	return &scheduler{jobs: make(chan func()), workers: workers}
+}
+
+// start spins up the workers; deferred to first submit so runners that
+// never fan out cost nothing.
+func (s *scheduler) start() {
+	for i := 0; i < s.workers; i++ {
+		go func() {
+			for job := range s.jobs {
+				job()
+			}
+		}()
+	}
+}
+
+// submit blocks until a worker accepts the job. Jobs must not submit
+// further jobs (a job waiting on a sub-job could starve the pool); batch
+// APIs fan out from the caller's goroutine instead.
+func (s *scheduler) submit(job func()) {
+	s.startOnce.Do(s.start)
+	s.jobs <- job
+}
+
+// close stops the workers once outstanding jobs drain. Submitting after
+// close panics; callers close only after every batch has returned.
+func (s *scheduler) close() {
+	s.closeOnce.Do(func() { close(s.jobs) })
+}

@@ -1,0 +1,125 @@
+package runcache
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Counter names exported to the shared stats.Metrics registry. The split
+// lets the paperfigs acceptance check ("second run performs zero new
+// simulations") read RunsSimulated directly.
+const (
+	// CounterMemHits counts requests answered from the in-process map.
+	CounterMemHits = "cache.hits.mem"
+	// CounterDiskHits counts requests answered from the persistent store.
+	CounterDiskHits = "cache.hits.disk"
+	// CounterMisses counts requests that had to simulate.
+	CounterMisses = "cache.misses"
+	// CounterCoalesced counts requests that piggybacked on an identical
+	// in-flight request (single-flight sharing).
+	CounterCoalesced = "cache.coalesced"
+	// CounterWriteErrors counts failed persistent-store writes (the cache
+	// is best-effort: a failed Put never fails the run).
+	CounterWriteErrors = "cache.write.errors"
+	// CounterRunsSimulated counts simulations actually executed.
+	CounterRunsSimulated = "runs.simulated"
+	// CounterSimNanos accumulates wall-time spent inside the simulator.
+	CounterSimNanos = "sim.walltime.ns"
+	// CounterSimUops accumulates committed micro-ops across executed
+	// simulations; with CounterSimNanos it yields simulator throughput.
+	CounterSimUops = "sim.uops.committed"
+)
+
+// Cache layers an in-process memoisation map over an optional persistent
+// Store, with single-flight de-duplication so concurrent requests for the
+// same key simulate once. Lookup order: memory → disk → simulate. All
+// methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	mem     map[string]*stats.Run
+	disk    *Store // nil = in-memory only
+	group   Group
+	metrics *stats.Metrics
+}
+
+// New builds a cache over disk (nil for in-memory only) reporting to m
+// (nil for a private registry).
+func New(disk *Store, m *stats.Metrics) *Cache {
+	if m == nil {
+		m = stats.NewMetrics()
+	}
+	return &Cache{mem: map[string]*stats.Run{}, disk: disk, metrics: m}
+}
+
+// Metrics returns the registry the cache reports to.
+func (c *Cache) Metrics() *stats.Metrics { return c.metrics }
+
+// Disk returns the persistent layer (nil if in-memory only).
+func (c *Cache) Disk() *Store { return c.disk }
+
+func (c *Cache) memGet(key string) (*stats.Run, bool) {
+	c.mu.Lock()
+	run, ok := c.mem[key]
+	c.mu.Unlock()
+	return run, ok
+}
+
+func (c *Cache) memPut(key string, run *stats.Run) {
+	c.mu.Lock()
+	c.mem[key] = run
+	c.mu.Unlock()
+}
+
+// Run executes (or recalls) the simulation described by cfg.
+func (c *Cache) Run(cfg sim.Config) (*stats.Run, error) {
+	return c.GetOrRun(cfg, func() (*stats.Run, error) { return sim.Run(cfg) })
+}
+
+// GetOrRun returns the cached run for cfg, calling simulate on a full miss.
+// Concurrent calls for the same key are coalesced into one simulate; errors
+// are returned to every waiter but never cached.
+func (c *Cache) GetOrRun(cfg sim.Config, simulate func() (*stats.Run, error)) (*stats.Run, error) {
+	key := Key(cfg)
+	if run, ok := c.memGet(key); ok {
+		c.metrics.Add(CounterMemHits, 1)
+		return run, nil
+	}
+	run, err, shared := c.group.Do(key, func() (*stats.Run, error) {
+		// Re-check memory: we may have lost the race to a flight that
+		// completed between our miss and joining the group.
+		if run, ok := c.memGet(key); ok {
+			c.metrics.Add(CounterMemHits, 1)
+			return run, nil
+		}
+		if c.disk != nil {
+			if run, ok := c.disk.Get(key); ok {
+				c.metrics.Add(CounterDiskHits, 1)
+				c.memPut(key, run)
+				return run, nil
+			}
+		}
+		c.metrics.Add(CounterMisses, 1)
+		start := time.Now()
+		run, err := simulate()
+		if err != nil {
+			return nil, err
+		}
+		c.metrics.Add(CounterRunsSimulated, 1)
+		c.metrics.AddDuration(CounterSimNanos, time.Since(start))
+		c.metrics.Add(CounterSimUops, run.Committed)
+		c.memPut(key, run)
+		if c.disk != nil {
+			if perr := c.disk.Put(key, cfg, run); perr != nil {
+				c.metrics.Add(CounterWriteErrors, 1)
+			}
+		}
+		return run, nil
+	})
+	if shared {
+		c.metrics.Add(CounterCoalesced, 1)
+	}
+	return run, err
+}

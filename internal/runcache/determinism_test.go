@@ -1,0 +1,74 @@
+package runcache
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The determinism contract the run cache depends on: simulating the same
+// Config twice must produce bit-identical stats.Run aggregates, for every
+// predictor spec family the paper evaluates. If any of these subtests fail,
+// persisted entries are not trustworthy and sim.BehaviorVersion churn
+// cannot save you — fix the nondeterminism first.
+func TestSimulationDeterminism(t *testing.T) {
+	specs := []string{"phast", "storesets", "nosq", "mdptage", "ideal"}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.Config{App: "511.povray", Predictor: spec, Instructions: 25_000}
+			first, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, first, second, "repeat simulation")
+
+			// And once through the cache: a disk round trip must return the
+			// same aggregates the simulator produced.
+			c := New(NewStore(t.TempDir()), nil)
+			cached, err := c.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, first, cached, "cache miss path")
+
+			reread := New(NewStore(c.Disk().Dir()), nil)
+			fromDisk, err := reread.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reread.Metrics().Get(CounterDiskHits) != 1 {
+				t.Fatalf("expected a disk hit, got metrics:\n%s", reread.Metrics())
+			}
+			requireIdentical(t, first, fromDisk, "disk round trip")
+		})
+	}
+}
+
+// requireIdentical asserts two runs are bit-identical, both structurally
+// and through the JSON encoding the store persists.
+func requireIdentical(t *testing.T, want, got *stats.Run, what string) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: runs differ:\nwant %+v\ngot  %+v", what, want, got)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatalf("%s: serialised runs differ:\n%s\n%s", what, wantJSON, gotJSON)
+	}
+}

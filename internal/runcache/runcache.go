@@ -1,0 +1,133 @@
+// Package runcache persists simulation results in a content-addressed
+// on-disk store. Entries are keyed by a SHA-256 over the normalised
+// sim.Config plus the simulator behaviour version (sim.BehaviorVersion), so
+// a result is reused if and only if it came from an identical simulation of
+// an identical simulator. The store is deliberately forgiving: writes are
+// atomic (temp file + rename), and any unreadable entry — truncated,
+// corrupt, produced by a different simulator version — reads as a miss,
+// never as an error.
+//
+// Cache (cache.go) layers an in-process memoisation map and single-flight
+// de-duplication (singleflight.go) over a Store, giving experiment runners
+// the full memory → disk → simulate hierarchy.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Key returns the content address of a simulation: hex SHA-256 over the
+// normalised Config and sim.BehaviorVersion. Configs that Run would treat
+// identically (defaulted machine/predictor/instruction-count spelled out or
+// left zero) hash identically.
+func Key(cfg sim.Config) string {
+	payload, err := json.Marshal(struct {
+		Version int        `json:"version"`
+		Config  sim.Config `json:"config"`
+	}{sim.BehaviorVersion, cfg.Normalized()})
+	if err != nil {
+		// Config is a plain struct of scalars; Marshal cannot fail on it.
+		panic("runcache: marshal config: " + err.Error())
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is a content-addressed directory of simulation results. Layout:
+//
+//	<dir>/<key[0:2]>/<key>.json
+//
+// where each file is an entry envelope carrying the version stamp, the key,
+// the originating Config (for debugging with plain shell tools) and the
+// stats.Run counters. The zero Store is unusable; use NewStore.
+type Store struct {
+	dir string
+}
+
+// NewStore returns a store rooted at dir. The directory is created lazily
+// on first Put, so opening a store never fails and a read-only consumer of
+// a missing directory simply sees misses.
+func NewStore(dir string) *Store { return &Store{dir: dir} }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entry is the on-disk envelope of one cached run.
+type entry struct {
+	Version int        `json:"version"`
+	Key     string     `json:"key"`
+	Config  sim.Config `json:"config"`
+	Run     *stats.Run `json:"run"`
+}
+
+// path maps a key to its shard file.
+func (s *Store) path(key string) string {
+	if len(key) < 2 {
+		return filepath.Join(s.dir, key+".json")
+	}
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get loads the run stored under key. Every failure mode — missing file,
+// truncated or corrupt JSON, a stamp from another simulator version, an
+// envelope whose key does not match its address — is a miss, never an
+// error: the caller falls back to simulating.
+func (s *Store) Get(key string) (*stats.Run, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Version != sim.BehaviorVersion || e.Key != key || e.Run == nil {
+		return nil, false
+	}
+	return e.Run, true
+}
+
+// Put stores run under key atomically: the envelope is written to a
+// temporary file in the destination directory and renamed into place, so a
+// crashed or concurrent writer can leave behind at worst a stale temp file,
+// never a torn entry.
+func (s *Store) Put(key string, cfg sim.Config, run *stats.Run) error {
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(entry{
+		Version: sim.BehaviorVersion,
+		Key:     key,
+		Config:  cfg.Normalized(),
+		Run:     run,
+	}, "", "\t")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+filepath.Base(dst)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

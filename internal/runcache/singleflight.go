@@ -1,0 +1,52 @@
+package runcache
+
+import (
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// call is one in-flight simulation shared by every waiter on its key.
+type call struct {
+	wg  sync.WaitGroup
+	run *stats.Run
+	err error
+}
+
+// Group de-duplicates concurrent work by key: while one goroutine executes
+// fn for a key, every other goroutine asking for the same key blocks and
+// receives the first execution's result instead of re-running fn. The zero
+// Group is ready to use.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do executes fn once per key among concurrent callers. shared reports
+// whether this caller received another caller's result rather than running
+// fn itself. Results are not retained after the flight completes — pair a
+// Group with a cache for memoisation across time, not just across
+// concurrency.
+func (g *Group) Do(key string, fn func() (*stats.Run, error)) (run *stats.Run, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*call{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.run, c.err, true
+	}
+	c := new(call)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.run, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.run, c.err, false
+}

@@ -47,6 +47,36 @@ type Config struct {
 // reach steady state much sooner, and every experiment scales with a flag.
 const DefaultInstructions = 300_000
 
+// BehaviorVersion stamps persisted simulation results (internal/runcache).
+// Bump it whenever a change alters the output of a simulation for an
+// unchanged Config — timing-model changes, predictor behaviour, workload
+// generation, counter semantics. Stale run-cache entries carrying an old
+// stamp then read as misses instead of resurfacing outdated numbers.
+const BehaviorVersion = 1
+
+// Normalized returns cfg with every defaultable field filled in with the
+// value Run would use, so that two Configs describing the same simulation
+// compare (and hash) equal. SVWFilter overriding FwdFilterOff is also
+// folded in.
+func (cfg Config) Normalized() Config {
+	if cfg.Machine == "" {
+		cfg.Machine = "alderlake"
+	}
+	if cfg.Predictor == "" {
+		cfg.Predictor = "phast"
+	}
+	if cfg.Instructions == 0 {
+		cfg.Instructions = DefaultInstructions
+	}
+	if cfg.BranchPredictor == "" {
+		cfg.BranchPredictor = "tagescl"
+	}
+	if cfg.SVWFilter {
+		cfg.FwdFilterOff = false
+	}
+	return cfg
+}
+
 // NewPredictor builds a predictor from its spec string. Specs:
 //
 //	phast                 paper configuration (14.5KB)
@@ -71,7 +101,11 @@ func NewPredictor(spec string) (mdp.Predictor, error) {
 		if arg == "" {
 			return def, nil
 		}
-		return strconv.Atoi(arg)
+		v, err := strconv.Atoi(arg)
+		if err != nil {
+			return 0, fmt.Errorf("sim: bad argument in predictor spec %q: %v", spec, err)
+		}
+		return v, nil
 	}
 	switch name {
 	case "phast":
@@ -209,52 +243,14 @@ func pipelineOptions(cfg Config) pipeline.Options {
 
 // Run executes one simulation.
 func Run(cfg Config) (*stats.Run, error) {
-	if cfg.Machine == "" {
-		cfg.Machine = "alderlake"
-	}
-	if cfg.Predictor == "" {
-		cfg.Predictor = "phast"
-	}
-	if cfg.Instructions == 0 {
-		cfg.Instructions = DefaultInstructions
-	}
-	machine, err := config.ByName(cfg.Machine)
-	if err != nil {
-		return nil, err
-	}
-	pred, err := NewPredictor(cfg.Predictor)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := TraceFor(cfg.App, cfg.Instructions, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	opt := pipelineOptions(cfg)
-	c, err := pipeline.New(machine, pred, opt)
-	if err != nil {
-		return nil, err
-	}
-	run, err := c.Run(tr)
-	if err != nil {
-		return nil, fmt.Errorf("sim %s/%s/%s: %w", cfg.App, cfg.Machine, cfg.Predictor, err)
-	}
-	run.Predictor = cfg.Predictor
-	return run, nil
+	run, _, err := RunCore(cfg)
+	return run, err
 }
 
 // RunCore is like Run but also returns the core, so callers can inspect
 // predictor internals (conflict-length histograms, path counts).
 func RunCore(cfg Config) (*stats.Run, *pipeline.Core, error) {
-	if cfg.Machine == "" {
-		cfg.Machine = "alderlake"
-	}
-	if cfg.Predictor == "" {
-		cfg.Predictor = "phast"
-	}
-	if cfg.Instructions == 0 {
-		cfg.Instructions = DefaultInstructions
-	}
+	cfg = cfg.Normalized()
 	machine, err := config.ByName(cfg.Machine)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a registry of named monotonic counters. One registry is shared
+// by an experiment runner, its run cache, and the cmd binaries' -metrics
+// flag, so cache hit/miss rates, simulation counts and simulated wall-time
+// are observable without attaching a profiler. All methods are safe for
+// concurrent use; counters are created on first touch.
+type Metrics struct {
+	mu       sync.RWMutex
+	counters map[string]*uint64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{counters: map[string]*uint64{}} }
+
+// counter returns the cell for name, creating it if needed.
+func (m *Metrics) counter(name string) *uint64 {
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[name]; c == nil {
+		c = new(uint64)
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by delta.
+func (m *Metrics) Add(name string, delta uint64) {
+	atomic.AddUint64(m.counter(name), delta)
+}
+
+// AddDuration increments the named counter by d in nanoseconds.
+func (m *Metrics) AddDuration(name string, d time.Duration) {
+	if d > 0 {
+		m.Add(name, uint64(d.Nanoseconds()))
+	}
+}
+
+// Get returns the named counter's current value (0 if never touched).
+func (m *Metrics) Get(name string) uint64 {
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadUint64(c)
+}
+
+// Snapshot returns a point-in-time copy of every counter.
+func (m *Metrics) Snapshot() map[string]uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]uint64, len(m.counters))
+	for name, c := range m.counters {
+		out[name] = atomic.LoadUint64(c)
+	}
+	return out
+}
+
+// String renders the counters as a sorted table.
+func (m *Metrics) String() string {
+	snap := m.Snapshot()
+	t := NewTable("metrics", "counter", "value")
+	for _, name := range SortedKeys(snap) {
+		t.AddRowf(name, snap[name])
+	}
+	return t.String()
+}
+
+// WriteTo writes the rendered table, satisfying io.WriterTo.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	n, err := fmt.Fprint(w, m.String())
+	return int64(n), err
+}

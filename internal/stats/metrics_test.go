@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsCounters(t *testing.T) {
+	m := NewMetrics()
+	if m.Get("nothing") != 0 {
+		t.Error("untouched counter must read 0")
+	}
+	m.Add("a", 2)
+	m.Add("a", 3)
+	m.AddDuration("ns", 1500*time.Nanosecond)
+	if m.Get("a") != 5 || m.Get("ns") != 1500 {
+		t.Errorf("a=%d ns=%d", m.Get("a"), m.Get("ns"))
+	}
+	snap := m.Snapshot()
+	if snap["a"] != 5 || len(snap) != 2 { // reads never create counters
+		t.Errorf("snapshot %v", snap)
+	}
+	out := m.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "5") {
+		t.Errorf("rendering missing counters:\n%s", out)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	const workers, perWorker = 16, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				m.Add("hits", 1)
+				_ = m.Get("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get("hits"); got != workers*perWorker {
+		t.Errorf("hits = %d, want %d", got, workers*perWorker)
+	}
+}
