@@ -1,17 +1,21 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench figures examples clean check cache-smoke
+.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke
 
 all: build test
 
 # Full pre-merge gate: vet + build + race-enabled tests + a cached-vs-
 # uncached paperfigs smoke proving the persistent run cache reproduces
-# byte-identical tables with zero re-simulations.
+# byte-identical tables with zero re-simulations, a one-iteration pass over
+# every benchmark, and a throughput comparison against the committed
+# BENCH.json baseline (fails on a >10% uops/s regression).
 check:
 	go vet ./...
 	go build ./...
 	go test -race ./...
 	$(MAKE) cache-smoke
+	$(MAKE) bench-smoke
+	$(MAKE) benchdiff
 
 SMOKEDIR := $(or $(TMPDIR),/tmp)/phast-cache-smoke
 SMOKEFLAGS := -fig fig12 -apps 511.povray,519.lbm -n 30000 -cache $(SMOKEDIR)/cache -metrics
@@ -34,8 +38,30 @@ test:
 
 # One benchmark per paper figure/table (subset, laptop-sized). Use
 # BENCHFLAGS="-repro.full -repro.v" for the whole suite with printed tables.
+# Results are recorded to BENCH.json; commit it to move the regression
+# baseline that `make check` compares against. Provenance (SHA, date) is
+# captured here and passed in as flags — the recorder itself never reads the
+# clock or the repository.
+BENCH_SHA  := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+BENCH_DATE := $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
+
 bench:
-	go test -bench=. -benchmem $(BENCHFLAGS) .
+	go test -run '^$$' -bench=. -benchmem $(BENCHFLAGS) . | tee bench_output.txt
+	go run ./cmd/benchreg -o BENCH.json -sha $(BENCH_SHA) -date $(BENCH_DATE) < bench_output.txt
+
+# Quick sanity pass: every benchmark must still run (one iteration each).
+bench-smoke:
+	go test -run '^$$' -bench=. -benchtime=1x -benchmem . >/dev/null
+
+# Re-measure simulator throughput and gate it against the committed
+# BENCH.json (>10% uops/s regression fails).
+benchdiff:
+	go test -run '^$$' -bench=SimulatorThroughput -benchtime=5x -benchmem . \
+		| go run ./cmd/benchreg -o $(or $(TMPDIR),/tmp)/bench_head.json \
+			-sha $(BENCH_SHA) -date $(BENCH_DATE)
+	go run ./cmd/benchreg -compare -old BENCH.json \
+		-new $(or $(TMPDIR),/tmp)/bench_head.json \
+		-bench SimulatorThroughput -max-regress 0.10
 
 # Regenerate every figure and table into results/ (~30-45 min on one core).
 figures:

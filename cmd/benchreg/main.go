@@ -1,0 +1,86 @@
+// Command benchreg records and gates benchmark results.
+//
+// Record mode (default) reads `go test -bench` output on stdin and writes a
+// BENCH.json record. Provenance is passed in rather than sampled, keeping
+// the output a pure function of its inputs:
+//
+//	go test -run '^$' -bench . -benchmem . |
+//	    benchreg -o BENCH.json -sha $(git rev-parse --short HEAD) -date $(date -u +%FT%TZ)
+//
+// Compare mode gates a fresh record against a committed baseline, failing
+// (exit 1) when the named benchmark's throughput regressed beyond the
+// tolerance:
+//
+//	benchreg -compare -old BENCH.json -new /tmp/new.json \
+//	    -bench SimulatorThroughput -max-regress 0.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchreg"
+)
+
+func main() {
+	var (
+		out        = flag.String("o", "BENCH.json", "record mode: output file (- for stdout)")
+		sha        = flag.String("sha", "", "record mode: commit SHA stored in the record")
+		date       = flag.String("date", "", "record mode: timestamp stored in the record")
+		compare    = flag.Bool("compare", false, "compare two records instead of recording")
+		oldPath    = flag.String("old", "BENCH.json", "compare mode: baseline record")
+		newPath    = flag.String("new", "", "compare mode: fresh record")
+		benchName  = flag.String("bench", "SimulatorThroughput", "compare mode: benchmark to gate")
+		maxRegress = flag.Float64("max-regress", 0.10, "compare mode: allowed fractional throughput drop")
+	)
+	flag.Parse()
+
+	if err := run(*compare, *out, *sha, *date, *oldPath, *newPath, *benchName, *maxRegress); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(compare bool, out, sha, date, oldPath, newPath, benchName string, maxRegress float64) error {
+	if compare {
+		oldRec, err := benchreg.Load(oldPath)
+		if err != nil {
+			return err
+		}
+		newRec, err := benchreg.Load(newPath)
+		if err != nil {
+			return err
+		}
+		if err := benchreg.Compare(oldRec, newRec, benchName, maxRegress); err != nil {
+			return err
+		}
+		ob, _ := oldRec.Find(benchName)
+		nb, _ := newRec.Find(benchName)
+		fmt.Printf("benchreg: %s ok: %.0f uops/s vs baseline %.0f (%s)\n",
+			benchName, nb.UopsPerSec, ob.UopsPerSec, oldRec.GitSHA)
+		return nil
+	}
+
+	results, err := benchreg.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	rec := benchreg.NewRecord(sha, date, results)
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.Write(w); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "benchreg: wrote %d benchmarks to %s\n", len(results), out)
+	}
+	return nil
+}

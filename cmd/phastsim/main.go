@@ -61,6 +61,7 @@ func main() {
 	}
 	finish := func() {
 		if *metrics {
+			sim.PublishMetrics(reg)
 			reg.WriteTo(os.Stderr)
 		}
 		if err := stopProf(); err != nil {

@@ -31,7 +31,7 @@ func main() {
 		predictor  = flag.String("predictor", "phast", "predictor for the machine sweep")
 		workers    = flag.Int("workers", 0, "parallel runs")
 		cacheDir   = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
-		metrics    = flag.Bool("metrics", false, "print cache/simulation metrics to stderr at exit")
+		metrics    = flag.Bool("metrics", false, "print cache, simulation, trace-intern and core-pool metrics to stderr at exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)

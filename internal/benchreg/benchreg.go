@@ -1,0 +1,198 @@
+// Package benchreg turns `go test -bench` output into a persistent,
+// machine-readable benchmark record (BENCH.json) and compares two records to
+// gate throughput regressions in `make check`.
+//
+// The package deliberately takes the commit SHA and timestamp as caller
+// inputs rather than reading the clock or the repository itself: records are
+// pure functions of the benchmark output plus those two strings, so the same
+// output always produces byte-identical JSON.
+package benchreg
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. UopsPerSec is derived from the
+// testing package's MB/s column: the simulator benchmarks call SetBytes with
+// committed micro-ops, so 1 "MB/s" is 1e6 micro-ops per second.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	UopsPerSec  float64 `json:"uops_per_sec,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Record is the persisted form: provenance plus results sorted by name.
+type Record struct {
+	GitSHA     string   `json:"git_sha"`
+	Date       string   `json:"date"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Parse extracts benchmark results from `go test -bench` output. Lines that
+// are not benchmark results (headers, PASS/ok, table output interleaved by
+// verbose benchmarks) are ignored. Repeated results for one benchmark
+// (-count > 1) are averaged.
+func Parse(r io.Reader) ([]Result, error) {
+	type acc struct {
+		sum Result
+		n   int
+	}
+	byName := map[string]*acc{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		a := byName[res.Name]
+		if a == nil {
+			a = &acc{}
+			byName[res.Name] = a
+			order = append(order, res.Name)
+		}
+		a.sum.NsPerOp += res.NsPerOp
+		a.sum.UopsPerSec += res.UopsPerSec
+		a.sum.BytesPerOp += res.BytesPerOp
+		a.sum.AllocsPerOp += res.AllocsPerOp
+		a.n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		n := float64(a.n)
+		out = append(out, Result{
+			Name:        name,
+			NsPerOp:     a.sum.NsPerOp / n,
+			UopsPerSec:  a.sum.UopsPerSec / n,
+			BytesPerOp:  a.sum.BytesPerOp / n,
+			AllocsPerOp: a.sum.AllocsPerOp / n,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchreg: no benchmark results in input")
+	}
+	return out, nil
+}
+
+// parseLine decodes one `Benchmark<Name>[-P] <N> <value> <unit> ...` row.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+		return Result{}, false // second field must be the iteration count
+	}
+	res := Result{Name: name}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "MB/s":
+			res.UopsPerSec = v * 1e6
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+		seen = true
+	}
+	return res, seen
+}
+
+// NewRecord assembles a record from parsed results and provenance strings.
+func NewRecord(sha, date string, results []Result) Record {
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	return Record{GitSHA: sha, Date: date, Benchmarks: sorted}
+}
+
+// Find returns the named benchmark's result.
+func (r Record) Find(name string) (Result, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Result{}, false
+}
+
+// Write renders the record as indented JSON.
+func (r Record) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// Load reads a record from a JSON file.
+func Load(path string) (Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Record{}, err
+	}
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Record{}, fmt.Errorf("benchreg: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Compare gates the named benchmark: it fails if the new record's throughput
+// (uops/s) fell more than maxRegress (a fraction, e.g. 0.10) below the old
+// record's. Benchmarks without a throughput column fall back to comparing
+// ns/op the same way. A missing benchmark on either side is an error —
+// silently passing an absent gate would defeat it.
+func Compare(old, new Record, name string, maxRegress float64) error {
+	ob, ok := old.Find(name)
+	if !ok {
+		return fmt.Errorf("benchreg: baseline record has no benchmark %q", name)
+	}
+	nb, ok := new.Find(name)
+	if !ok {
+		return fmt.Errorf("benchreg: new record has no benchmark %q", name)
+	}
+	if ob.UopsPerSec > 0 && nb.UopsPerSec > 0 {
+		floor := ob.UopsPerSec * (1 - maxRegress)
+		if nb.UopsPerSec < floor {
+			return fmt.Errorf(
+				"benchreg: %s regressed: %.0f uops/s vs baseline %.0f (%s, floor %.0f at %.0f%% tolerance)",
+				name, nb.UopsPerSec, ob.UopsPerSec, old.GitSHA, floor, maxRegress*100)
+		}
+		return nil
+	}
+	ceil := ob.NsPerOp * (1 + maxRegress)
+	if nb.NsPerOp > ceil {
+		return fmt.Errorf(
+			"benchreg: %s regressed: %.0f ns/op vs baseline %.0f (%s, ceiling %.0f at %.0f%% tolerance)",
+			name, nb.NsPerOp, ob.NsPerOp, old.GitSHA, ceil, maxRegress*100)
+	}
+	return nil
+}

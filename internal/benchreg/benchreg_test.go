@@ -1,0 +1,90 @@
+package benchreg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig12_FwdFilter-8 	       1	1952000000 ns/op
+BenchmarkSimulatorThroughput 	      10	  34577910 ns/op	   2.89 MB/s	  276205 B/op	      88 allocs/op
+some interleaved table row that is not a benchmark
+BenchmarkSimulatorThroughput 	      10	  35000000 ns/op	   2.91 MB/s	  276205 B/op	      88 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+	if results[0].Name != "Fig12_FwdFilter" {
+		t.Errorf("proc-count suffix not stripped: %q", results[0].Name)
+	}
+	st := results[1]
+	if st.Name != "SimulatorThroughput" {
+		t.Fatalf("unexpected name %q", st.Name)
+	}
+	if st.NsPerOp != (34577910+35000000)/2.0 {
+		t.Errorf("repeated results not averaged: %v", st.NsPerOp)
+	}
+	if st.UopsPerSec != 2.90e6 {
+		t.Errorf("uops/s = %v, want 2.90e6 (MB/s scaled by 1e6)", st.UopsPerSec)
+	}
+	if st.AllocsPerOp != 88 || st.BytesPerOp != 276205 {
+		t.Errorf("mem columns wrong: %+v", st)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("no-result input must error")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecord("abc1234", "2026-08-06T00:00:00Z", results)
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"git_sha": "abc1234"`) {
+		t.Errorf("provenance missing:\n%s", buf.String())
+	}
+	if _, ok := rec.Find("SimulatorThroughput"); !ok {
+		t.Error("Find failed after sorting")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := NewRecord("old", "d", []Result{{Name: "SimulatorThroughput", NsPerOp: 100, UopsPerSec: 2.0e6}})
+	ok := NewRecord("new", "d", []Result{{Name: "SimulatorThroughput", NsPerOp: 108, UopsPerSec: 1.85e6}})
+	if err := Compare(base, ok, "SimulatorThroughput", 0.10); err != nil {
+		t.Errorf("7.5%% drop within 10%% tolerance must pass: %v", err)
+	}
+	bad := NewRecord("new", "d", []Result{{Name: "SimulatorThroughput", NsPerOp: 130, UopsPerSec: 1.7e6}})
+	if err := Compare(base, bad, "SimulatorThroughput", 0.10); err == nil {
+		t.Error("15% drop must fail the gate")
+	}
+	if err := Compare(base, ok, "Missing", 0.10); err == nil {
+		t.Error("absent benchmark must fail, not silently pass")
+	}
+	// ns/op fallback when throughput is absent.
+	nbase := NewRecord("old", "d", []Result{{Name: "Fig12", NsPerOp: 100}})
+	nbad := NewRecord("new", "d", []Result{{Name: "Fig12", NsPerOp: 120}})
+	if err := Compare(nbase, nbad, "Fig12", 0.10); err == nil {
+		t.Error("20% ns/op growth must fail the fallback gate")
+	}
+}

@@ -20,9 +20,7 @@ type Level struct {
 	tags []uint64 // sets × ways line tags; 0 = invalid
 	lru  []uint8  // per way recency (0 = MRU)
 
-	mshrs      []uint64 // busy-until cycle per MSHR
-	inflight   map[uint64]uint64
-	maxInIndex int
+	mshrs []uint64 // busy-until cycle per MSHR
 
 	Hits, Misses uint64
 }
@@ -43,16 +41,29 @@ func NewLevel(name string, c config.Cache) *Level {
 		tags:       make([]uint64, sets*c.Ways),
 		lru:        make([]uint8, sets*c.Ways),
 		mshrs:      make([]uint64, c.MSHRs),
-		inflight:   map[uint64]uint64{},
 	}
-	// Recency counters must start as a permutation per set (0 = MRU …
-	// ways-1 = LRU) or the relative-increment update cannot order ways.
-	for s := 0; s < sets; s++ {
-		for w := 0; w < c.Ways; w++ {
-			l.lru[s*c.Ways+w] = uint8(w)
+	l.initLRU()
+	return l
+}
+
+// initLRU seeds the recency counters: they must form a permutation per set
+// (0 = MRU … ways-1 = LRU) or the relative-increment update cannot order
+// ways.
+func (l *Level) initLRU() {
+	for s := 0; s < l.sets; s++ {
+		for w := 0; w < l.ways; w++ {
+			l.lru[s*l.ways+w] = uint8(w)
 		}
 	}
-	return l
+}
+
+// Reset invalidates every line and clears MSHR and hit/miss state, returning
+// the level to its just-constructed contents without reallocating.
+func (l *Level) Reset() {
+	clear(l.tags)
+	l.initLRU()
+	clear(l.mshrs)
+	l.Hits, l.Misses = 0, 0
 }
 
 // Name returns the level's label (e.g. "L1D").

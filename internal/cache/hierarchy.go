@@ -2,6 +2,19 @@ package cache
 
 import "repro/internal/config"
 
+// inflightSlots sizes the direct-mapped outstanding-fill table. It far
+// exceeds any realistic population of simultaneously outstanding lines
+// (bounded by MSHRs × levels), so conflict evictions — which merely turn a
+// secondary miss into a full miss — are rare.
+const inflightSlots = 4096
+
+// inflightFill is one slot of the outstanding-fill table: the line (+1, so
+// zero means invalid) and the cycle its fill completes.
+type inflightFill struct {
+	line uint64
+	done uint64
+}
+
 // Hierarchy composes the levels of Table I and answers the pipeline's two
 // questions: "when does this load's data arrive?" and "when does this fetch
 // group arrive?". Stores write through the store buffer after commit and
@@ -12,10 +25,11 @@ type Hierarchy struct {
 
 	pf *StridePrefetcher
 
-	// inflightLine tracks outstanding line fills so that a second miss to an
+	// inflight tracks outstanding line fills so that a second miss to an
 	// in-flight line completes with it instead of paying a full miss (MSHR
-	// secondary-miss coalescing).
-	inflightLine map[uint64]uint64
+	// secondary-miss coalescing). Direct-mapped: a colliding fill evicts the
+	// older entry, safely degrading a future secondary miss to a full one.
+	inflight []inflightFill
 
 	// DemandAccesses counts L1D demand accesses (loads + store drains).
 	DemandAccesses uint64
@@ -24,17 +38,31 @@ type Hierarchy struct {
 // New builds the hierarchy for a machine configuration.
 func New(m config.Machine) *Hierarchy {
 	h := &Hierarchy{
-		L1I:          NewLevel("L1I", m.L1I),
-		L1D:          NewLevel("L1D", m.L1D),
-		L2:           NewLevel("L2", m.L2),
-		L3:           NewLevel("L3", m.L3),
-		memLatency:   m.MemLatency,
-		inflightLine: map[uint64]uint64{},
+		L1I:        NewLevel("L1I", m.L1I),
+		L1D:        NewLevel("L1D", m.L1D),
+		L2:         NewLevel("L2", m.L2),
+		L3:         NewLevel("L3", m.L3),
+		memLatency: m.MemLatency,
+		inflight:   make([]inflightFill, inflightSlots),
 	}
 	if m.PrefetchDegree > 0 {
 		h.pf = NewStridePrefetcher(256, m.PrefetchDegree, m.L1D.LineBytes)
 	}
 	return h
+}
+
+// Reset returns the hierarchy to its just-constructed state (cold caches,
+// idle MSHRs, untrained prefetcher) without reallocating any table.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.L3.Reset()
+	clear(h.inflight)
+	if h.pf != nil {
+		h.pf.Reset()
+	}
+	h.DemandAccesses = 0
 }
 
 // Load returns the completion cycle of a demand load issued at cycle to
@@ -71,9 +99,10 @@ func (h *Hierarchy) dataAccess(cycle uint64, addr uint64) uint64 {
 		return cycle + uint64(h.L1D.hitLatency)
 	}
 	h.L1D.Misses++
-	if doneAt, ok := h.inflightLine[line]; ok && doneAt > cycle {
+	slot := &h.inflight[line&(inflightSlots-1)]
+	if slot.line == line+1 && slot.done > cycle {
 		// Secondary miss: ride the outstanding fill.
-		return doneAt
+		return slot.done
 	}
 	var lat int
 	switch {
@@ -96,14 +125,7 @@ func (h *Hierarchy) dataAccess(cycle uint64, addr uint64) uint64 {
 	start := h.L1D.reserveMSHR(cycle, done)
 	done = start + uint64(lat)
 	h.L1D.Fill(addr)
-	h.inflightLine[line] = done
-	if len(h.inflightLine) > 4096 {
-		for l, d := range h.inflightLine {
-			if d <= cycle {
-				delete(h.inflightLine, l)
-			}
-		}
-	}
+	*slot = inflightFill{line: line + 1, done: done}
 	return done
 }
 
@@ -161,45 +183,55 @@ func (h *Hierarchy) instFill(pc uint64) {
 
 // StridePrefetcher is the IP-stride L1D prefetcher of Table I: per load PC
 // it tracks the last address and stride; two consecutive confirmations make
-// it issue `degree` prefetches ahead.
+// it issue `degree` prefetches ahead. The table is direct-mapped (PC-
+// indexed, tagged), replacing deterministically on conflict — a hardware-
+// faithful geometry that also avoids per-access map allocations.
 type StridePrefetcher struct {
-	entries  map[uint64]*strideEntry
-	capacity int
+	entries  []strideEntry
+	mask     uint64
 	degree   int
 	lineSize int
+	out      []uint64 // reused Observe result buffer
 
 	Issued uint64
 }
 
 type strideEntry struct {
+	pc         uint64 // tag (+1, 0 = invalid)
 	lastAddr   uint64
 	stride     int64
 	confidence uint8
 }
 
-// NewStridePrefetcher builds a prefetcher with the given table capacity and
-// prefetch degree.
+// NewStridePrefetcher builds a prefetcher with the given table capacity
+// (rounded up to a power of two) and prefetch degree.
 func NewStridePrefetcher(capacity, degree, lineSize int) *StridePrefetcher {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
 	return &StridePrefetcher{
-		entries:  map[uint64]*strideEntry{},
-		capacity: capacity,
+		entries:  make([]strideEntry, n),
+		mask:     uint64(n - 1),
 		degree:   degree,
 		lineSize: lineSize,
+		out:      make([]uint64, 0, degree),
 	}
 }
 
+// Reset untrains the prefetcher without reallocating its table.
+func (p *StridePrefetcher) Reset() {
+	clear(p.entries)
+	p.Issued = 0
+}
+
 // Observe trains on a demand load and returns the addresses to prefetch.
+// The returned slice is reused by the next call.
 func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
-	e, ok := p.entries[pc]
-	if !ok {
-		if len(p.entries) >= p.capacity {
-			// Simple random-ish eviction: drop one arbitrary entry.
-			for k := range p.entries {
-				delete(p.entries, k)
-				break
-			}
-		}
-		p.entries[pc] = &strideEntry{lastAddr: addr}
+	e := &p.entries[pc&p.mask]
+	if e.pc != pc+1 {
+		// Miss or conflict: (re)allocate the slot to this PC.
+		*e = strideEntry{pc: pc + 1, lastAddr: addr}
 		return nil
 	}
 	stride := int64(addr) - int64(e.lastAddr)
@@ -215,7 +247,7 @@ func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 	if e.confidence < 2 {
 		return nil
 	}
-	out := make([]uint64, 0, p.degree)
+	out := p.out[:0]
 	next := int64(addr)
 	for i := 0; i < p.degree; i++ {
 		next += e.stride
@@ -224,6 +256,7 @@ func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 		}
 		out = append(out, uint64(next))
 	}
+	p.out = out
 	p.Issued += uint64(len(out))
 	return out
 }

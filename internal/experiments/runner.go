@@ -204,11 +204,13 @@ func (r *Runner) MeanMPKI(machine, pred string) (fn, fp float64, err error) {
 }
 
 // WriteMetrics renders the runner's counters plus derived simulator
-// throughput (micro-ops per second of simulator wall-time). The cache
-// counters always appear, even at zero, so "second run re-simulated
-// nothing" is a visible row rather than an absent one.
+// throughput (micro-ops per second of simulator wall-time) and heap
+// allocations per simulated run. The cache counters always appear, even at
+// zero, so "second run re-simulated nothing" is a visible row rather than
+// an absent one.
 func (r *Runner) WriteMetrics(w io.Writer) {
 	m := r.opt.Metrics
+	sim.PublishMetrics(m)
 	snap := m.Snapshot()
 	for _, name := range []string{
 		runcache.CounterMemHits, runcache.CounterDiskHits, runcache.CounterMisses,
@@ -225,6 +227,9 @@ func (r *Runner) WriteMetrics(w io.Writer) {
 	if ns := snap[runcache.CounterSimNanos]; ns > 0 {
 		uops := float64(snap[runcache.CounterSimUops])
 		t.AddRow("sim.uops.per_sec", fmt.Sprintf("%.0f", uops/(float64(ns)/1e9)))
+	}
+	if runs := snap[runcache.CounterRunsSimulated]; runs > 0 {
+		t.AddRowf("sim.allocs.per_run", snap[runcache.CounterSimAllocObjs]/runs)
 	}
 	fmt.Fprint(w, t)
 }

@@ -104,6 +104,19 @@ func (r *Reg) Push(e Entry) {
 // divergent-branch counter).
 func (r *Reg) Count() uint64 { return r.count }
 
+// Reset returns the register to its just-constructed state: empty history,
+// zero count, no registered folds. Callers that registered folds (predictor
+// Bind) must re-register afterwards; the core's Reset binds a fresh
+// predictor, which does exactly that.
+func (r *Reg) Reset() {
+	for i := range r.buf {
+		r.buf[i] = 0
+	}
+	r.head = 0
+	r.count = 0
+	r.folds = r.folds[:0]
+}
+
 // ResetTo restores the register to hold exactly the given entries (oldest
 // first, at most capacity retained) with the given logical count, and
 // recomputes every registered fold. The core uses it to rewind the
@@ -113,8 +126,14 @@ func (r *Reg) ResetTo(entries []Entry, count uint64) {
 	if len(entries) > len(r.buf) {
 		entries = entries[len(entries)-len(r.buf):]
 	}
-	for i := range r.buf {
-		r.buf[i] = 0
+	// Reads only ever touch the min(count, capacity) youngest slots. Slots
+	// beyond len(entries) are reachable only when count exceeds the entries
+	// provided, and must then read as zero (cold history); otherwise stale
+	// contents are unobservable and zeroing them would be wasted work.
+	if count > uint64(len(entries)) {
+		for i := len(entries); i < len(r.buf); i++ {
+			r.buf[i] = 0
+		}
 	}
 	copy(r.buf, entries)
 	r.head = len(entries) % len(r.buf)

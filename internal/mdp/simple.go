@@ -28,6 +28,12 @@ func (*Ideal) Predict(ld LoadInfo, _ *histutil.Reg) Prediction {
 	return Prediction{Kind: NoDep}
 }
 
+// NeedsOracle marks the predictor as consuming LoadInfo's oracle fields.
+// The pipeline's exact store-queue scan that fills them is pure overhead for
+// every realistic predictor, so it only runs when the bound predictor
+// declares this method (predictors embedding Ideal inherit it).
+func (*Ideal) NeedsOracle() bool { return true }
+
 // TrainViolation implements Predictor (the oracle never mispredicts, but the
 // hook must exist).
 func (*Ideal) TrainViolation(LoadInfo, StoreInfo, int, Outcome, *histutil.Reg) {}

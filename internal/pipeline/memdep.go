@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"math/bits"
+
 	"repro/internal/isa"
 	"repro/internal/mdp"
 )
@@ -8,15 +10,23 @@ import (
 // This file implements the memory dependence machinery: the oracle scan
 // that feeds the Ideal predictor, the prediction-driven issue gates, the
 // store-queue/store-buffer search with store-to-load forwarding, and the
-// load-queue search a resolving store performs to detect memory order
+// executed-load search a resolving store performs to detect memory order
 // violations (with the §IV-A1 forwarding filter).
+//
+// All associative searches are gated by the core's per-cache-line occupancy
+// filters (sqLines/sbLines/ldLines): a zero filter response proves no queue
+// entry can overlap the probing footprint, so the common no-conflict case
+// never walks a queue.
 
 // oracleDep finds the youngest older in-flight store whose footprint
 // overlaps the dispatching load, using the simulator's exact knowledge of
-// addresses. Only the Ideal predictor consumes the result.
+// addresses. Only the Ideal predictor consumes the result (see needOracle).
 func (c *Core) oracleDep(ld *robEntry) (bool, int) {
-	for i := len(c.sq) - 1; i >= 0; i-- {
-		st := c.entry(c.sq[i])
+	if !c.sqLines.mayOverlap(ld.inst.Addr, ld.inst.Size) {
+		return false, 0
+	}
+	for i := c.sqLen - 1; i >= 0; i-- {
+		st := c.entry(c.sqSeqAt(i))
 		if st.inst.Overlaps(ld.inst) {
 			return true, int(ld.storeCount - 1 - st.storeIndex)
 		}
@@ -28,14 +38,14 @@ func (c *Core) oracleDep(ld *robEntry) (bool, int) {
 // allocation index, or nil if it has already committed (or was never
 // dispatched). Store queue order makes this a direct offset.
 func (c *Core) storeBySQIndex(idx uint64) *robEntry {
-	if len(c.sq) == 0 {
+	if c.sqLen == 0 {
 		return nil
 	}
-	first := c.entry(c.sq[0]).storeIndex
-	if idx < first || idx >= first+uint64(len(c.sq)) {
+	first := c.entry(c.sqSeqAt(0)).storeIndex
+	if idx < first || idx >= first+uint64(c.sqLen) {
 		return nil
 	}
-	return c.entry(c.sq[idx-first])
+	return c.entry(c.sqSeqAt(int(idx - first)))
 }
 
 // storeDone reports whether a store micro-op has fully executed.
@@ -45,7 +55,8 @@ func (c *Core) storeDone(st *robEntry) bool {
 
 // gateBlocked evaluates the load's MDP decision: true while the load must
 // keep waiting. It records the waited-for store's footprint so commit can
-// classify the wait as a true or false dependence.
+// classify the wait as a true or false dependence, and a retry bound so the
+// issue scan skips the load until the blocking store can be done.
 func (c *Core) gateBlocked(e *robEntry) bool {
 	switch e.pred.Kind {
 	case mdp.NoDep:
@@ -59,7 +70,11 @@ func (c *Core) gateBlocked(e *robEntry) bool {
 			return false // already committed (or nonsense prediction)
 		}
 		e.waitValid, e.waitAddr, e.waitSize = true, st.inst.Addr, st.inst.Size
-		return !c.storeDone(st)
+		if c.storeDone(st) {
+			return false
+		}
+		c.setRetry(e, c.storeDoneBound(st))
+		return true
 	case mdp.StoreSeq:
 		if e.pred.Seq == 0 || e.pred.Seq < c.headSeq || e.pred.Seq >= e.seq {
 			return false
@@ -69,32 +84,38 @@ func (c *Core) gateBlocked(e *robEntry) bool {
 			return false // stale identifier from before a squash
 		}
 		e.waitValid, e.waitAddr, e.waitSize = true, st.inst.Addr, st.inst.Size
-		return !c.storeDone(st)
+		if c.storeDone(st) {
+			return false
+		}
+		c.setRetry(e, c.storeDoneBound(st))
+		return true
 	case mdp.WaitAll:
-		for i := len(c.sq) - 1; i >= 0; i-- {
-			st := c.entry(c.sq[i])
+		for i := c.sqLen - 1; i >= 0; i-- {
+			st := c.entry(c.sqSeqAt(i))
 			if st.seq >= e.seq {
 				continue
 			}
 			if !c.storeDone(st) {
+				c.setRetry(e, c.storeDoneBound(st))
 				return true
 			}
 		}
 		return false
 	case mdp.Vector:
-		for d := 0; d < 64; d++ {
-			if e.pred.Mask&(1<<uint(d)) == 0 {
-				continue
-			}
-			if uint64(d) >= e.storeCount {
-				continue
-			}
+		mask := e.pred.Mask
+		if e.storeCount < 64 {
+			mask &= 1<<e.storeCount - 1 // distances beyond the stream start
+		}
+		for mask != 0 {
+			d := bits.TrailingZeros64(mask)
+			mask &= mask - 1
 			st := c.storeBySQIndex(e.storeCount - 1 - uint64(d))
 			if st == nil || st.seq >= e.seq {
 				continue
 			}
 			if !c.storeDone(st) {
 				e.waitValid, e.waitAddr, e.waitSize = true, st.inst.Addr, st.inst.Size
+				c.setRetry(e, c.storeDoneBound(st))
 				return true
 			}
 			if st.inst.Overlaps(e.inst) {
@@ -113,45 +134,60 @@ func (c *Core) gateBlocked(e *robEntry) bool {
 //
 //   - full coverage with ready data → store-to-load forwarding at L1D
 //     latency (the LQ/SB are searched in parallel with the L1D access);
-//   - full coverage, data not ready → wait (retry next cycle);
+//   - full coverage, data not ready → wait (retry when it can be done);
 //   - partial coverage → wait until the store drains to the cache;
 //   - no overlap → demand access to the memory hierarchy (speculative if
 //     unresolved older stores remain).
 //
-// Returns true if the load issued (consuming a load port).
+// Blocked outcomes set a retry bound; any store address resolution or store-
+// buffer free advances memEpoch and re-evaluates, since either can change
+// which store the search finds. Returns true if the load issued (consuming a
+// load port).
 func (c *Core) tryLoad(e *robEntry) bool {
 	in := e.inst
 	// Youngest overlapping address-resolved store in the SQ.
-	for i := len(c.sq) - 1; i >= 0; i-- {
-		st := c.entry(c.sq[i])
-		if st.seq >= e.seq || !st.addrResolved {
-			continue
-		}
-		if !st.inst.Overlaps(in) {
-			continue
-		}
-		if st.inst.Covers(in.Addr, in.Size) {
-			if c.storeDone(st) {
-				c.issueLoadForward(e, st.seq)
-				c.recordSVW(e, st.storeIndex, true)
-				return true
+	if c.sqLines.mayOverlap(in.Addr, in.Size) {
+		for i := c.sqLen - 1; i >= 0; i-- {
+			st := c.entry(c.sqSeqAt(i))
+			if st.seq >= e.seq || !st.addrResolved {
+				continue
 			}
-			return false // data not produced yet: true-dependence stall
+			if !st.inst.Overlaps(in) {
+				continue
+			}
+			if st.inst.Covers(in.Addr, in.Size) {
+				if c.storeDone(st) {
+					c.issueLoadForward(e, st.seq)
+					c.recordSVW(e, st.storeIndex, true)
+					c.noteLoadExecuted(e)
+					return true
+				}
+				// True-dependence stall until the forwarder can be done.
+				c.setRetry(e, c.storeDoneBound(st))
+				return false
+			}
+			// Partial coverage: wait for the store to reach the cache.
+			c.setRetry(e, neverRetry)
+			return false
 		}
-		return false // partial coverage: wait for the store to drain
 	}
 	// Store buffer (committed, not yet drained).
-	for i := len(c.sb) - 1; i >= 0; i-- {
-		sb := &c.sb[i]
-		if !isa.Overlap(sb.addr, sb.size, in.Addr, in.Size) {
-			continue
+	if c.sbLines.mayOverlap(in.Addr, in.Size) {
+		for i := c.sbLen - 1; i >= 0; i-- {
+			sb := c.sbAt(i)
+			if !isa.Overlap(sb.addr, sb.size, in.Addr, in.Size) {
+				continue
+			}
+			if sb.addr <= in.Addr && in.Addr+uint64(in.Size) <= sb.addr+uint64(sb.size) {
+				c.issueLoadForward(e, sb.seq)
+				c.recordSVW(e, sb.storeIndex, true)
+				c.noteLoadExecuted(e)
+				return true
+			}
+			// Partial coverage from the store buffer: wait for the drain.
+			c.setRetry(e, neverRetry)
+			return false
 		}
-		if sb.addr <= in.Addr && in.Addr+uint64(in.Size) <= sb.addr+uint64(sb.size) {
-			c.issueLoadForward(e, sb.seq)
-			c.recordSVW(e, sb.storeIndex, true)
-			return true
-		}
-		return false // partial coverage from the store buffer
 	}
 	// No overlapping store visible: access the cache hierarchy.
 	c.run.IssuedUops++
@@ -159,9 +195,30 @@ func (c *Core) tryLoad(e *robEntry) bool {
 	e.executed = true
 	e.executedAt = c.cycle
 	e.doneAt = c.mem.Load(c.cycle, in.PC, in.Addr)
+	c.readyAt[e.seq&c.robMask] = e.doneAt + 1
 	c.iqCount--
 	c.recordSVW(e, 0, false)
+	c.noteLoadExecuted(e)
 	return true
+}
+
+// noteLoadExecuted indexes a just-executed load for the violation search:
+// its footprint enters the load line filter and its seq the executed-load
+// list. The list is compacted in place (dropping committed seqs) when full;
+// executed uncommitted loads never exceed the LQ capacity, so compaction
+// always makes room without reallocating.
+func (c *Core) noteLoadExecuted(e *robEntry) {
+	c.ldLines.add(e.inst.Addr, e.inst.Size)
+	if len(c.execLoads) == cap(c.execLoads) {
+		live := c.execLoads[:0]
+		for _, seq := range c.execLoads {
+			if seq >= c.headSeq {
+				live = append(live, seq)
+			}
+		}
+		c.execLoads = live
+	}
+	c.execLoads = append(c.execLoads, e.seq)
 }
 
 // issueLoadForward completes a load through store-to-load forwarding. The
@@ -174,27 +231,57 @@ func (c *Core) issueLoadForward(e *robEntry, fromSeq uint64) {
 	e.executedAt = c.cycle
 	e.fwdFrom = fromSeq
 	e.doneAt = c.cycle + uint64(c.cfg.L1D.HitLatency)
+	c.readyAt[e.seq&c.robMask] = e.doneAt + 1
 	c.iqCount--
 }
 
-// resolveStore runs when a store resolves its address: it searches the load
-// queue for younger loads that already executed with an overlapping
-// footprint. With the forwarding filter (§IV-A1) a load whose forwarder is
-// younger than this store is left alone — it already has the correct value;
-// without it (the Fig. 12 ablation, matching gem5) any such load is flagged.
-// The youngest conflicting store is recorded for commit-time training.
+// resolveStore runs when a store resolves its address: it searches the
+// executed-load list for younger loads that already executed with an
+// overlapping footprint. With the forwarding filter (§IV-A1) a load whose
+// forwarder is younger than this store is left alone — it already has the
+// correct value; without it (the Fig. 12 ablation, matching gem5) any such
+// load is flagged. The youngest conflicting store is recorded for commit-
+// time training.
+//
+// The load line filter short-circuits stores with no executed overlapping
+// load (the overwhelmingly common case); surviving candidates come from the
+// executed-load list instead of a ROB walk, and are processed in ascending
+// seq order so detect-time training sees conflicts in the same order the
+// ROB walk produced.
 func (c *Core) resolveStore(st *robEntry) {
 	if c.opt.Filter == FilterSVW {
 		return // loads verify themselves at commit against the SSBF
 	}
-	for seq := st.seq + 1; seq < c.tailSeq; seq++ {
+	if !c.ldLines.mayOverlap(st.inst.Addr, st.inst.Size) {
+		return
+	}
+	// Collect candidate seqs (younger executed loads), dropping committed
+	// entries as they are encountered (their seqs are below headSeq; seqs of
+	// squashed loads were purged eagerly, so no live entry is stale).
+	matches := c.matchBuf[:0]
+	for i := 0; i < len(c.execLoads); {
+		seq := c.execLoads[i]
+		if seq < c.headSeq {
+			last := len(c.execLoads) - 1
+			c.execLoads[i] = c.execLoads[last]
+			c.execLoads = c.execLoads[:last]
+			continue
+		}
+		i++
+		if seq > st.seq && c.entry(seq).inst.Overlaps(st.inst) {
+			matches = append(matches, seq)
+		}
+	}
+	c.matchBuf = matches
+	// Ascending seq order (insertion sort: the list is tiny and unordered
+	// only because of swap-deletes).
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0 && matches[j] < matches[j-1]; j-- {
+			matches[j], matches[j-1] = matches[j-1], matches[j]
+		}
+	}
+	for _, seq := range matches {
 		ld := c.entry(seq)
-		if !ld.inst.IsLoad() || !ld.executed {
-			continue
-		}
-		if !ld.inst.Overlaps(st.inst) {
-			continue
-		}
 		if ld.fwdFrom == st.seq {
 			continue // forwarded from this very store: value is correct
 		}

@@ -12,6 +12,13 @@
 // core re-dispatches the stream from the violating load. Wrong-path
 // micro-ops are not simulated; mispredictions cost redirect bubbles (see
 // DESIGN.md §3 for why this substitution preserves the predictor ranking).
+//
+// Hot-path structure (see DESIGN.md §10): the issue scan skips entries whose
+// wake-up condition provably cannot clear yet (retryAt / retryEpoch), the
+// store-queue, store-buffer and load-queue searches are gated by per-cache-
+// line occupancy filters so non-overlapping accesses never scan, and the
+// steady state performs no heap allocations (fixed rings for SQ/SB, a
+// bounded executed-load list, reused scratch buffers).
 package pipeline
 
 import (
@@ -59,15 +66,26 @@ const (
 	stIssued
 )
 
+// neverRetry marks an entry whose wake-up has no computable time bound; it
+// is woken only by a memory event advancing memEpoch.
+const neverRetry = ^uint64(0)
+
 // robEntry is one in-flight micro-op.
 type robEntry struct {
 	inst     *isa.Inst
 	seq      uint64
 	traceIdx int
+	kind     isa.Kind // cached inst.Kind (avoids the pointer chase at issue)
 	state    entryState
 	doneAt   uint64 // completion cycle, valid once issued
 
 	srcASeq, srcBSeq uint64 // producing sequence numbers (0 = ready)
+
+	// Issue-skip state: while cycle < retryAt and retryEpoch still matches
+	// the core's memEpoch, the issue scan skips this entry — its blocking
+	// condition provably cannot have cleared (see issueStage).
+	retryAt    uint64
+	retryEpoch uint64
 
 	// Memory ops.
 	branchCount uint64 // decode-time divergent-branch counter copy
@@ -95,6 +113,48 @@ type robEntry struct {
 	trainedAtDetect bool
 }
 
+// lineBuckets is the size of the per-cache-line occupancy filters. Each
+// filter counts, per 64-byte-line hash bucket, how many queue entries touch
+// that line; a zero bucket proves no entry overlaps an address in it, so the
+// associated queue scan can be skipped entirely. Counting (not set-bit)
+// filters support exact removal at commit/squash/drain.
+const lineBuckets = 256
+
+type lineFilter [lineBuckets]uint16
+
+func (f *lineFilter) add(addr uint64, size uint8) {
+	if size == 0 {
+		return
+	}
+	for l := addr >> 6; l <= (addr+uint64(size)-1)>>6; l++ {
+		f[l&(lineBuckets-1)]++
+	}
+}
+
+func (f *lineFilter) remove(addr uint64, size uint8) {
+	if size == 0 {
+		return
+	}
+	for l := addr >> 6; l <= (addr+uint64(size)-1)>>6; l++ {
+		f[l&(lineBuckets-1)]--
+	}
+}
+
+// mayOverlap reports whether any tracked footprint might overlap
+// [addr, addr+size). False is exact (no overlap possible): two overlapping
+// footprints share a byte, hence that byte's line bucket.
+func (f *lineFilter) mayOverlap(addr uint64, size uint8) bool {
+	if size == 0 {
+		return false
+	}
+	for l := addr >> 6; l <= (addr+uint64(size)-1)>>6; l++ {
+		if f[l&(lineBuckets-1)] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Core is a single simulated out-of-order core.
 type Core struct {
 	cfg  config.Machine
@@ -103,19 +163,31 @@ type Core struct {
 	bp   *bpred.Unit
 	pred mdp.Predictor
 
+	// needOracle gates the exact SQ scan feeding LoadInfo's oracle fields:
+	// only predictors declaring NeedsOracle (the Ideal oracle) consume them.
+	needOracle bool
+
 	decodeHist *histutil.Reg
 	commitHist *histutil.Reg
 	// scratchHist reconstructs a load's exact history for detect-time
 	// training (the §IV-A1 ablation); it carries no registered folds.
+	// scratchK memoises the divergent-branch count it currently holds, so
+	// consecutive training events replay only the delta instead of
+	// rebuilding all HistCap entries.
 	scratchHist *histutil.Reg
+	scratchK    int
 
-	tr         *trace.Trace
-	divPrefix  []uint32         // divergent branches before trace index i
-	stPrefix   []uint32         // stores before trace index i
-	divEntries []histutil.Entry // history entries of all divergent branches, in order
+	tr *trace.Trace
+	// pre holds the trace's precomputed divergent-branch/store prefix
+	// counts and history entries, shared across every run of the trace.
+	pre *trace.Prefixes
 
-	// ROB ring: entries hold seqs [headSeq, tailSeq).
+	// ROB ring: entries hold seqs [headSeq, tailSeq). The ring is sized to
+	// the next power of two above the architectural capacity (robCap) so
+	// entry lookup is a mask instead of a modulo.
 	rob     []robEntry
+	robMask uint64
+	robCap  uint64
 	headSeq uint64
 	tailSeq uint64
 
@@ -123,10 +195,35 @@ type Core struct {
 
 	iqCount, lqCount, sqCount int
 
-	// sq holds the ROB seqs of in-flight stores, oldest first.
-	sq []uint64
-	// sb is the post-commit store buffer.
-	sb []sbEntry
+	// sq is a fixed-capacity ring of the ROB seqs of in-flight stores,
+	// oldest first.
+	sq     []uint64
+	sqHead int
+	sqLen  int
+	sqMask int
+	// sb is the post-commit store buffer, a fixed-capacity ring.
+	sb     []sbEntry
+	sbHead int
+	sbLen  int
+	sbMask int
+	// sbStarted counts the leading sb entries whose drain has started
+	// (starts happen in order from the front, so they form a prefix).
+	sbStarted int
+
+	// Per-cache-line occupancy filters over the in-flight footprints:
+	// dispatched stores (SQ), store-buffer entries, and executed uncommitted
+	// loads. They gate the associative searches in memdep.go.
+	sqLines lineFilter
+	sbLines lineFilter
+	ldLines lineFilter
+
+	// execLoads lists the seqs of executed, uncommitted loads — the only
+	// candidates a resolving store must check. Entries of committed loads
+	// are removed lazily (swap-delete during scans or compaction); squashed
+	// entries are purged eagerly (their seqs get reused).
+	execLoads []uint64
+	// matchBuf is resolveStore's reusable candidate buffer.
+	matchBuf []uint64
 
 	// SVW state (Options.Filter == FilterSVW).
 	svw             *ssbf
@@ -135,9 +232,34 @@ type Core struct {
 
 	cycle uint64
 
+	// memEpoch advances on every event that can change the outcome of a
+	// blocked memory-dependent issue check (a store resolving its address, a
+	// store-buffer entry freeing). Entries whose retryEpoch is stale are
+	// re-evaluated regardless of retryAt.
+	memEpoch uint64
+
 	// firstUnissued is the oldest sequence number that may still need to
 	// issue; the issue scan starts here instead of at the ROB head.
 	firstUnissued uint64
+
+	// skipTo[seq&robMask] > seq records that every entry in [seq, skipTo)
+	// was issued when the value was written; the issue scan jumps over the
+	// run instead of re-touching each entry's cache line. Issued entries
+	// stay issued until commit, so a recorded run only becomes wrong when a
+	// squash rewinds tailSeq and re-dispatches those sequence numbers —
+	// squash clears the array. Values surviving from a previous ring lap
+	// are ignored: a run can extend at most ROB entries past its writer, so
+	// a stale value is never greater than the sequence now occupying the
+	// slot.
+	skipTo []uint64
+
+	// readyAt[seq&robMask] mirrors the slot's issue state compactly so
+	// producer-readiness checks touch a 4KB array instead of a ~100-byte
+	// ROB entry per probe: 0 while unissued, doneAt+1 once issued (the +1
+	// keeps a cycle-0 completion distinguishable from "not issued").
+	// Dispatch rewrites the slot, so stale values from committed or
+	// squashed occupants are never read for an in-flight sequence.
+	readyAt []uint64
 
 	// Fetch state.
 	nextFetch       int // next trace index to fetch
@@ -159,6 +281,14 @@ type sbEntry struct {
 	drainStart bool
 }
 
+func pow2ceil(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
 // New builds a core for the given machine, predictor and options.
 func New(cfg config.Machine, pred mdp.Predictor, opt Options) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
@@ -173,50 +303,134 @@ func New(cfg config.Machine, pred mdp.Predictor, opt Options) (*Core, error) {
 	if opt.MaxCycles == 0 {
 		opt.MaxCycles = 400_000_000
 	}
-	dir, err := bpred.NewDir(opt.BranchPredictor)
-	if err != nil {
-		return nil, err
-	}
 	c := &Core{
 		cfg:         cfg,
 		opt:         opt,
 		mem:         cache.New(cfg),
-		bp:          bpred.NewUnit(dir),
-		pred:        pred,
 		decodeHist:  histutil.NewReg(opt.HistCap),
 		commitHist:  histutil.NewReg(opt.HistCap),
 		scratchHist: histutil.NewReg(opt.HistCap),
-		rob:         make([]robEntry, cfg.ROB),
-		headSeq:     1,
-		tailSeq:     1,
-		sq:          make([]uint64, 0, cfg.SQ),
-		sb:          make([]sbEntry, 0, cfg.SQ),
+		rob:         make([]robEntry, pow2ceil(cfg.ROB)),
+		robCap:      uint64(cfg.ROB),
+		sq:          make([]uint64, pow2ceil(cfg.SQ)),
+		sb:          make([]sbEntry, pow2ceil(cfg.SQ)),
+		execLoads:   make([]uint64, 0, 2*cfg.LQ+8),
+		matchBuf:    make([]uint64, 0, cfg.LQ),
 	}
+	c.skipTo = make([]uint64, len(c.rob))
+	c.readyAt = make([]uint64, len(c.rob))
+	c.robMask = uint64(len(c.rob) - 1)
+	c.sqMask = len(c.sq) - 1
+	c.sbMask = len(c.sb) - 1
 	if opt.Filter == FilterSVW {
 		// NoSQ sizes the SSBF to cover the vulnerability window of the
 		// largest in-flight load population with headroom.
 		c.svw = newSSBF(1024, 2)
 		c.storeRing = make([]committedStore, 4096)
 	}
-	pred.Bind(c.decodeHist, c.commitHist)
+	if err := c.bindFrontEnd(pred); err != nil {
+		return nil, err
+	}
+	c.headSeq, c.tailSeq, c.firstUnissued = 1, 1, 1
 	return c, nil
 }
 
-func (c *Core) entry(seq uint64) *robEntry {
-	return &c.rob[seq%uint64(len(c.rob))]
+// bindFrontEnd (re)builds the per-run mutable front-end state shared by New
+// and Reset: the branch predictor unit and the MDP binding.
+func (c *Core) bindFrontEnd(pred mdp.Predictor) error {
+	dir, err := bpred.NewDir(c.opt.BranchPredictor)
+	if err != nil {
+		return err
+	}
+	c.bp = bpred.NewUnit(dir)
+	c.pred = pred
+	no, ok := pred.(interface{ NeedsOracle() bool })
+	c.needOracle = ok && no.NeedsOracle()
+	pred.Bind(c.decodeHist, c.commitHist)
+	return nil
 }
 
-func (c *Core) robFull() bool { return c.tailSeq-c.headSeq >= uint64(len(c.rob)) }
+// Reset returns the core to its just-constructed state with a fresh
+// predictor bound, so experiment drivers can reuse one core (ROB, queues,
+// histories, cache arrays) across runs instead of reallocating ~5MB per
+// simulation. A reset core behaves bit-identically to a newly built one
+// (verified by TestResetCoreMatchesFresh).
+func (c *Core) Reset(pred mdp.Predictor) error {
+	c.mem.Reset()
+	c.decodeHist.Reset()
+	c.commitHist.Reset()
+	c.scratchHist.Reset()
+	c.scratchK = 0
+	if err := c.bindFrontEnd(pred); err != nil {
+		return err
+	}
+	c.tr, c.pre = nil, nil
+	c.headSeq, c.tailSeq, c.firstUnissued = 1, 1, 1
+	c.lastWriter = [isa.NumRegs]uint64{}
+	c.iqCount, c.lqCount, c.sqCount = 0, 0, 0
+	c.sqHead, c.sqLen = 0, 0
+	c.sbHead, c.sbLen, c.sbStarted = 0, 0, 0
+	c.sqLines = lineFilter{}
+	c.sbLines = lineFilter{}
+	c.ldLines = lineFilter{}
+	c.execLoads = c.execLoads[:0]
+	c.matchBuf = c.matchBuf[:0]
+	clear(c.skipTo)
+	clear(c.readyAt)
+	if c.opt.Filter == FilterSVW {
+		for i := range c.svw.entries {
+			c.svw.entries[i] = ssbfEntry{}
+		}
+		for i := range c.storeRing {
+			c.storeRing[i] = committedStore{}
+		}
+	}
+	c.committedStores = 0
+	c.cycle = 0
+	c.memEpoch = 0
+	c.nextFetch, c.maxFetched = 0, 0
+	c.fetchBlockedTil, c.fetchStallSeq = 0, 0
+	c.nextCommitIdx = 0
+	c.run = stats.Run{}
+	return nil
+}
+
+func (c *Core) entry(seq uint64) *robEntry {
+	return &c.rob[seq&c.robMask]
+}
+
+func (c *Core) robFull() bool { return c.tailSeq-c.headSeq >= c.robCap }
 
 func (c *Core) robEmpty() bool { return c.tailSeq == c.headSeq }
+
+// Store-queue ring accessors. Index 0 is the oldest in-flight store.
+func (c *Core) sqSeqAt(i int) uint64 { return c.sq[(c.sqHead+i)&c.sqMask] }
+
+func (c *Core) sqPush(seq uint64) {
+	c.sq[(c.sqHead+c.sqLen)&c.sqMask] = seq
+	c.sqLen++
+}
+
+func (c *Core) sqPopFront() {
+	c.sqHead = (c.sqHead + 1) & c.sqMask
+	c.sqLen--
+}
+
+// Store-buffer ring accessor. Index 0 is the oldest (next to drain/free).
+func (c *Core) sbAt(i int) *sbEntry { return &c.sb[(c.sbHead+i)&c.sbMask] }
+
+func (c *Core) sbPush(e sbEntry) {
+	c.sb[(c.sbHead+c.sbLen)&c.sbMask] = e
+	c.sbLen++
+}
 
 // producerReady reports whether the producing micro-op's value is available.
 func (c *Core) producerReady(seq uint64) bool {
 	if seq == 0 || seq < c.headSeq {
 		return true // architectural or committed
 	}
-	e := c.entry(seq)
-	return e.state == stIssued && c.cycle >= e.doneAt
+	d := c.readyAt[seq&c.robMask]
+	return d != 0 && c.cycle >= d-1
 }
 
 // srcsReady reports whether both register sources are available.
@@ -224,10 +438,56 @@ func (c *Core) srcsReady(e *robEntry) bool {
 	return c.producerReady(e.srcASeq) && c.producerReady(e.srcBSeq)
 }
 
+// srcReadyAt returns a cycle at which the producing micro-op's value can
+// first be available (0 = ready now). For an issued producer this is exact
+// (doneAt is immutable); for an unissued one it is a lower bound: producers
+// are older, so they were already scanned this cycle and cannot issue before
+// the next one, and the minimum execution latency is one cycle.
+func (c *Core) srcReadyAt(seq uint64) uint64 {
+	if seq == 0 || seq < c.headSeq {
+		return 0
+	}
+	if d := c.readyAt[seq&c.robMask]; d != 0 {
+		return d - 1
+	}
+	return c.cycle + 2
+}
+
+// storeDoneBound returns a lower bound on the first cycle at which
+// storeDone(st) can become true, for an st that is not done now.
+func (c *Core) storeDoneBound(st *robEntry) uint64 {
+	if st.state == stIssued {
+		return st.doneAt // exact
+	}
+	// Unissued: phase 2 (data ready → issue) is port-free, so the store
+	// issues the first scanned cycle its data is ready, completing no
+	// earlier than max(addr done, data ready, next cycle).
+	t := c.cycle + 1
+	if st.addrResolved {
+		if st.addrDoneAt > t {
+			t = st.addrDoneAt
+		}
+		if d := c.srcReadyAt(st.srcBSeq); d > t {
+			t = d
+		}
+	}
+	return t
+}
+
+// setRetry arranges for the issue scan to skip e until cycle at (exclusive
+// lower bound on its wake-up) or until the next memory event, whichever
+// comes first. at must never exceed the first cycle at which the entry's
+// blocking evaluation could change — retries are an optimisation, not a
+// scheduling policy, and an overshoot would change timing.
+func (c *Core) setRetry(e *robEntry, at uint64) {
+	e.retryAt = at
+	e.retryEpoch = c.memEpoch
+}
+
 // Run simulates the full stream and returns the measured counters.
 func (c *Core) Run(tr *trace.Trace) (*stats.Run, error) {
 	c.tr = tr
-	c.buildPrefixes()
+	c.pre = tr.Pre()
 	c.run = stats.Run{
 		App:       tr.Name,
 		Predictor: c.pred.Name(),
@@ -245,7 +505,7 @@ func (c *Core) Run(tr *trace.Trace) (*stats.Run, error) {
 		c.issueStage()
 		c.fetchStage()
 		c.run.ROBOccupancySum += c.tailSeq - c.headSeq
-		c.run.SQOccupancySum += uint64(len(c.sq))
+		c.run.SQOccupancySum += uint64(c.sqLen)
 	}
 	c.finalizeStats()
 	// Return a copy: a pointer into the Core would keep the whole simulator
@@ -253,24 +513,6 @@ func (c *Core) Run(tr *trace.Trace) (*stats.Run, error) {
 	// the result — callers memoise results across hundreds of runs.
 	out := c.run
 	return &out, nil
-}
-
-func (c *Core) buildPrefixes() {
-	n := c.tr.Len()
-	c.divPrefix = make([]uint32, n+1)
-	c.stPrefix = make([]uint32, n+1)
-	for i := 0; i < n; i++ {
-		c.divPrefix[i+1] = c.divPrefix[i]
-		c.stPrefix[i+1] = c.stPrefix[i]
-		in := &c.tr.Insts[i]
-		if in.Divergent() {
-			c.divPrefix[i+1]++
-			c.divEntries = append(c.divEntries, histEntryOf(in))
-		}
-		if in.IsStore() {
-			c.stPrefix[i+1]++
-		}
-	}
 }
 
 func (c *Core) finalizeStats() {
@@ -289,13 +531,27 @@ func (c *Core) finalizeStats() {
 func (c *Core) Predictor() mdp.Predictor { return c.pred }
 
 // histAt rebuilds, in the scratch register, the divergent-branch history as
-// it stood just before the instruction at traceIdx was decoded.
+// it stood just before the instruction at traceIdx was decoded. The scratch
+// register is memoised on the divergent-branch count: repeat queries are
+// free, forward movement replays only the delta entries (the scratch has no
+// registered folds, so each push is O(1)), and only rewinds or long jumps
+// pay the full rebuild.
 func (c *Core) histAt(traceIdx int) *histutil.Reg {
-	k := int(c.divPrefix[traceIdx])
-	lo := k - c.scratchHist.Cap()
-	if lo < 0 {
-		lo = 0
+	k := int(c.pre.Div[traceIdx])
+	switch {
+	case k == c.scratchK:
+		// Memoised: already holds exactly this history.
+	case k > c.scratchK && k-c.scratchK <= c.scratchHist.Cap():
+		for _, e := range c.pre.DivEntries[c.scratchK:k] {
+			c.scratchHist.Push(e)
+		}
+	default:
+		lo := k - c.scratchHist.Cap()
+		if lo < 0 {
+			lo = 0
+		}
+		c.scratchHist.ResetTo(c.pre.DivEntries[lo:k], uint64(k))
 	}
-	c.scratchHist.ResetTo(c.divEntries[lo:k], uint64(k))
+	c.scratchK = k
 	return c.scratchHist
 }

@@ -3,9 +3,9 @@ package pipeline
 import (
 	"fmt"
 
-	"repro/internal/histutil"
 	"repro/internal/isa"
 	"repro/internal/mdp"
+	"repro/internal/trace"
 )
 
 // fetchStage fetches, decodes and dispatches up to the front-end width of
@@ -56,7 +56,7 @@ func (c *Core) fetchStage() {
 		c.nextFetch++
 		if in.IsBranch() {
 			if in.Divergent() {
-				c.decodeHist.Push(histEntryOf(in))
+				c.decodeHist.Push(trace.EntryOf(in))
 			}
 			// The branch predictor trains once per static occurrence; after
 			// a squash the front end restores its checkpointed state rather
@@ -69,15 +69,6 @@ func (c *Core) fetchStage() {
 	}
 }
 
-// histEntryOf builds the 7-bit divergent-branch history record of §IV-A2.
-func histEntryOf(in *isa.Inst) histutil.Entry {
-	dest := in.Target
-	if !in.Taken {
-		dest = in.PC + 4
-	}
-	return histutil.NewEntry(in.Class.IndirectTarget(), in.Taken, dest)
-}
-
 // dispatch allocates and renames one micro-op.
 func (c *Core) dispatch(in *isa.Inst, traceIdx int) {
 	seq := c.tailSeq
@@ -87,6 +78,7 @@ func (c *Core) dispatch(in *isa.Inst, traceIdx int) {
 		inst:     in,
 		seq:      seq,
 		traceIdx: traceIdx,
+		kind:     in.Kind,
 	}
 	if in.SrcA != 0 {
 		e.srcASeq = c.lastWriter[in.SrcA]
@@ -97,34 +89,39 @@ func (c *Core) dispatch(in *isa.Inst, traceIdx int) {
 	if in.Dst != 0 {
 		c.lastWriter[in.Dst] = seq
 	}
+	c.readyAt[seq&c.robMask] = 0
 	c.run.Fetched++
 
 	switch in.Kind {
 	case isa.Nop:
 		e.state = stIssued
 		e.doneAt = c.cycle
+		c.readyAt[seq&c.robMask] = e.doneAt + 1
 	case isa.Load:
 		c.iqCount++
 		c.lqCount++
-		e.branchCount = uint64(c.divPrefix[traceIdx])
-		e.storeCount = uint64(c.stPrefix[traceIdx])
+		e.branchCount = uint64(c.pre.Div[traceIdx])
+		e.storeCount = uint64(c.pre.St[traceIdx])
 		ld := mdp.LoadInfo{
 			PC:          in.PC,
 			Seq:         seq,
 			BranchCount: e.branchCount,
 			StoreCount:  e.storeCount,
 		}
-		ld.OracleDep, ld.OracleDist = c.oracleDep(e)
+		if c.needOracle {
+			ld.OracleDep, ld.OracleDist = c.oracleDep(e)
+		}
 		e.pred = c.pred.Predict(ld, c.decodeHist)
 	case isa.Store:
 		c.iqCount++
 		c.sqCount++
-		e.branchCount = uint64(c.divPrefix[traceIdx])
-		e.storeIndex = uint64(c.stPrefix[traceIdx])
+		e.branchCount = uint64(c.pre.Div[traceIdx])
+		e.storeIndex = uint64(c.pre.St[traceIdx])
 		e.ssWaitSeq = c.pred.StoreDispatch(mdp.StoreInfo{
 			PC: in.PC, Seq: seq, BranchCount: e.branchCount, StoreIndex: e.storeIndex,
 		})
-		c.sq = append(c.sq, seq)
+		c.sqPush(seq)
+		c.sqLines.add(in.Addr, in.Size)
 	default:
 		c.iqCount++
 	}
@@ -132,6 +129,15 @@ func (c *Core) dispatch(in *isa.Inst, traceIdx int) {
 
 // issueStage wakes up and selects ready micro-ops, oldest first, limited by
 // the machine's load, store and compute ports.
+//
+// Entries with a pending retry bound are skipped without evaluation: retryAt
+// is always a lower bound on the first cycle the entry's blocking condition
+// can clear (producer doneAt is immutable once issued; unissued producers
+// are older, already scanned, and need ≥1 cycle of latency), and memory-
+// dependent blocks additionally re-evaluate whenever memEpoch advances.
+// Skipping therefore never changes which cycle an entry issues in — it only
+// removes provably fruitless wake-up evaluations. Port-limited entries never
+// set a retry bound (port availability is not predictable).
 func (c *Core) issueStage() {
 	aluPorts := c.cfg.IssuePorts - c.cfg.LoadPorts - c.cfg.StorePorts
 	loads, storesP, alu, total := 0, 0, 0, 0
@@ -143,26 +149,53 @@ func (c *Core) issueStage() {
 	}
 	// Advance past the leading fully-issued prefix once, then scan with a
 	// direct ring index (the per-entry modulo dominates the profile).
-	robLen := uint64(len(c.rob))
-	for c.firstUnissued < c.tailSeq && c.rob[c.firstUnissued%robLen].state == stIssued {
+	for c.firstUnissued < c.tailSeq && c.rob[c.firstUnissued&c.robMask].state == stIssued {
 		c.firstUnissued++
 	}
-	pos := c.firstUnissued % robLen
-	for seq := c.firstUnissued; seq < c.tailSeq; seq++ {
-		e := &c.rob[pos]
-		pos++
-		if pos == robLen {
-			pos = 0
-		}
+	// runStart tracks an open run of issued entries; when the run closes its
+	// extent is recorded in skipTo so the next cycle jumps it in one step
+	// (sequence numbers start at 1, so 0 is a safe "no run" sentinel).
+	runStart := uint64(0)
+	seq := c.firstUnissued
+	for seq < c.tailSeq {
 		if total >= c.cfg.IssuePorts {
 			break
 		}
-		if e.state == stIssued {
+		pos := seq & c.robMask
+		if s := c.skipTo[pos]; s > seq {
+			if runStart == 0 {
+				runStart = seq
+			}
+			seq = s
 			continue
 		}
-		switch e.inst.Kind {
+		e := &c.rob[pos]
+		if e.state == stIssued {
+			if runStart == 0 {
+				runStart = seq
+			}
+			seq++
+			continue
+		}
+		if runStart != 0 {
+			c.skipTo[runStart&c.robMask] = seq
+			runStart = 0
+		}
+		seq++
+		if c.cycle < e.retryAt && e.retryEpoch == c.memEpoch {
+			continue
+		}
+		switch e.kind {
 		case isa.ALU, isa.Branch:
-			if alu >= aluPorts || !c.srcsReady(e) {
+			if !c.srcsReady(e) {
+				a := c.srcReadyAt(e.srcASeq)
+				if b := c.srcReadyAt(e.srcBSeq); b > a {
+					a = b
+				}
+				c.setRetry(e, a)
+				continue
+			}
+			if alu >= aluPorts {
 				continue
 			}
 			lat := int(e.inst.Lat)
@@ -171,6 +204,7 @@ func (c *Core) issueStage() {
 			}
 			e.state = stIssued
 			e.doneAt = c.cycle + uint64(lat)
+			c.readyAt[e.seq&c.robMask] = e.doneAt + 1
 			c.iqCount--
 			c.run.IssuedUops++
 			alu++
@@ -178,7 +212,15 @@ func (c *Core) issueStage() {
 		case isa.Store:
 			c.tryStore(e, &storesP, &total)
 		case isa.Load:
-			if loads >= c.cfg.LoadPorts || !c.srcsReady(e) {
+			if !c.srcsReady(e) {
+				a := c.srcReadyAt(e.srcASeq)
+				if b := c.srcReadyAt(e.srcBSeq); b > a {
+					a = b
+				}
+				c.setRetry(e, a)
+				continue
+			}
+			if loads >= c.cfg.LoadPorts {
 				continue
 			}
 			if c.gateBlocked(e) {
@@ -191,6 +233,9 @@ func (c *Core) issueStage() {
 			}
 		}
 	}
+	if runStart != 0 {
+		c.skipTo[runStart&c.robMask] = seq
+	}
 }
 
 // tryStore advances a store through its two phases: address generation
@@ -199,10 +244,11 @@ func (c *Core) issueStage() {
 // The store completes when both are done.
 func (c *Core) tryStore(e *robEntry, storesP *int, total *int) {
 	if !e.addrResolved {
-		if *storesP >= c.cfg.StorePorts {
+		if !c.producerReady(e.srcASeq) {
+			c.setRetry(e, c.srcReadyAt(e.srcASeq))
 			return
 		}
-		if !c.producerReady(e.srcASeq) {
+		if *storesP >= c.cfg.StorePorts {
 			return
 		}
 		// Store Sets serialisation. Sequence numbers are reused after a
@@ -211,6 +257,7 @@ func (c *Core) tryStore(e *robEntry, storesP *int, total *int) {
 		// serialisation target (anything else would deadlock the pair).
 		if w := e.ssWaitSeq; w != 0 && w >= c.headSeq && w < e.seq {
 			if we := c.entry(w); we.inst.IsStore() && (we.state != stIssued || c.cycle < we.doneAt) {
+				c.setRetry(e, c.storeDoneBound(we))
 				return // serialised behind an older store of the set
 			}
 		}
@@ -218,17 +265,22 @@ func (c *Core) tryStore(e *robEntry, storesP *int, total *int) {
 		e.addrDoneAt = c.cycle + 1
 		*storesP++
 		*total++
+		// The resolved address can change any blocked load's SQ search.
+		c.memEpoch++
 		c.resolveStore(e)
 	}
-	if e.addrResolved && c.producerReady(e.srcBSeq) {
-		e.state = stIssued
-		e.doneAt = e.addrDoneAt
-		if c.cycle > e.doneAt {
-			e.doneAt = c.cycle
-		}
-		c.iqCount--
-		c.run.IssuedUops++
+	if e.addrResolved && !c.producerReady(e.srcBSeq) {
+		c.setRetry(e, c.srcReadyAt(e.srcBSeq))
+		return
 	}
+	e.state = stIssued
+	e.doneAt = e.addrDoneAt
+	if c.cycle > e.doneAt {
+		e.doneAt = c.cycle
+	}
+	c.readyAt[e.seq&c.robMask] = e.doneAt + 1
+	c.iqCount--
+	c.run.IssuedUops++
 }
 
 // commitStage retires up to the commit width in order. A load flagged with a
@@ -245,34 +297,36 @@ func (c *Core) commitStage() {
 				e.traceIdx, c.nextCommitIdx))
 		}
 		in := e.inst
-		if in.IsLoad() && c.opt.Filter == FilterSVW && !e.violated {
+		if e.kind == isa.Load && c.opt.Filter == FilterSVW && !e.violated {
 			c.svwCheckLoad(e) // sets the violation fields on failure
 		}
-		if in.IsLoad() && e.violated {
+		if e.kind == isa.Load && e.violated {
 			c.commitViolation(e)
 			return
 		}
-		if in.IsStore() {
-			if len(c.sb) >= c.cfg.SQ {
+		if e.kind == isa.Store {
+			if c.sbLen >= c.cfg.SQ {
 				return // store buffer full: commit stalls
 			}
-			c.sb = append(c.sb, sbEntry{seq: e.seq, storeIndex: e.storeIndex, addr: in.Addr, size: in.Size})
+			c.sbPush(sbEntry{seq: e.seq, storeIndex: e.storeIndex, addr: in.Addr, size: in.Size})
+			c.sbLines.add(in.Addr, in.Size)
 			c.noteCommittedStore(e)
 			c.pred.StoreCommit(mdp.StoreInfo{
 				PC: in.PC, Seq: e.seq, BranchCount: e.branchCount, StoreIndex: e.storeIndex,
 			})
-			if len(c.sq) == 0 || c.sq[0] != e.seq {
+			if c.sqLen == 0 || c.sqSeqAt(0) != e.seq {
 				panic("pipeline: store queue out of sync at commit")
 			}
-			c.sq = c.sq[1:]
+			c.sqPopFront()
+			c.sqLines.remove(in.Addr, in.Size)
 			c.sqCount--
 			c.run.Stores++
 		}
-		if in.IsLoad() {
+		if e.kind == isa.Load {
 			c.commitLoad(e)
 		}
 		if in.Divergent() {
-			c.commitHist.Push(histEntryOf(in))
+			c.commitHist.Push(trace.EntryOf(in))
 		}
 		c.run.Committed++
 		c.nextCommitIdx++
@@ -283,6 +337,7 @@ func (c *Core) commitStage() {
 // commitLoad audits a successfully committing load's prediction.
 func (c *Core) commitLoad(e *robEntry) {
 	c.lqCount--
+	c.ldLines.remove(e.inst.Addr, e.inst.Size)
 	c.run.Loads++
 	if e.fwdFrom != 0 {
 		c.run.Forwards++
@@ -347,12 +402,38 @@ func (c *Core) outcomeOf(e *robEntry, violated bool) mdp.Outcome {
 func (c *Core) squash(fromSeq uint64, traceIdx int) {
 	c.run.SquashedUops += c.tailSeq - fromSeq
 	c.tailSeq = fromSeq
-	// Truncate the store queue to surviving stores.
-	cut := len(c.sq)
-	for cut > 0 && c.sq[cut-1] >= fromSeq {
-		cut--
+	// Recorded issued runs may span squashed sequence numbers that are about
+	// to be re-dispatched unissued; drop them all (squashes are rare).
+	clear(c.skipTo)
+	// Truncate the store queue to surviving stores, releasing their line
+	// filter counts (the discarded entries' contents are intact until their
+	// seqs are re-dispatched).
+	for c.sqLen > 0 {
+		last := c.entry(c.sqSeqAt(c.sqLen - 1))
+		if last.seq < fromSeq {
+			break
+		}
+		c.sqLines.remove(last.inst.Addr, last.inst.Size)
+		c.sqLen--
 	}
-	c.sq = c.sq[:cut]
+	// Purge squashed loads from the executed-load list eagerly: their seqs
+	// are about to be reused. Stale entries of already-committed loads
+	// (seq < headSeq ≤ fromSeq) stay for lazy removal and were already
+	// removed from the line filter at commit.
+	live := c.execLoads[:0]
+	for _, seq := range c.execLoads {
+		if seq >= fromSeq {
+			ld := c.entry(seq)
+			c.ldLines.remove(ld.inst.Addr, ld.inst.Size)
+			continue
+		}
+		live = append(live, seq)
+	}
+	c.execLoads = live
+	// Conservatively wake every retry-parked survivor: squashes are rare
+	// and the stale bounds are all still valid, but re-deriving them is
+	// cheaper to reason about than proving it across the rewind.
+	c.memEpoch++
 	// Rebuild rename table and occupancy counters from survivors.
 	for r := range c.lastWriter {
 		c.lastWriter[r] = 0
@@ -366,7 +447,7 @@ func (c *Core) squash(fromSeq uint64, traceIdx int) {
 		if e.state != stIssued {
 			c.iqCount++
 		}
-		switch e.inst.Kind {
+		switch e.kind {
 		case isa.Load:
 			c.lqCount++
 		case isa.Store:
@@ -383,35 +464,39 @@ func (c *Core) squash(fromSeq uint64, traceIdx int) {
 	// restore): it must hold exactly the divergent branches older than the
 	// re-fetched instruction, or re-dispatched loads predict with future
 	// branches in their context.
-	k := int(c.divPrefix[traceIdx])
+	k := int(c.pre.Div[traceIdx])
 	lo := k - c.decodeHist.Cap()
 	if lo < 0 {
 		lo = 0
 	}
-	c.decodeHist.ResetTo(c.divEntries[lo:k], uint64(k))
+	c.decodeHist.ResetTo(c.pre.DivEntries[lo:k], uint64(k))
 }
 
 // drainStoreBuffer writes committed stores to the cache and frees their
-// store buffer entries.
+// store buffer entries. Drains start in order from the front, so the
+// started entries always form a prefix tracked by sbStarted — no scan.
 func (c *Core) drainStoreBuffer() {
-	started := 0
-	for i := range c.sb {
-		if c.sb[i].drainStart {
-			continue
-		}
-		if started >= c.cfg.SBDrainPerCycle {
-			break
-		}
-		c.sb[i].drainStart = true
-		c.sb[i].drainedAt = c.mem.StoreDrain(c.cycle, c.sb[i].addr)
-		started++
+	for started := 0; c.sbStarted < c.sbLen && started < c.cfg.SBDrainPerCycle; started++ {
+		e := c.sbAt(c.sbStarted)
+		e.drainStart = true
+		e.drainedAt = c.mem.StoreDrain(c.cycle, e.addr)
+		c.sbStarted++
 	}
 	// Free fully drained entries from the front.
-	n := 0
-	for n < len(c.sb) && c.sb[n].drainStart && c.cycle >= c.sb[n].drainedAt {
-		n++
+	freed := false
+	for c.sbLen > 0 {
+		e := c.sbAt(0)
+		if !e.drainStart || c.cycle < e.drainedAt {
+			break
+		}
+		c.sbLines.remove(e.addr, e.size)
+		c.sbHead = (c.sbHead + 1) & c.sbMask
+		c.sbLen--
+		c.sbStarted--
+		freed = true
 	}
-	if n > 0 {
-		c.sb = c.sb[n:]
+	if freed {
+		// A freed entry can unblock loads partially covered by it.
+		c.memEpoch++
 	}
 }

@@ -1,6 +1,7 @@
 package runcache
 
 import (
+	"runtime/metrics"
 	"sync"
 	"time"
 
@@ -31,7 +32,23 @@ const (
 	// CounterSimUops accumulates committed micro-ops across executed
 	// simulations; with CounterSimNanos it yields simulator throughput.
 	CounterSimUops = "sim.uops.committed"
+	// CounterSimAllocObjs accumulates heap objects allocated while inside
+	// the simulator (a process-wide /gc/heap/allocs:objects delta, so
+	// concurrent simulations attribute each other's allocations — treat it
+	// as an upper bound per run). With CounterRunsSimulated it yields
+	// allocations per run, the zero-alloc steady-state health metric.
+	CounterSimAllocObjs = "sim.heap.alloc.objs"
 )
+
+// heapAllocObjects reads the runtime's cumulative allocated-objects count.
+func heapAllocObjects() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}
 
 // Cache layers an in-process memoisation map over an optional persistent
 // Store, with single-flight de-duplication so concurrent requests for the
@@ -103,6 +120,7 @@ func (c *Cache) GetOrRun(cfg sim.Config, simulate func() (*stats.Run, error)) (*
 		}
 		c.metrics.Add(CounterMisses, 1)
 		start := time.Now()
+		allocs0 := heapAllocObjects()
 		run, err := simulate()
 		if err != nil {
 			return nil, err
@@ -110,6 +128,7 @@ func (c *Cache) GetOrRun(cfg sim.Config, simulate func() (*stats.Run, error)) (*
 		c.metrics.Add(CounterRunsSimulated, 1)
 		c.metrics.AddDuration(CounterSimNanos, time.Since(start))
 		c.metrics.Add(CounterSimUops, run.Committed)
+		c.metrics.Add(CounterSimAllocObjs, heapAllocObjects()-allocs0)
 		c.memPut(key, run)
 		if c.disk != nil {
 			if perr := c.disk.Put(key, cfg, run); perr != nil {

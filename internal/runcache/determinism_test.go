@@ -53,6 +53,36 @@ func TestSimulationDeterminism(t *testing.T) {
 	}
 }
 
+// TestPooledRunMatchesFreshCore pins the determinism the sim-level reuse
+// machinery (interned traces + the core pool) must preserve: sim.Run, which
+// recycles cores and shares one immutable trace across runs, must return
+// exactly what sim.RunCore returns on a freshly constructed, never-pooled
+// core. The repeated sim.Run guarantees at least one run goes through a
+// Reset core rather than a new one.
+func TestPooledRunMatchesFreshCore(t *testing.T) {
+	for _, spec := range []string{"phast", "storesets", "none"} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.Config{App: "541.leela", Predictor: spec, Instructions: 25_000}
+			pooled1, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled2, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, _, err := sim.RunCore(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, fresh, pooled1, "first pooled run vs fresh core")
+			requireIdentical(t, fresh, pooled2, "reset-core run vs fresh core")
+		})
+	}
+}
+
 // requireIdentical asserts two runs are bit-identical, both structurally
 // and through the JSON encoding the store persists.
 func requireIdentical(t *testing.T, want, got *stats.Run, what string) {

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -52,7 +53,12 @@ const DefaultInstructions = 300_000
 // unchanged Config — timing-model changes, predictor behaviour, workload
 // generation, counter semantics. Stale run-cache entries carrying an old
 // stamp then read as misses instead of resurfacing outdated numbers.
-const BehaviorVersion = 1
+//
+// Version 2: the cache hierarchy's in-flight fill tracking and the stride
+// prefetcher moved from maps to fixed direct-mapped tables, which can evict
+// on index collisions where the maps did not (and removes the prefetcher's
+// map-iteration eviction nondeterminism).
+const BehaviorVersion = 2
 
 // Normalized returns cfg with every defaultable field filled in with the
 // value Run would use, so that two Configs describing the same simulation
@@ -193,17 +199,27 @@ func PredictorNames() []string {
 	return []string{"storesets", "nosq", "mdptage", "mdptage-s", "phast"}
 }
 
-// traceCache keeps the most recently generated streams so sweeping
-// predictors over one app does not regenerate its trace per run.
+// traceCache is the trace intern pool: workload generation is deterministic,
+// so (app, n, seed) fully determines a stream's content and every run of the
+// same workload can share one immutable *Trace — along with its lazily built
+// prefix structures (trace.Prefixes), which the timing model would otherwise
+// recompute per run. Capacity covers a full-suite sweep at one instruction
+// count with headroom for mixed lengths.
 var traceCache = struct {
 	sync.Mutex
 	entries map[string]*trace.Trace
 	order   []string
 }{entries: map[string]*trace.Trace{}}
 
-const traceCacheCap = 3
+const traceCacheCap = 32
 
-// TraceFor generates (or returns the cached) stream for an app.
+// Intern-pool counters, readable via Counters / PublishMetrics.
+var (
+	traceInternHits   atomic.Uint64
+	traceInternMisses atomic.Uint64
+)
+
+// TraceFor generates (or returns the interned) stream for an app.
 func TraceFor(app string, n int, seed int64) (*trace.Trace, error) {
 	prog, err := workload.ByName(app)
 	if err != nil {
@@ -213,8 +229,10 @@ func TraceFor(app string, n int, seed int64) (*trace.Trace, error) {
 	traceCache.Lock()
 	defer traceCache.Unlock()
 	if t, ok := traceCache.entries[key]; ok {
+		traceInternHits.Add(1)
 		return t, nil
 	}
+	traceInternMisses.Add(1)
 	t := trace.Generate(prog, n, seed)
 	if len(traceCache.order) >= traceCacheCap {
 		delete(traceCache.entries, traceCache.order[0])
@@ -223,6 +241,74 @@ func TraceFor(app string, n int, seed int64) (*trace.Trace, error) {
 	traceCache.entries[key] = t
 	traceCache.order = append(traceCache.order, key)
 	return t, nil
+}
+
+// Counter names published by PublishMetrics.
+const (
+	CounterTraceInternHits   = "trace.intern.hits"
+	CounterTraceInternMisses = "trace.intern.misses"
+	CounterCoreReuses        = "core.pool.reuses"
+)
+
+// PublishMetrics copies the package's counters (trace intern pool hits and
+// misses, core pool reuses) into a metrics registry. Call it after a batch
+// of runs; values are cumulative over the process.
+func PublishMetrics(m *stats.Metrics) {
+	m.Set(CounterTraceInternHits, traceInternHits.Load())
+	m.Set(CounterTraceInternMisses, traceInternMisses.Load())
+	m.Set(CounterCoreReuses, coreReuses.Load())
+}
+
+// corePool recycles pipeline cores between Run calls. A core's allocation
+// footprint (ROB, queues, cache arrays, history registers — several MB) is a
+// function of only the machine configuration and the pipeline options, so a
+// finished core can be Reset and reused by any later run with the same key
+// instead of being rebuilt. Reset cores behave bit-identically to fresh ones
+// (pipeline.TestResetCoreMatchesFresh and the runcache determinism tests
+// hold this invariant). Only Run pools cores; RunCore hands the core to the
+// caller and must leave ownership there.
+var corePool = struct {
+	sync.Mutex
+	m map[coreKey][]*pipeline.Core
+}{m: map[coreKey][]*pipeline.Core{}}
+
+type coreKey struct {
+	machine config.Machine
+	opt     pipeline.Options
+}
+
+// corePoolCap bounds idle cores kept per key: enough for every worker of a
+// saturated parallel sweep on a large host, while a pathological key mix
+// stays bounded at a few dozen MB.
+const corePoolCap = 32
+
+var coreReuses atomic.Uint64
+
+func getCore(key coreKey, pred mdp.Predictor) (*pipeline.Core, error) {
+	corePool.Lock()
+	stack := corePool.m[key]
+	var c *pipeline.Core
+	if n := len(stack); n > 0 {
+		c = stack[n-1]
+		corePool.m[key] = stack[:n-1]
+	}
+	corePool.Unlock()
+	if c == nil {
+		return pipeline.New(key.machine, pred, key.opt)
+	}
+	if err := c.Reset(pred); err != nil {
+		return nil, err
+	}
+	coreReuses.Add(1)
+	return c, nil
+}
+
+func putCore(key coreKey, c *pipeline.Core) {
+	corePool.Lock()
+	if len(corePool.m[key]) < corePoolCap {
+		corePool.m[key] = append(corePool.m[key], c)
+	}
+	corePool.Unlock()
 }
 
 // pipelineOptions maps a Config onto core options.
@@ -241,30 +327,55 @@ func pipelineOptions(cfg Config) pipeline.Options {
 	return opt
 }
 
-// Run executes one simulation.
-func Run(cfg Config) (*stats.Run, error) {
-	run, _, err := RunCore(cfg)
-	return run, err
-}
-
-// RunCore is like Run but also returns the core, so callers can inspect
-// predictor internals (conflict-length histograms, path counts).
-func RunCore(cfg Config) (*stats.Run, *pipeline.Core, error) {
-	cfg = cfg.Normalized()
+// runSetup resolves the normalized Config into its machine, predictor and
+// interned trace.
+func runSetup(cfg Config) (config.Machine, mdp.Predictor, *trace.Trace, error) {
 	machine, err := config.ByName(cfg.Machine)
 	if err != nil {
-		return nil, nil, err
+		return config.Machine{}, nil, nil, err
 	}
 	pred, err := NewPredictor(cfg.Predictor)
 	if err != nil {
-		return nil, nil, err
+		return config.Machine{}, nil, nil, err
 	}
 	tr, err := TraceFor(cfg.App, cfg.Instructions, cfg.Seed)
 	if err != nil {
+		return config.Machine{}, nil, nil, err
+	}
+	return machine, pred, tr, nil
+}
+
+// Run executes one simulation on a pooled core (see corePool).
+func Run(cfg Config) (*stats.Run, error) {
+	cfg = cfg.Normalized()
+	machine, pred, tr, err := runSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	key := coreKey{machine: machine, opt: pipelineOptions(cfg)}
+	c, err := getCore(key, pred)
+	if err != nil {
+		return nil, err
+	}
+	run, err := c.Run(tr)
+	if err != nil {
+		return nil, fmt.Errorf("sim %s/%s/%s: %w", cfg.App, cfg.Machine, cfg.Predictor, err)
+	}
+	putCore(key, c)
+	run.Predictor = cfg.Predictor
+	return run, nil
+}
+
+// RunCore is like Run but also returns the core, so callers can inspect
+// predictor internals (conflict-length histograms, path counts). The core is
+// always freshly built — ownership passes to the caller, never to the pool.
+func RunCore(cfg Config) (*stats.Run, *pipeline.Core, error) {
+	cfg = cfg.Normalized()
+	machine, pred, tr, err := runSetup(cfg)
+	if err != nil {
 		return nil, nil, err
 	}
-	opt := pipelineOptions(cfg)
-	c, err := pipeline.New(machine, pred, opt)
+	c, err := pipeline.New(machine, pred, pipelineOptions(cfg))
 	if err != nil {
 		return nil, nil, err
 	}

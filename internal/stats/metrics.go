@@ -43,6 +43,13 @@ func (m *Metrics) Add(name string, delta uint64) {
 	atomic.AddUint64(m.counter(name), delta)
 }
 
+// Set stores v as the named counter's value, overwriting any prior value.
+// Use it to publish cumulative counters maintained elsewhere (e.g. the trace
+// intern pool's process-wide hit count) into a registry snapshot.
+func (m *Metrics) Set(name string, v uint64) {
+	atomic.StoreUint64(m.counter(name), v)
+}
+
 // AddDuration increments the named counter by d in nanoseconds.
 func (m *Metrics) AddDuration(name string, d time.Duration) {
 	if d > 0 {

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"repro/internal/histutil"
+	"repro/internal/isa"
+)
+
+// Prefixes holds the per-trace precomputed structures the timing model
+// needs at dispatch and squash time: prefix counts of divergent branches and
+// stores, and the history entries of all divergent branches in stream order.
+// A Trace is immutable, so its prefixes are computed once and shared by
+// every core that replays it (trace interning makes one Trace serve many
+// predictor/machine configurations).
+type Prefixes struct {
+	// Div[i] is the number of divergent branches before trace index i.
+	Div []uint32
+	// St[i] is the number of stores before trace index i.
+	St []uint32
+	// DivEntries holds the history entries of all divergent branches, in
+	// stream order; DivEntries[:Div[i]] is the history before index i.
+	DivEntries []histutil.Entry
+}
+
+// Pre returns the trace's precomputed prefixes, building them on first use.
+// Safe for concurrent use; the result must be treated as read-only.
+func (t *Trace) Pre() *Prefixes {
+	t.preOnce.Do(func() {
+		n := len(t.Insts)
+		p := &Prefixes{
+			Div: make([]uint32, n+1),
+			St:  make([]uint32, n+1),
+		}
+		divs := 0
+		for i := range t.Insts {
+			if t.Insts[i].Divergent() {
+				divs++
+			}
+		}
+		p.DivEntries = make([]histutil.Entry, 0, divs)
+		for i := range t.Insts {
+			p.Div[i+1] = p.Div[i]
+			p.St[i+1] = p.St[i]
+			in := &t.Insts[i]
+			if in.Divergent() {
+				p.Div[i+1]++
+				p.DivEntries = append(p.DivEntries, EntryOf(in))
+			}
+			if in.IsStore() {
+				p.St[i+1]++
+			}
+		}
+		t.pre = p
+	})
+	return t.pre
+}
+
+// EntryOf builds the 7-bit divergent-branch history record of §IV-A2 for a
+// branch micro-op: type bit, outcome bit, and the low bits of the
+// destination actually taken (target if taken, fall-through otherwise).
+func EntryOf(in *isa.Inst) histutil.Entry {
+	dest := in.Target
+	if !in.Taken {
+		dest = in.PC + 4
+	}
+	return histutil.NewEntry(in.Class.IndirectTarget(), in.Taken, dest)
+}

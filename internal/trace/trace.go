@@ -11,15 +11,21 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/workload"
 )
 
-// Trace is a named dynamic micro-op stream.
+// Trace is a named dynamic micro-op stream. The stream is immutable once
+// built; Pre lazily attaches the precomputed prefix structures the timing
+// model shares across runs (see prefix.go).
 type Trace struct {
 	Name  string
 	Insts []isa.Inst
+
+	preOnce sync.Once
+	pre     *Prefixes
 }
 
 // Generate produces the first n micro-ops of a program's stream.
@@ -117,6 +123,10 @@ func (t *Trace) AnalyzeMultiStore(window int) MultiStore {
 		base isa.Reg
 	}
 	ring := make([]storeRec, 0, window)
+	// providers is reused across loads: the distinct youngest writers of the
+	// current load's bytes. A load touches at most 255 bytes (Size is uint8),
+	// so the slice stays tiny and is never reallocated in steady state.
+	providers := make([]storeRec, 0, 16)
 	for i := range t.Insts {
 		in := &t.Insts[i]
 		switch in.Kind {
@@ -128,28 +138,34 @@ func (t *Trace) AnalyzeMultiStore(window int) MultiStore {
 			ring = append(ring, storeRec{idx: i, addr: in.Addr, size: in.Size, base: in.SrcA})
 		case isa.Load:
 			res.Loads++
-			providers := map[int]isa.Reg{}
-			// Youngest provider per loaded byte.
+			providers = providers[:0]
+			// Youngest provider per loaded byte, deduplicated by store index.
 			for b := in.Addr; b < in.End(); b++ {
 				for j := len(ring) - 1; j >= 0; j-- {
 					s := ring[j]
 					if s.addr <= b && b < s.addr+uint64(s.size) {
-						providers[s.idx] = s.base
+						known := false
+						for k := range providers {
+							if providers[k].idx == s.idx {
+								known = true
+								break
+							}
+						}
+						if !known {
+							providers = append(providers, s)
+						}
 						break
 					}
 				}
 			}
 			if len(providers) >= 2 {
 				res.MultiDepLoads++
-				var first isa.Reg
-				same, got := true, false
-				for _, base := range providers {
-					if !got {
-						first, got = base, true
-						continue
-					}
-					if base != first {
+				same := true
+				first := providers[0].base
+				for k := 1; k < len(providers); k++ {
+					if providers[k].base != first {
 						same = false
+						break
 					}
 				}
 				if same && first != 0 {

@@ -198,3 +198,100 @@ func TestSelectIntervalsDegenerate(t *testing.T) {
 
 // AnalyzeMultiStoreWindowDefault is a tiny helper for the test above.
 func (t *Trace) AnalyzeMultiStoreWindowDefault() MultiStore { return t.AnalyzeMultiStore(114) }
+
+// analyzeMultiStoreRef is the original map-per-load implementation, kept as
+// the reference the allocation-free version must match byte for byte.
+func analyzeMultiStoreRef(t *Trace, window int) MultiStore {
+	var res MultiStore
+	type storeRec struct {
+		idx  int
+		addr uint64
+		size uint8
+		base isa.Reg
+	}
+	ring := make([]storeRec, 0, window)
+	for i := range t.Insts {
+		in := &t.Insts[i]
+		switch in.Kind {
+		case isa.Store:
+			if len(ring) == window {
+				copy(ring, ring[1:])
+				ring = ring[:window-1]
+			}
+			ring = append(ring, storeRec{idx: i, addr: in.Addr, size: in.Size, base: in.SrcA})
+		case isa.Load:
+			res.Loads++
+			providers := map[int]isa.Reg{}
+			for b := in.Addr; b < in.End(); b++ {
+				for j := len(ring) - 1; j >= 0; j-- {
+					s := ring[j]
+					if s.addr <= b && b < s.addr+uint64(s.size) {
+						providers[s.idx] = s.base
+						break
+					}
+				}
+			}
+			if len(providers) >= 2 {
+				res.MultiDepLoads++
+				var first isa.Reg
+				same, got := true, false
+				for _, base := range providers {
+					if !got {
+						first, got = base, true
+						continue
+					}
+					if base != first {
+						same = false
+					}
+				}
+				if same && first != 0 {
+					res.InOrderProvider++
+				}
+			}
+		}
+	}
+	return res
+}
+
+func TestAnalyzeMultiStoreMatchesReference(t *testing.T) {
+	for _, app := range []string{"503.bwaves", "511.povray", "519.lbm"} {
+		tr := testTrace(t, app, 20000)
+		for _, window := range []int{1, 16, 114} {
+			got := tr.AnalyzeMultiStore(window)
+			want := analyzeMultiStoreRef(tr, window)
+			if got != want {
+				t.Errorf("%s window=%d: got %+v, want %+v", app, window, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixesMatchStream(t *testing.T) {
+	tr := testTrace(t, "511.povray", 20000)
+	p := tr.Pre()
+	if p != tr.Pre() {
+		t.Fatal("Pre must return the same shared structure")
+	}
+	divs, sts := uint32(0), uint32(0)
+	for i := range tr.Insts {
+		if p.Div[i] != divs || p.St[i] != sts {
+			t.Fatalf("prefix mismatch at %d: div %d/%d st %d/%d", i, p.Div[i], divs, p.St[i], sts)
+		}
+		in := &tr.Insts[i]
+		if in.Divergent() {
+			if got := p.DivEntries[divs]; got != EntryOf(in) {
+				t.Fatalf("divEntries[%d] = %v, want %v", divs, got, EntryOf(in))
+			}
+			divs++
+		}
+		if in.IsStore() {
+			sts++
+		}
+	}
+	if p.Div[len(tr.Insts)] != divs || p.St[len(tr.Insts)] != sts {
+		t.Fatal("final prefix counts wrong")
+	}
+	if uint32(len(p.DivEntries)) != divs {
+		t.Fatalf("divEntries length %d, want %d", len(p.DivEntries), divs)
+	}
+}
