@@ -1,21 +1,30 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke
+.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke chaos
 
 all: build test
 
-# Full pre-merge gate: vet + build + race-enabled tests + a cached-vs-
-# uncached paperfigs smoke proving the persistent run cache reproduces
-# byte-identical tables with zero re-simulations, a one-iteration pass over
-# every benchmark, and a throughput comparison against the committed
-# BENCH.json baseline (fails on a >10% uops/s regression).
+# Full pre-merge gate: vet + build + race-enabled tests + the fault-injection
+# suite under -race + a cached-vs-uncached paperfigs smoke proving the
+# persistent run cache reproduces byte-identical tables with zero
+# re-simulations, a one-iteration pass over every benchmark, and a throughput
+# comparison against the committed BENCH.json baseline (fails on a >10%
+# uops/s regression).
 check:
 	go vet ./...
 	go build ./...
 	go test -race ./...
+	$(MAKE) chaos
 	$(MAKE) cache-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) benchdiff
+
+# Fault-injection (chaos) suite: injected panics, stalls, disk-write failures
+# and corrupt cache entries must all be contained — typed per-config errors,
+# bit-identical survivors, no leaked goroutines — under the race detector.
+chaos:
+	go test -race -run 'Chaos' ./internal/...
+	@echo "chaos ok: injected faults contained under -race"
 
 SMOKEDIR := $(or $(TMPDIR),/tmp)/phast-cache-smoke
 SMOKEFLAGS := -fig fig12 -apps 511.povray,519.lbm -n 30000 -cache $(SMOKEDIR)/cache -metrics

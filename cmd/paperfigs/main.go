@@ -6,23 +6,36 @@
 //	paperfigs -fig fig15 -n 1000000    # one figure, longer runs
 //	paperfigs -fig fig14 -apps 511.povray,541.leela
 //	paperfigs -fig all -cache ~/.cache/phast   # persist runs; rerun is ~free
+//	paperfigs -fig all -keep-going -timeout 2m # survive bad configs/hangs
 //	paperfigs -list
 //
 // Tables go to stdout; progress, metrics (-metrics) and timing go to
 // stderr, so repeated invocations with the same flags are byte-comparable.
+//
+// SIGINT cancels in-flight simulations and exits after flushing whatever
+// completed: tables already rendered stay on stdout, the failure log and
+// (with -metrics) the counters still print.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/prof"
 	"repro/internal/sim"
 )
+
+func fatal(v ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"paperfigs:"}, v...)...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -33,6 +46,9 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		cacheDir   = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
 		metrics    = flag.Bool("metrics", false, "print cache, simulation, trace-intern and core-pool metrics to stderr at exit")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = none); a run past it fails with a timeout error")
+		keepGoing  = flag.Bool("keep-going", false, "keep running after failures: failed runs become failure-log rows instead of aborting the batch")
+		faults     = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.01,diskwrite=0.1,seed=7\" (default $PHAST_FAULTS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -45,14 +61,26 @@ func main() {
 		return
 	}
 
+	plan, err := faultinject.Parse(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	if plan != nil {
+		defer faultinject.Activate(plan)()
+		fmt.Fprintln(os.Stderr, "paperfigs: fault injection active:", plan)
+	}
+
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "paperfigs:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opt := experiments.Options{
 		Instructions: *n, Out: os.Stdout, Workers: *workers, CacheDir: *cacheDir,
+		Context: ctx, RunTimeout: *timeout, KeepGoing: *keepGoing,
 	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
@@ -69,18 +97,28 @@ func main() {
 		if err == nil {
 			fmt.Printf("== %s: %s ==\n", e.Name, e.Desc)
 			err = e.Run(r)
+			// Same keep-going contract as RunAll: a contained failure is a
+			// failure-log row and an inline note, not a dead process.
+			if err != nil && *keepGoing && ctx.Err() == nil {
+				fmt.Printf("== %s FAILED: %v ==\n", e.Name, err)
+				err = nil
+			}
 		}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "paperfigs:", err)
-		os.Exit(1)
-	}
+	// Flush observability before deciding the exit code, so an aborted run
+	// still reports what failed and what it managed to do.
+	r.WriteFailures(os.Stderr)
 	if *metrics {
 		r.WriteMetrics(os.Stderr)
 	}
+	if err != nil {
+		if ctx.Err() != nil {
+			fatal("interrupted (completed tables were flushed):", err)
+		}
+		fatal(err)
+	}
 	if err := stopProf(); err != nil {
-		fmt.Fprintln(os.Stderr, "paperfigs: profile:", err)
-		os.Exit(1)
+		fatal("profile:", err)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -6,14 +6,19 @@
 //
 //	phastsim -app 511.povray -predictor phast -machine alderlake -n 300000
 //	phastsim -list
+//
+// SIGINT cancels the simulation; -timeout bounds its wall-clock time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/config"
+	"repro/internal/faultinject"
 	"repro/internal/pipeline"
 	"repro/internal/prof"
 	"repro/internal/runcache"
@@ -22,6 +27,12 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// fatal is the one exit path for errors: message to stderr, non-zero exit.
+func fatal(v ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"phastsim:"}, v...)...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -40,24 +51,43 @@ func main() {
 		interval   = flag.Int("interval", 50000, "interval length for -simpoints")
 		cacheDir   = flag.String("cache", "", "persistent run-cache directory (empty = always simulate)")
 		metrics    = flag.Bool("metrics", false, "print cache/simulation metrics to stderr at exit")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the simulation (0 = none)")
+		faults     = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.1,seed=7\" (default $PHAST_FAULTS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
+	plan, err := faultinject.Parse(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	if plan != nil {
+		defer faultinject.Activate(plan)()
+		fmt.Fprintln(os.Stderr, "phastsim: fault injection active:", plan)
+	}
+
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phastsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	// simulate routes full runs through the persistent cache when enabled;
 	// -load-trace and -simpoints always simulate (their inputs are not part
 	// of the content address).
 	reg := stats.NewMetrics()
-	simulate := sim.Run
+	simulate := func(cfg sim.Config) (*stats.Run, error) { return sim.RunContext(ctx, cfg) }
 	if *cacheDir != "" {
 		cache := runcache.New(runcache.NewStore(*cacheDir), reg)
-		simulate = cache.Run
+		simulate = func(cfg sim.Config) (*stats.Run, error) { return cache.Run(ctx, cfg) }
 	}
 	finish := func() {
 		if *metrics {
@@ -65,8 +95,7 @@ func main() {
 			reg.WriteTo(os.Stderr)
 		}
 		if err := stopProf(); err != nil {
-			fmt.Fprintln(os.Stderr, "phastsim: profile:", err)
-			os.Exit(1)
+			fatal("profile:", err)
 		}
 	}
 
@@ -89,8 +118,7 @@ func main() {
 	if *saveTrace != "" {
 		tr, err := sim.TraceFor(cfg.App, *n, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "phastsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		f, err := os.Create(*saveTrace)
 		if err == nil {
@@ -100,8 +128,7 @@ func main() {
 			err = f.Close()
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "phastsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %d micro-ops of %s to %s\n", tr.Len(), tr.Name, *saveTrace)
 		return
@@ -110,21 +137,19 @@ func main() {
 	var run *stats.Run
 	switch {
 	case *simpoints > 0:
-		err = runSimpoints(cfg, *simpoints, *interval)
+		err = runSimpoints(ctx, cfg, *simpoints, *interval)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "phastsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		finish()
 		return
 	case *loadTrace != "":
-		run, err = replay(*loadTrace, cfg)
+		run, err = replay(ctx, *loadTrace, cfg)
 	default:
 		run, err = simulate(cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phastsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	printRun(run)
 
@@ -132,8 +157,7 @@ func main() {
 		cfg.Predictor = "ideal"
 		ideal, err := simulate(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "phastsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("\nideal IPC %.4f; %s reaches %.2f%% of ideal\n",
 			ideal.IPC(), *predictor, 100*run.Speedup(ideal))
@@ -144,7 +168,7 @@ func main() {
 // runSimpoints selects k representative intervals of the stream (SimPoint-
 // style clustering on PC-frequency signatures, as the paper's methodology
 // does on SPEC) and reports the per-interval and weighted-mean IPC.
-func runSimpoints(cfg sim.Config, k, intervalLen int) error {
+func runSimpoints(ctx context.Context, cfg sim.Config, k, intervalLen int) error {
 	tr, err := sim.TraceFor(cfg.App, cfg.Instructions, cfg.Seed)
 	if err != nil {
 		return err
@@ -167,7 +191,7 @@ func runSimpoints(cfg sim.Config, k, intervalLen int) error {
 		if err != nil {
 			return err
 		}
-		res, err := c.Run(tr.Slice(iv))
+		res, err := c.RunContext(ctx, tr.Slice(iv))
 		if err != nil {
 			return err
 		}
@@ -181,7 +205,7 @@ func runSimpoints(cfg sim.Config, k, intervalLen int) error {
 }
 
 // replay runs the simulator over a previously saved stream.
-func replay(path string, cfg sim.Config) (*stats.Run, error) {
+func replay(ctx context.Context, path string, cfg sim.Config) (*stats.Run, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -208,7 +232,7 @@ func replay(path string, cfg sim.Config) (*stats.Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := c.Run(tr)
+	run, err := c.RunContext(ctx, tr)
 	if err != nil {
 		return nil, err
 	}

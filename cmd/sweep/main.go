@@ -7,21 +7,32 @@
 //	sweep -kind budget  -apps 511.povray,502.gcc_1
 //	sweep -kind history -n 200000
 //	sweep -kind machine -predictor phast
+//
+// SIGINT cancels in-flight simulations; completed tables stay on stdout and
+// the failure log still prints.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/pipeline"
 	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+func fatal(v ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"sweep:"}, v...)...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -32,19 +43,33 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel runs")
 		cacheDir   = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
 		metrics    = flag.Bool("metrics", false, "print cache, simulation, trace-intern and core-pool metrics to stderr at exit")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = none)")
+		faults     = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing (default $PHAST_FAULTS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
+	plan, err := faultinject.Parse(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	if plan != nil {
+		defer faultinject.Activate(plan)()
+		fmt.Fprintln(os.Stderr, "sweep: fault injection active:", plan)
+	}
+
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opt := experiments.Options{
 		Instructions: *n, Out: os.Stdout, Workers: *workers, CacheDir: *cacheDir,
+		Context: ctx, RunTimeout: *timeout,
 	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
@@ -61,27 +86,29 @@ func main() {
 	case "machine":
 		err = machineSweep(r, *predictor)
 	case "window":
-		err = windowSweep(r, *predictor)
+		err = windowSweep(ctx, r, *predictor)
 	default:
 		err = fmt.Errorf("unknown sweep kind %q", *kind)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
-	}
+	r.WriteFailures(os.Stderr)
 	if *metrics {
 		r.WriteMetrics(os.Stderr)
 	}
+	if err != nil {
+		if ctx.Err() != nil {
+			fatal("interrupted (completed tables were flushed):", err)
+		}
+		fatal(err)
+	}
 	if err := stopProf(); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep: profile:", err)
-		os.Exit(1)
+		fatal("profile:", err)
 	}
 }
 
 // windowSweep isolates the Fig. 2 mechanism: on one machine generation,
 // scale only the speculation window (ROB/IQ/LQ/SQ) and watch the predictor's
 // gap to ideal grow — more in-flight unresolved stores, more exposure.
-func windowSweep(r *experiments.Runner, predictor string) error {
+func windowSweep(ctx context.Context, r *experiments.Runner, predictor string) error {
 	t := stats.NewTable(fmt.Sprintf("window sweep — %s (alderlake-derived)", predictor),
 		"scale", "ROB", "SQ", "IPC/ideal", "MPKI(FN)", "MPKI(FP)")
 	for _, scale := range []float64{0.25, 0.5, 1, 2} {
@@ -94,7 +121,7 @@ func windowSweep(r *experiments.Runner, predictor string) error {
 		if err := m.Validate(); err != nil {
 			return err
 		}
-		geo, fn, fp, err := sweepOn(r, m, predictor)
+		geo, fn, fp, err := sweepOn(ctx, r, m, predictor)
 		if err != nil {
 			return err
 		}
@@ -105,15 +132,16 @@ func windowSweep(r *experiments.Runner, predictor string) error {
 }
 
 // sweepOn runs predictor and ideal over the runner's apps on an ad-hoc
-// machine (bypassing the by-name registry).
-func sweepOn(r *experiments.Runner, m config.Machine, predictor string) (geo, fn, fp float64, err error) {
+// machine (bypassing the by-name registry), with a per-run wall-clock
+// budget matching the runner's.
+func sweepOn(ctx context.Context, r *experiments.Runner, m config.Machine, predictor string) (geo, fn, fp float64, err error) {
 	var ratios, fns, fps []float64
 	for _, app := range r.Opt().Apps {
-		idealRun, err := runOn(m, app, "ideal", r.Opt().Instructions)
+		idealRun, err := runOn(ctx, r, m, app, "ideal")
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		predRun, err := runOn(m, app, predictor, r.Opt().Instructions)
+		predRun, err := runOn(ctx, r, m, app, predictor)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -124,8 +152,13 @@ func sweepOn(r *experiments.Runner, m config.Machine, predictor string) (geo, fn
 	return stats.GeoMean(ratios), stats.Mean(fns), stats.Mean(fps), nil
 }
 
-func runOn(m config.Machine, app, predictor string, instructions int) (*stats.Run, error) {
-	tr, err := sim.TraceFor(app, instructions, 0)
+func runOn(ctx context.Context, r *experiments.Runner, m config.Machine, app, predictor string) (*stats.Run, error) {
+	if d := r.Opt().RunTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	tr, err := sim.TraceFor(app, r.Opt().Instructions, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +170,7 @@ func runOn(m config.Machine, app, predictor string, instructions int) (*stats.Ru
 	if err != nil {
 		return nil, err
 	}
-	return c.Run(tr)
+	return c.RunContext(ctx, tr)
 }
 
 func machineSweep(r *experiments.Runner, predictor string) error {

@@ -48,13 +48,24 @@ func ByName(name string) (Experiment, error) {
 }
 
 // RunAll executes every experiment against one shared runner (and its
-// memoised simulation cache).
+// memoised simulation cache). The first failure aborts the sequence unless
+// the runner was built with Options.KeepGoing, in which case the failed
+// experiment is reported inline and the next one still runs — failed
+// simulations become rows in the runner's failure log rather than a dead
+// process. Cancellation of the runner's base context (SIGINT) always stops
+// the sequence; completed tables have already been flushed to Out.
 func RunAll(r *Runner) error {
 	for _, e := range All() {
 		fmt.Fprintf(r.Opt().Out, "== %s: %s ==\n", e.Name, e.Desc)
-		if err := e.Run(r); err != nil {
-			return fmt.Errorf("%s: %w", e.Name, err)
+		err := e.Run(r)
+		if err == nil {
+			continue
 		}
+		if r.Opt().KeepGoing && r.Opt().Context.Err() == nil {
+			fmt.Fprintf(r.Opt().Out, "== %s FAILED: %v ==\n", e.Name, err)
+			continue
+		}
+		return fmt.Errorf("%s: %w", e.Name, err)
 	}
 	return nil
 }

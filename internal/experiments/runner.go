@@ -4,10 +4,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/runcache"
 	"repro/internal/sim"
@@ -32,6 +36,17 @@ type Options struct {
 	// simulated, simulator wall-time). Default: a private registry,
 	// readable via Runner.Metrics.
 	Metrics *stats.Metrics
+	// Context is the base context of every simulation the runner starts;
+	// cancelling it (SIGINT in the cmds) aborts queued and in-flight runs.
+	// Default context.Background().
+	Context context.Context
+	// RunTimeout bounds each simulation's wall-clock time; a run past the
+	// deadline fails with sim.ErrTimeout. Zero means no deadline.
+	RunTimeout time.Duration
+	// KeepGoing disables fail-fast batching: every config in a batch runs
+	// to completion and failures are reported per config instead of the
+	// first error cancelling its still-queued siblings.
+	KeepGoing bool
 }
 
 func (o Options) norm() Options {
@@ -53,7 +68,18 @@ func (o Options) norm() Options {
 	if o.Metrics == nil {
 		o.Metrics = stats.NewMetrics()
 	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
 	return o
+}
+
+// Result pairs one Config of a batch with its outcome: exactly one of Run
+// and Err is set.
+type Result struct {
+	Config sim.Config
+	Run    *stats.Run
+	Err    error
 }
 
 // Runner executes simulations behind a layered cache (in-process map →
@@ -61,10 +87,18 @@ func (o Options) norm() Options {
 // runs (every figure needs the ideal baseline) pay for them once — and,
 // with a cache directory, pay for them once across process invocations.
 // All fan-out goes through one shared worker pool.
+//
+// Failure containment: a failed run surfaces as a typed error (sim.SimError
+// — recovered panic, watchdog deadlock, timeout, cancellation) that poisons
+// its own result, bumps a "sim.errors.<kind>" counter and lands in the
+// failure log (WriteFailures), never as a crashed process.
 type Runner struct {
 	opt   Options
 	cache *runcache.Cache
 	sched *scheduler
+
+	mu       sync.Mutex
+	failures []Result // failed runs, in completion order
 }
 
 // NewRunner builds a runner for the given options.
@@ -87,9 +121,25 @@ func (r *Runner) Opt() Options { return r.opt }
 // Metrics returns the runner's counter registry.
 func (r *Runner) Metrics() *stats.Metrics { return r.opt.Metrics }
 
-// Close stops the worker pool. It is safe to call more than once; using
-// the runner's batch APIs after Close panics.
+// Close stops the worker pool. It is safe to call more than once; batch
+// APIs called after Close fail with a per-config error.
 func (r *Runner) Close() { r.sched.close() }
+
+// recordFailure turns one failed run into its observable forms: the
+// per-kind error counter and a row in the failure log.
+func (r *Runner) recordFailure(cfg sim.Config, err error) {
+	r.opt.Metrics.Add(sim.CounterErrorPrefix+string(sim.KindOf(err)), 1)
+	r.mu.Lock()
+	r.failures = append(r.failures, Result{Config: cfg, Err: err})
+	r.mu.Unlock()
+}
+
+// Failures returns a snapshot of every failed run so far.
+func (r *Runner) Failures() []Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Result(nil), r.failures...)
+}
 
 // Run executes (or recalls) one simulation.
 func (r *Runner) Run(app, machine, pred string, fwdOff bool) (*stats.Run, error) {
@@ -99,61 +149,157 @@ func (r *Runner) Run(app, machine, pred string, fwdOff bool) (*stats.Run, error)
 	})
 }
 
-// RunConfig executes (or recalls) the simulation described by cfg. The
-// runner's instruction count applies when cfg leaves it zero.
+// RunConfig executes (or recalls) the simulation described by cfg under the
+// runner's base context. The runner's instruction count applies when cfg
+// leaves it zero.
 func (r *Runner) RunConfig(cfg sim.Config) (*stats.Run, error) {
+	return r.RunConfigContext(r.opt.Context, cfg)
+}
+
+// RunConfigContext is RunConfig bounded by ctx (which must descend from the
+// runner's base context for SIGINT to reach it; batch APIs pass their
+// per-batch cancel context). Options.RunTimeout is layered on per call, so
+// the deadline clocks one simulation, not the batch. Failures are recorded
+// (counter + failure log) before returning.
+func (r *Runner) RunConfigContext(ctx context.Context, cfg sim.Config) (run *stats.Run, err error) {
 	if cfg.Instructions == 0 {
 		cfg.Instructions = r.opt.Instructions
 	}
-	return r.cache.Run(cfg)
+	cfg = cfg.Normalized() // failure rows and cache keys see resolved names
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("experiments: run %s/%s/%s panicked outside the simulator: %v\n%s",
+				cfg.App, cfg.Machine, cfg.Predictor, v, debug.Stack())
+		}
+		if err != nil {
+			r.recordFailure(cfg, err)
+		}
+	}()
+	if r.opt.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opt.RunTimeout)
+		defer cancel()
+	}
+	return r.cache.Run(ctx, cfg)
 }
 
 // RunConfigs executes a batch of simulations on the shared worker pool and
-// returns runs in input order. The first error aborts the result (after
-// every job finishes).
+// returns runs in input order. By default the batch fails fast: the first
+// failure cancels still-queued and in-flight siblings and the root-cause
+// error (not a secondary cancellation) is returned once every job has
+// finished. With Options.KeepGoing all configs run regardless and the first
+// failure by input order is returned.
 func (r *Runner) RunConfigs(cfgs []sim.Config) ([]*stats.Run, error) {
-	runs := make([]*stats.Run, len(cfgs))
-	errs := make([]error, len(cfgs))
+	results := r.RunConfigsDetailed(cfgs)
+	runs := make([]*stats.Run, len(results))
+	var batchErr error
+	for i, res := range results {
+		runs[i] = res.Run
+		if res.Err == nil {
+			continue
+		}
+		// Prefer the failure that started the collapse over the cancelled
+		// siblings it knocked out.
+		if batchErr == nil || (sim.KindOf(batchErr) == sim.ErrCancelled && sim.KindOf(res.Err) != sim.ErrCancelled) {
+			batchErr = res.Err
+		}
+	}
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	return runs, nil
+}
+
+// RunConfigsDetailed executes a batch and reports every config's individual
+// outcome in input order, error rows included — the keep-going entry point
+// for callers that tabulate partial results.
+func (r *Runner) RunConfigsDetailed(cfgs []sim.Config) []Result {
+	ctx, cancel := r.batchContext()
+	defer cancel()
+	results := make([]Result, len(cfgs))
 	var wg sync.WaitGroup
 	for i, cfg := range cfgs {
 		i, cfg := i, cfg
 		wg.Add(1)
-		r.sched.submit(func() {
+		err := r.sched.submit(func() {
 			defer wg.Done()
-			runs[i], errs[i] = r.RunConfig(cfg)
+			run, err := r.RunConfigContext(ctx, cfg)
+			results[i] = Result{Config: cfg, Run: run, Err: err}
+			if err != nil {
+				cancel()
+			}
 		})
-	}
-	wg.Wait()
-	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			wg.Done()
+			results[i] = Result{Config: cfg, Err: err}
 		}
 	}
-	return runs, nil
+	wg.Wait()
+	return results
+}
+
+// batchContext derives one batch's context from the runner's base: with
+// fail-fast (the default) the returned cancel aborts the batch's siblings;
+// with KeepGoing it is a no-op so one failure never touches the others.
+func (r *Runner) batchContext() (context.Context, context.CancelFunc) {
+	if r.opt.KeepGoing {
+		return r.opt.Context, func() {}
+	}
+	return context.WithCancel(r.opt.Context)
 }
 
 // ForEachApp runs fn(i, app) for every app on the shared worker pool and
 // returns the first error once all have finished. It is the escape hatch
 // for experiments needing more than cached stats.Run counters (predictor
-// internals via sim.RunCore); such work bypasses the run cache.
+// internals via sim.RunCore); such work bypasses the run cache. fn does not
+// take a context, so fail-fast cancellation stops still-queued apps from
+// starting but lets in-flight ones finish; a panicking fn poisons its own
+// app's error, not the process.
 func (r *Runner) ForEachApp(fn func(i int, app string) error) error {
+	ctx, cancel := r.batchContext()
+	defer cancel()
 	errs := make([]error, len(r.opt.Apps))
 	var wg sync.WaitGroup
 	for i, app := range r.opt.Apps {
 		i, app := i, app
 		wg.Add(1)
-		r.sched.submit(func() {
+		err := r.sched.submit(func() {
 			defer wg.Done()
-			errs[i] = fn(i, app)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = protect(func() error { return fn(i, app) })
+			if errs[i] != nil {
+				cancel()
+			}
 		})
-	}
-	wg.Wait()
-	for _, err := range errs {
 		if err != nil {
-			return err
+			wg.Done()
+			errs[i] = err
 		}
 	}
-	return nil
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || (sim.KindOf(firstErr) == sim.ErrCancelled && sim.KindOf(err) != sim.ErrCancelled) {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// protect runs fn, converting a panic into an error.
+func protect(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("experiments: app job panicked: %v\n%s", v, debug.Stack())
+		}
+	}()
+	return fn()
 }
 
 // RunApps executes one (machine, predictor) combination over every app in
@@ -230,6 +376,28 @@ func (r *Runner) WriteMetrics(w io.Writer) {
 	}
 	if runs := snap[runcache.CounterRunsSimulated]; runs > 0 {
 		t.AddRowf("sim.allocs.per_run", snap[runcache.CounterSimAllocObjs]/runs)
+	}
+	fmt.Fprint(w, t)
+}
+
+// WriteFailures renders one row per failed run — config, error kind, first
+// line of the error — or nothing when every run succeeded. The full errors
+// (panic stacks, pipeline dumps) are not table material; they remain on the
+// error values for callers that log them.
+func (r *Runner) WriteFailures(w io.Writer) {
+	failures := r.Failures()
+	if len(failures) == 0 {
+		return
+	}
+	t := stats.NewTable(fmt.Sprintf("failed runs (%d)", len(failures)), "config", "kind", "error")
+	for _, f := range failures {
+		c := f.Config
+		msg := f.Err.Error()
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i] + " ..."
+		}
+		t.AddRow(fmt.Sprintf("%s/%s/%s", c.App, c.Machine, c.Predictor),
+			string(sim.KindOf(f.Err)), msg)
 	}
 	fmt.Fprint(w, t)
 }

@@ -1,6 +1,15 @@
 package experiments
 
-import "sync"
+import (
+	"errors"
+	"log"
+	"runtime/debug"
+	"sync"
+)
+
+// errSchedulerClosed is returned by submit after close; batch APIs surface
+// it as the per-job error rather than panicking the caller.
+var errSchedulerClosed = errors.New("experiments: runner is closed")
 
 // scheduler is the fixed-size worker pool shared by every figure a Runner
 // regenerates. All fan-out (RunApps, RunConfigs, the ablation sweeps) feeds
@@ -10,7 +19,10 @@ type scheduler struct {
 	jobs      chan func()
 	workers   int
 	startOnce sync.Once
-	closeOnce sync.Once
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // submits past the closed check, pre-handoff
 }
 
 func newScheduler(workers int) *scheduler {
@@ -23,22 +35,55 @@ func (s *scheduler) start() {
 	for i := 0; i < s.workers; i++ {
 		go func() {
 			for job := range s.jobs {
-				job()
+				runJob(job)
 			}
 		}()
 	}
 }
 
-// submit blocks until a worker accepts the job. Jobs must not submit
-// further jobs (a job waiting on a sub-job could starve the pool); batch
-// APIs fan out from the caller's goroutine instead.
-func (s *scheduler) submit(job func()) {
-	s.startOnce.Do(s.start)
-	s.jobs <- job
+// runJob is the worker-level panic backstop: batch APIs recover their own
+// jobs' panics into per-config errors, so anything reaching here escaped a
+// job's own recovery (e.g. a panicking deferred wg.Done). Losing one worker
+// to it would shrink the pool for the rest of the process; log and survive.
+func runJob(job func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			log.Printf("experiments: scheduled job panicked past its own recovery: %v\n%s", v, debug.Stack())
+		}
+	}()
+	job()
 }
 
-// close stops the workers once outstanding jobs drain. Submitting after
-// close panics; callers close only after every batch has returned.
+// submit blocks until a worker accepts the job, or reports
+// errSchedulerClosed if the pool has been shut down — the job then never
+// runs and the caller owns any bookkeeping it attached to it. Jobs must not
+// submit further jobs (a job waiting on a sub-job could starve the pool);
+// batch APIs fan out from the caller's goroutine instead.
+func (s *scheduler) submit(job func()) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errSchedulerClosed
+	}
+	s.inflight.Add(1)
+	s.startOnce.Do(s.start)
+	s.mu.Unlock()
+	s.jobs <- job
+	s.inflight.Done()
+	return nil
+}
+
+// close stops the workers once outstanding jobs drain. Safe to call more
+// than once; submits that already passed the closed check complete their
+// handoff before the channel closes, later ones get errSchedulerClosed.
 func (s *scheduler) close() {
-	s.closeOnce.Do(func() { close(s.jobs) })
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	close(s.jobs)
 }

@@ -1,0 +1,99 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	p, err := Parse("panic=0.1,stall=0.05,diskwrite=1,corrupt=0,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Rate(FaultPanic); got != 0.1 {
+		t.Errorf("panic rate = %g, want 0.1", got)
+	}
+	if got := p.Rate(FaultDiskWrite); got != 1 {
+		t.Errorf("diskwrite rate = %g, want 1", got)
+	}
+	if p.seed != 42 {
+		t.Errorf("seed = %d, want 42", p.seed)
+	}
+	if p2, err := Parse(p.String()); err != nil || p2.Rate(FaultStall) != 0.05 {
+		t.Errorf("String round trip broken: %v %v", p2, err)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"panic", "panic=x", "warp=0.5", "panic=1.5", "seed=-1"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParseEmptyIsNilPlan(t *testing.T) {
+	p, err := Parse("  ")
+	if err != nil || p != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", p, err)
+	}
+	// The nil plan injects nothing and never crashes.
+	if p.Should(FaultPanic, "k") || p.Rate(FaultPanic) != 0 || p.Point(FaultPanic, "k", 10) != 0 {
+		t.Error("nil plan must be inert")
+	}
+}
+
+// TestShouldDeterministicAndCalibrated: the same (plan, fault, key) always
+// decides the same way, different seeds decide independently, and the
+// empirical firing rate over many keys tracks the configured probability.
+func TestShouldDeterministicAndCalibrated(t *testing.T) {
+	p, err := NewPlan(1, map[Fault]float64{FaultPanic: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	fired := 0
+	for i := 0; i < n; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune(i))
+		first := p.Should(FaultPanic, key)
+		if second := p.Should(FaultPanic, key); second != first {
+			t.Fatalf("decision for %q not deterministic", key)
+		}
+		if first {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if math.Abs(got-0.1) > 0.02 {
+		t.Errorf("empirical rate %.3f, want ≈0.10", got)
+	}
+}
+
+func TestPointInRangeAndDeterministic(t *testing.T) {
+	p, _ := NewPlan(7, map[Fault]float64{FaultStall: 1})
+	for i := 0; i < 100; i++ {
+		key := string(rune(i)) + "key"
+		v := p.Point(FaultStall, key, 1000)
+		if v >= 1000 {
+			t.Fatalf("Point out of range: %d", v)
+		}
+		if v != p.Point(FaultStall, key, 1000) {
+			t.Fatal("Point not deterministic")
+		}
+	}
+}
+
+func TestActivateRestores(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("test environment has a leftover active plan")
+	}
+	p, _ := NewPlan(1, map[Fault]float64{FaultPanic: 1})
+	restore := Activate(p)
+	if Active() != p {
+		t.Error("Activate did not install the plan")
+	}
+	restore()
+	if Active() != nil {
+		t.Error("restore did not reinstate the previous (nil) plan")
+	}
+}

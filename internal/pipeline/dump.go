@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// DeadlockError reports a wedged pipeline: the zero-retirement watchdog saw
+// no commit for a whole cycle budget (or the absolute cycle ceiling was
+// hit). Dump carries a one-page pipeline-state snapshot for diagnosis.
+type DeadlockError struct {
+	// Cycle is the cycle at which the watchdog fired.
+	Cycle uint64
+	// Budget is the zero-retirement cycle budget that was exhausted (0 when
+	// the absolute MaxCycles ceiling fired instead).
+	Budget uint64
+	// CommitIdx / TraceLen locate the stall in the instruction stream.
+	CommitIdx, TraceLen int
+	// Dump is the pipeline-state snapshot taken when the watchdog fired.
+	Dump string
+}
+
+func (e *DeadlockError) Error() string {
+	what := fmt.Sprintf("no commit for %d cycles", e.Budget)
+	if e.Budget == 0 {
+		what = "cycle ceiling exceeded"
+	}
+	return fmt.Sprintf("pipeline: deadlock: %s at cycle %d, commit index %d/%d\n%s",
+		what, e.Cycle, e.CommitIdx, e.TraceLen, e.Dump)
+}
+
+// stateDump renders a one-page snapshot of the core: global occupancies,
+// fetch state, and the ROB head region with each entry's blocking reason.
+// It is called only from failure paths, so clarity beats speed.
+func (c *Core) stateDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- pipeline state (cycle %d) --\n", c.cycle)
+	fmt.Fprintf(&b, "commit: next trace index %d/%d, headSeq %d, tailSeq %d (ROB %d/%d)\n",
+		c.nextCommitIdx, c.tr.Len(), c.headSeq, c.tailSeq, c.tailSeq-c.headSeq, c.robCap)
+	fmt.Fprintf(&b, "queues: IQ %d, LQ %d, SQ %d (ring %d), SB %d (started %d)\n",
+		c.iqCount, c.lqCount, c.sqCount, c.sqLen, c.sbLen, c.sbStarted)
+	fmt.Fprintf(&b, "fetch:  next index %d, blocked until cycle %d, stalled on branch seq %d\n",
+		c.nextFetch, c.fetchBlockedTil, c.fetchStallSeq)
+	fmt.Fprintf(&b, "wakeup: memEpoch %d, firstUnissued %d\n", c.memEpoch, c.firstUnissued)
+	b.WriteString("ROB head region (oldest first):\n")
+	const maxEntries = 12
+	n := 0
+	for seq := c.headSeq; seq < c.tailSeq && n < maxEntries; seq++ {
+		e := c.entry(seq)
+		fmt.Fprintf(&b, "  seq %d idx %d %-7s %s\n", e.seq, e.traceIdx, kindName(e.kind), c.blockedReason(e))
+		n++
+	}
+	if int(c.tailSeq-c.headSeq) > maxEntries {
+		fmt.Fprintf(&b, "  ... %d younger entries elided\n", int(c.tailSeq-c.headSeq)-maxEntries)
+	}
+	if c.robEmpty() {
+		b.WriteString("  (ROB empty — front end is not delivering micro-ops)\n")
+	}
+	return b.String()
+}
+
+func kindName(k isa.Kind) string {
+	switch k {
+	case isa.Load:
+		return "load"
+	case isa.Store:
+		return "store"
+	case isa.Branch:
+		return "branch"
+	default:
+		return "compute"
+	}
+}
+
+// blockedReason explains, for one ROB entry, why it has not retired yet.
+func (c *Core) blockedReason(e *robEntry) string {
+	if e.state == stIssued {
+		if c.cycle >= e.doneAt {
+			if e.kind == isa.Store && c.sbLen >= c.cfg.SQ {
+				return "done, commit stalled: store buffer full"
+			}
+			if e.violated {
+				return "done, flagged memory order violation (squash at commit)"
+			}
+			return "done, waiting for commit slot"
+		}
+		return fmt.Sprintf("issued, completes at cycle %d", e.doneAt)
+	}
+	if !c.producerReady(e.srcASeq) {
+		return fmt.Sprintf("waiting on source A (seq %d)", e.srcASeq)
+	}
+	if !c.producerReady(e.srcBSeq) {
+		return fmt.Sprintf("waiting on source B (seq %d)", e.srcBSeq)
+	}
+	switch e.kind {
+	case isa.Load:
+		if e.waited {
+			return fmt.Sprintf("load predicted dependent, waiting (pred kind %v)", e.pred.Kind)
+		}
+		return fmt.Sprintf("load unissued (retryAt %d, retryEpoch %d)", e.retryAt, e.retryEpoch)
+	case isa.Store:
+		if !e.addrResolved {
+			return "store address unresolved"
+		}
+		return fmt.Sprintf("store unissued, addr done at %d", e.addrDoneAt)
+	default:
+		return fmt.Sprintf("unissued (retryAt %d)", e.retryAt)
+	}
+}

@@ -22,9 +22,11 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
+	"repro/internal/faultinject"
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/histutil"
@@ -52,6 +54,12 @@ type Options struct {
 	TrainAtDetect bool
 	// MaxCycles aborts runaway simulations (default 400M).
 	MaxCycles uint64
+	// WatchdogCycles is the zero-retirement budget: if no micro-op commits
+	// for this many cycles the run aborts with a DeadlockError carrying a
+	// pipeline-state dump (default 2M — two orders of magnitude above the
+	// longest legitimate commit stall, a DRAM-latency chain). The check is
+	// quantised to watchdogPeriod cycles.
+	WatchdogCycles uint64
 }
 
 // DefaultOptions returns the options every headline experiment uses.
@@ -303,6 +311,9 @@ func New(cfg config.Machine, pred mdp.Predictor, opt Options) (*Core, error) {
 	if opt.MaxCycles == 0 {
 		opt.MaxCycles = 400_000_000
 	}
+	if opt.WatchdogCycles == 0 {
+		opt.WatchdogCycles = 2_000_000
+	}
 	c := &Core{
 		cfg:         cfg,
 		opt:         opt,
@@ -486,6 +497,24 @@ func (c *Core) setRetry(e *robEntry, at uint64) {
 
 // Run simulates the full stream and returns the measured counters.
 func (c *Core) Run(tr *trace.Trace) (*stats.Run, error) {
+	return c.RunContext(context.Background(), tr)
+}
+
+// watchdogPeriod quantises the cycle loop's slow-path checks (context
+// cancellation, the zero-retirement watchdog): they run every this many
+// cycles, keeping the per-cycle cost to one mask test.
+const watchdogPeriod = 4096
+
+// faultHorizon bounds the cycle at which an injected pipeline fault fires.
+// It is small enough that any full-length run reaches it, so a fault plan's
+// per-run decision ("this config panics") reliably comes true.
+const faultHorizon = 512
+
+// RunContext simulates the full stream and returns the measured counters.
+// The run aborts (with a wrapped ctx error) shortly after ctx is cancelled
+// or its deadline passes, and aborts with a DeadlockError when the
+// zero-retirement watchdog sees no commit for Options.WatchdogCycles.
+func (c *Core) RunContext(ctx context.Context, tr *trace.Trace) (*stats.Run, error) {
 	c.tr = tr
 	c.pre = tr.Pre()
 	c.run = stats.Run{
@@ -494,18 +523,56 @@ func (c *Core) Run(tr *trace.Trace) (*stats.Run, error) {
 		Machine:   c.cfg.Name,
 	}
 	n := tr.Len()
+	// Fault injection decides per run, before the loop, whether and when to
+	// misbehave — the steady state pays two integer compares per cycle.
+	var fiPanicAt, fiStallAt uint64
+	if p := faultinject.Active(); p != nil {
+		key := tr.Name + "/" + c.cfg.Name + "/" + c.pred.Name()
+		if p.Should(faultinject.FaultPanic, key) {
+			fiPanicAt = 1 + p.Point(faultinject.FaultPanic, key, faultHorizon)
+		}
+		if p.Should(faultinject.FaultStall, key) {
+			fiStallAt = 1 + p.Point(faultinject.FaultStall, key, faultHorizon)
+		}
+	}
+	lastCommitted := c.run.Committed
+	lastProgress := c.cycle
 	for c.nextCommitIdx < n {
 		c.cycle++
 		if c.cycle > c.opt.MaxCycles {
-			return nil, fmt.Errorf("pipeline: exceeded %d cycles at commit index %d/%d (deadlock?)",
-				c.opt.MaxCycles, c.nextCommitIdx, n)
+			return nil, &DeadlockError{
+				Cycle: c.cycle, CommitIdx: c.nextCommitIdx, TraceLen: n,
+				Dump: c.stateDump(),
+			}
 		}
-		c.commitStage()
-		c.drainStoreBuffer()
-		c.issueStage()
-		c.fetchStage()
+		if fiPanicAt != 0 && c.cycle == fiPanicAt {
+			panic(fmt.Sprintf("faultinject: injected panic in cycle loop at cycle %d (%s/%s/%s)",
+				c.cycle, c.run.App, c.run.Machine, c.run.Predictor))
+		}
+		if fiStallAt == 0 || c.cycle < fiStallAt {
+			c.commitStage()
+			c.drainStoreBuffer()
+			c.issueStage()
+			c.fetchStage()
+		}
 		c.run.ROBOccupancySum += c.tailSeq - c.headSeq
 		c.run.SQOccupancySum += uint64(c.sqLen)
+		if c.cycle&(watchdogPeriod-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pipeline: run aborted at cycle %d (commit index %d/%d): %w",
+					c.cycle, c.nextCommitIdx, n, err)
+			}
+			if c.run.Committed != lastCommitted {
+				lastCommitted = c.run.Committed
+				lastProgress = c.cycle
+			} else if c.cycle-lastProgress >= c.opt.WatchdogCycles {
+				return nil, &DeadlockError{
+					Cycle: c.cycle, Budget: c.opt.WatchdogCycles,
+					CommitIdx: c.nextCommitIdx, TraceLen: n,
+					Dump: c.stateDump(),
+				}
+			}
+		}
 	}
 	c.finalizeStats()
 	// Return a copy: a pointer into the Core would keep the whole simulator

@@ -1,6 +1,7 @@
 package runcache
 
 import (
+	"context"
 	"runtime/metrics"
 	"sync"
 	"time"
@@ -22,9 +23,14 @@ const (
 	// CounterCoalesced counts requests that piggybacked on an identical
 	// in-flight request (single-flight sharing).
 	CounterCoalesced = "cache.coalesced"
-	// CounterWriteErrors counts failed persistent-store writes (the cache
-	// is best-effort: a failed Put never fails the run).
-	CounterWriteErrors = "cache.write.errors"
+	// CounterDiskWriteErrors counts failed persistent-store writes (the
+	// store is best-effort: a failed Put never fails the run, and repeated
+	// failures disable persistence — see Store.Put).
+	CounterDiskWriteErrors = "runcache.disk.write_errors"
+	// CounterDiskCorrupt counts persistent entries dropped as corrupt
+	// (unparseable JSON, key mismatch, empty payload) — each reads as a
+	// miss and the run is re-simulated.
+	CounterDiskCorrupt = "runcache.disk.corrupt"
 	// CounterRunsSimulated counts simulations actually executed.
 	CounterRunsSimulated = "runs.simulated"
 	// CounterSimNanos accumulates wall-time spent inside the simulator.
@@ -63,10 +69,14 @@ type Cache struct {
 }
 
 // New builds a cache over disk (nil for in-memory only) reporting to m
-// (nil for a private registry).
+// (nil for a private registry). The disk store's own counters are pointed
+// at the same registry.
 func New(disk *Store, m *stats.Metrics) *Cache {
 	if m == nil {
 		m = stats.NewMetrics()
+	}
+	if disk != nil {
+		disk.SetMetrics(m)
 	}
 	return &Cache{mem: map[string]*stats.Run{}, disk: disk, metrics: m}
 }
@@ -90,21 +100,27 @@ func (c *Cache) memPut(key string, run *stats.Run) {
 	c.mu.Unlock()
 }
 
-// Run executes (or recalls) the simulation described by cfg.
-func (c *Cache) Run(cfg sim.Config) (*stats.Run, error) {
-	return c.GetOrRun(cfg, func() (*stats.Run, error) { return sim.Run(cfg) })
+// Run executes (or recalls) the simulation described by cfg. ctx bounds the
+// simulation (cancellation and wall-clock deadline); cache hits are served
+// regardless of ctx state.
+func (c *Cache) Run(ctx context.Context, cfg sim.Config) (*stats.Run, error) {
+	return c.GetOrRun(ctx, cfg, func(ctx context.Context) (*stats.Run, error) {
+		return sim.RunContext(ctx, cfg)
+	})
 }
 
 // GetOrRun returns the cached run for cfg, calling simulate on a full miss.
 // Concurrent calls for the same key are coalesced into one simulate; errors
-// are returned to every waiter but never cached.
-func (c *Cache) GetOrRun(cfg sim.Config, simulate func() (*stats.Run, error)) (*stats.Run, error) {
+// are returned to every waiter but never cached. The flight leader's ctx
+// governs simulate; a waiter whose own ctx ends first unblocks with its ctx
+// error while the flight continues for the others.
+func (c *Cache) GetOrRun(ctx context.Context, cfg sim.Config, simulate func(context.Context) (*stats.Run, error)) (*stats.Run, error) {
 	key := Key(cfg)
 	if run, ok := c.memGet(key); ok {
 		c.metrics.Add(CounterMemHits, 1)
 		return run, nil
 	}
-	run, err, shared := c.group.Do(key, func() (*stats.Run, error) {
+	run, err, shared := c.group.Do(ctx, key, func() (*stats.Run, error) {
 		// Re-check memory: we may have lost the race to a flight that
 		// completed between our miss and joining the group.
 		if run, ok := c.memGet(key); ok {
@@ -121,7 +137,7 @@ func (c *Cache) GetOrRun(cfg sim.Config, simulate func() (*stats.Run, error)) (*
 		c.metrics.Add(CounterMisses, 1)
 		start := time.Now()
 		allocs0 := heapAllocObjects()
-		run, err := simulate()
+		run, err := simulate(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -131,9 +147,8 @@ func (c *Cache) GetOrRun(cfg sim.Config, simulate func() (*stats.Run, error)) (*
 		c.metrics.Add(CounterSimAllocObjs, heapAllocObjects()-allocs0)
 		c.memPut(key, run)
 		if c.disk != nil {
-			if perr := c.disk.Put(key, cfg, run); perr != nil {
-				c.metrics.Add(CounterWriteErrors, 1)
-			}
+			// Best-effort: the store logs, counts and degrades internally.
+			_ = c.disk.Put(key, cfg, run)
 		}
 		return run, nil
 	})

@@ -1,0 +1,136 @@
+package runcache
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func activateFaults(t *testing.T, spec string) {
+	t.Helper()
+	p, err := faultinject.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Activate(p))
+}
+
+// TestChaosDiskWriteFailureDegrades: failed persistent writes never fail a
+// run — each bumps the error counter, and after writeFailLimit consecutive
+// failures the store stops issuing write syscalls entirely while the memory
+// layer keeps serving.
+func TestChaosDiskWriteFailureDegrades(t *testing.T) {
+	activateFaults(t, "diskwrite=1,seed=1")
+	m := stats.NewMetrics()
+	s := NewStore(t.TempDir())
+	s.SetMetrics(m)
+	cfg := sim.Config{App: "511.povray", Instructions: 1000}
+	run := fakeRun("511.povray", 100)
+
+	for i := 0; i < writeFailLimit; i++ {
+		if s.Degraded() {
+			t.Fatalf("degraded after only %d failures, limit is %d", i, writeFailLimit)
+		}
+		if err := s.Put(Key(cfg), cfg, run); err == nil {
+			t.Fatalf("put %d: want injected write failure", i)
+		}
+	}
+	if !s.Degraded() {
+		t.Fatal("store must degrade after repeated write failures")
+	}
+	if err := s.Put(Key(cfg), cfg, run); err != nil {
+		t.Fatalf("degraded store must skip writes silently, got %v", err)
+	}
+	if got := m.Get(CounterDiskWriteErrors); got != writeFailLimit {
+		t.Errorf("%s = %d, want %d (skipped writes must not count)", CounterDiskWriteErrors, got, writeFailLimit)
+	}
+
+	// The cache over a degraded store still memoises: one simulate, then
+	// memory hits, and Put failures never surface to GetOrRun callers.
+	c := New(s, m)
+	var sims atomic.Uint64
+	simulate := func(context.Context) (*stats.Run, error) {
+		sims.Add(1)
+		return run, nil
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetOrRun(context.Background(), cfg, simulate); err != nil {
+			t.Fatalf("GetOrRun %d over degraded disk: %v", i, err)
+		}
+	}
+	if sims.Load() != 1 {
+		t.Errorf("simulated %d times, want 1 (memory layer must survive disk degradation)", sims.Load())
+	}
+}
+
+// TestChaosWriteRecoveryResetsTheClock: the degradation budget counts
+// consecutive failures; one success resets it.
+func TestChaosWriteRecoveryResetsTheClock(t *testing.T) {
+	m := stats.NewMetrics()
+	s := NewStore(t.TempDir())
+	s.SetMetrics(m)
+	cfg := sim.Config{App: "511.povray", Instructions: 1000}
+	run := fakeRun("511.povray", 100)
+
+	p, err := faultinject.Parse("diskwrite=1,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := faultinject.Activate(p)
+	for i := 0; i < writeFailLimit-1; i++ {
+		if err := s.Put(Key(cfg), cfg, run); err == nil {
+			t.Fatal("want injected write failure")
+		}
+	}
+	restore()
+	if err := s.Put(Key(cfg), cfg, run); err != nil {
+		t.Fatalf("fault-free put: %v", err)
+	}
+	t.Cleanup(faultinject.Activate(p))
+	for i := 0; i < writeFailLimit-1; i++ {
+		if err := s.Put(Key(cfg), cfg, run); err == nil {
+			t.Fatal("want injected write failure")
+		}
+	}
+	if s.Degraded() {
+		t.Error("a successful write must reset the consecutive-failure budget")
+	}
+}
+
+// TestChaosCorruptEntryReadsAsMiss: a corrupted persistent entry is a
+// counted miss at read time; the file itself is untouched, so reads recover
+// the moment the corruption (here: injected at read) stops.
+func TestChaosCorruptEntryReadsAsMiss(t *testing.T) {
+	m := stats.NewMetrics()
+	s := NewStore(t.TempDir())
+	s.SetMetrics(m)
+	cfg := sim.Config{App: "511.povray", Instructions: 1000}
+	key := Key(cfg)
+	if err := s.Put(key, cfg, fakeRun("511.povray", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("sanity: entry must hit before corruption")
+	}
+
+	p, err := faultinject.Parse("corrupt=1,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := faultinject.Activate(p)
+	_, ok := s.Get(key)
+	restore()
+	if ok {
+		t.Fatal("corrupted entry must read as a miss")
+	}
+	if got := m.Get(CounterDiskCorrupt); got != 1 {
+		t.Errorf("%s = %d, want 1", CounterDiskCorrupt, got)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Error("read-time corruption must not damage the on-disk entry")
+	}
+}

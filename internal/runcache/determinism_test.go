@@ -1,6 +1,7 @@
 package runcache
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -34,14 +35,14 @@ func TestSimulationDeterminism(t *testing.T) {
 			// And once through the cache: a disk round trip must return the
 			// same aggregates the simulator produced.
 			c := New(NewStore(t.TempDir()), nil)
-			cached, err := c.Run(cfg)
+			cached, err := c.Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 			requireIdentical(t, first, cached, "cache miss path")
 
 			reread := New(NewStore(c.Disk().Dir()), nil)
-			fromDisk, err := reread.Run(cfg)
+			fromDisk, err := reread.Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -16,9 +16,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
+	"log"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -47,9 +52,25 @@ func Key(cfg sim.Config) string {
 // where each file is an entry envelope carrying the version stamp, the key,
 // the originating Config (for debugging with plain shell tools) and the
 // stats.Run counters. The zero Store is unusable; use NewStore.
+//
+// The store is best-effort by design: writes that fail (read-only
+// directory, full disk) degrade the process to in-memory caching — the
+// first failure is logged, every failure bumps CounterDiskWriteErrors, and
+// after writeFailLimit consecutive failures the store stops issuing write
+// syscalls entirely. A failed or skipped write never fails a run.
 type Store struct {
-	dir string
+	dir     string
+	metrics atomic.Pointer[stats.Metrics]
+	logOnce sync.Once
+	// writeFails counts consecutive Put failures; at writeFailLimit the
+	// store gives up on persistence (degraded) until the process restarts.
+	writeFails atomic.Uint32
+	degraded   atomic.Bool
 }
+
+// writeFailLimit is the consecutive-write-failure budget before the store
+// declares the directory unusable and stops trying.
+const writeFailLimit = 4
 
 // NewStore returns a store rooted at dir. The directory is created lazily
 // on first Put, so opening a store never fails and a read-only consumer of
@@ -58,6 +79,20 @@ func NewStore(dir string) *Store { return &Store{dir: dir} }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetMetrics points the store's counters (write errors, corrupt entries)
+// at a registry. Safe to call concurrently with use; nil detaches.
+func (s *Store) SetMetrics(m *stats.Metrics) { s.metrics.Store(m) }
+
+// Degraded reports whether the store has given up on persistent writes
+// after repeated failures.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+func (s *Store) count(name string) {
+	if m := s.metrics.Load(); m != nil {
+		m.Add(name, 1)
+	}
+}
 
 // entry is the on-disk envelope of one cached run.
 type entry struct {
@@ -78,27 +113,68 @@ func (s *Store) path(key string) string {
 // Get loads the run stored under key. Every failure mode — missing file,
 // truncated or corrupt JSON, a stamp from another simulator version, an
 // envelope whose key does not match its address — is a miss, never an
-// error: the caller falls back to simulating.
+// error: the caller falls back to simulating. Detected corruption (vs a
+// merely stale version stamp) bumps CounterDiskCorrupt.
 func (s *Store) Get(key string) (*stats.Run, bool) {
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
 		return nil, false
 	}
+	if p := faultinject.Active(); p != nil && p.Should(faultinject.FaultCorrupt, key) && len(data) > 0 {
+		data = append([]byte(nil), data...)
+		data[len(data)/2] ^= 0xff
+	}
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil {
+		s.count(CounterDiskCorrupt)
 		return nil, false
 	}
-	if e.Version != sim.BehaviorVersion || e.Key != key || e.Run == nil {
+	if e.Version != sim.BehaviorVersion {
+		return nil, false // stale simulator version: a plain miss
+	}
+	if e.Key != key || e.Run == nil {
+		s.count(CounterDiskCorrupt)
 		return nil, false
 	}
 	return e.Run, true
 }
 
+// errInjectedWrite marks a fault-injected write failure (chaos tests).
+var errInjectedWrite = errors.New("faultinject: injected disk-write failure")
+
 // Put stores run under key atomically: the envelope is written to a
 // temporary file in the destination directory and renamed into place, so a
 // crashed or concurrent writer can leave behind at worst a stale temp file,
 // never a torn entry.
+//
+// Failures degrade rather than propagate pain: the first is logged, each
+// bumps CounterDiskWriteErrors, and writeFailLimit consecutive failures
+// switch the store to memory-only (no further write attempts). The error is
+// still returned for observability, but callers treat persistence as
+// best-effort and never fail a run on it.
 func (s *Store) Put(key string, cfg sim.Config, run *stats.Run) error {
+	if s.degraded.Load() {
+		return nil // persistence disabled after repeated failures
+	}
+	err := s.put(key, cfg, run)
+	if err == nil {
+		s.writeFails.Store(0)
+		return nil
+	}
+	s.count(CounterDiskWriteErrors)
+	s.logOnce.Do(func() {
+		log.Printf("runcache: persistent cache write failed, runs still served from memory (dir %s): %v", s.dir, err)
+	})
+	if s.writeFails.Add(1) >= writeFailLimit && !s.degraded.Swap(true) {
+		log.Printf("runcache: disabling persistent cache writes after %d consecutive failures", writeFailLimit)
+	}
+	return err
+}
+
+func (s *Store) put(key string, cfg sim.Config, run *stats.Run) error {
+	if p := faultinject.Active(); p != nil && p.Should(faultinject.FaultDiskWrite, key) {
+		return errInjectedWrite
+	}
 	dst := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return err

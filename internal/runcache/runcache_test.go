@@ -1,6 +1,7 @@
 package runcache
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -176,17 +177,18 @@ func TestCacheLayering(t *testing.T) {
 	c := New(NewStore(dir), m)
 	cfg := sim.Config{App: "511.povray", Instructions: 1000}
 
+	ctx := context.Background()
 	var sims atomic.Uint64
-	simulate := func() (*stats.Run, error) {
+	simulate := func(context.Context) (*stats.Run, error) {
 		sims.Add(1)
 		return fakeRun("511.povray", 100), nil
 	}
 
 	// Miss → simulate → memory hit.
-	if _, err := c.GetOrRun(cfg, simulate); err != nil {
+	if _, err := c.GetOrRun(ctx, cfg, simulate); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.GetOrRun(cfg, simulate); err != nil {
+	if _, err := c.GetOrRun(ctx, cfg, simulate); err != nil {
 		t.Fatal(err)
 	}
 	if got := sims.Load(); got != 1 {
@@ -199,7 +201,7 @@ func TestCacheLayering(t *testing.T) {
 	// A fresh cache over the same directory hits disk, not the simulator.
 	m2 := stats.NewMetrics()
 	c2 := New(NewStore(dir), m2)
-	if _, err := c2.GetOrRun(cfg, simulate); err != nil {
+	if _, err := c2.GetOrRun(ctx, cfg, simulate); err != nil {
 		t.Fatal(err)
 	}
 	if got := sims.Load(); got != 1 {
@@ -212,11 +214,11 @@ func TestCacheLayering(t *testing.T) {
 	// Errors propagate and are not cached.
 	boom := errors.New("boom")
 	bad := sim.Config{App: "519.lbm", Instructions: 1000}
-	fail := func() (*stats.Run, error) { return nil, boom }
-	if _, err := c.GetOrRun(bad, fail); !errors.Is(err, boom) {
+	fail := func(context.Context) (*stats.Run, error) { return nil, boom }
+	if _, err := c.GetOrRun(ctx, bad, fail); !errors.Is(err, boom) {
 		t.Fatalf("want propagated error, got %v", err)
 	}
-	if _, err := c.GetOrRun(bad, simulate); err != nil {
+	if _, err := c.GetOrRun(ctx, bad, simulate); err != nil {
 		t.Fatalf("error must not be cached: %v", err)
 	}
 }
@@ -225,12 +227,12 @@ func TestCacheInMemoryOnly(t *testing.T) {
 	c := New(nil, nil)
 	cfg := sim.Config{App: "511.povray", Instructions: 1000}
 	var sims atomic.Uint64
-	simulate := func() (*stats.Run, error) {
+	simulate := func(context.Context) (*stats.Run, error) {
 		sims.Add(1)
 		return fakeRun("511.povray", 100), nil
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := c.GetOrRun(cfg, simulate); err != nil {
+		if _, err := c.GetOrRun(context.Background(), cfg, simulate); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -246,7 +248,7 @@ func TestSingleFlight(t *testing.T) {
 	const waiters = 16
 	results := make([]*stats.Run, waiters)
 	do := func(i int) {
-		run, err, shared := g.Do("k", func() (*stats.Run, error) {
+		run, err, shared := g.Do(context.Background(), "k", func() (*stats.Run, error) {
 			calls.Add(1)
 			<-gate // hold the flight open while waiters pile up
 			return fakeRun("x", 1), nil

@@ -1,16 +1,24 @@
 package runcache
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/stats"
 )
 
+// errFlightPanicked is what waiters receive when the flight leader's fn
+// panicked: the panic propagates on the leader's goroutine (and is recovered
+// into a typed error at the sim layer), while waiters get this sentinel
+// instead of blocking forever.
+var errFlightPanicked = errors.New("runcache: in-flight simulation panicked")
+
 // call is one in-flight simulation shared by every waiter on its key.
 type call struct {
-	wg  sync.WaitGroup
-	run *stats.Run
-	err error
+	done chan struct{} // closed when run/err are final
+	run  *stats.Run
+	err  error
 }
 
 // Group de-duplicates concurrent work by key: while one goroutine executes
@@ -24,29 +32,42 @@ type Group struct {
 
 // Do executes fn once per key among concurrent callers. shared reports
 // whether this caller received another caller's result rather than running
-// fn itself. Results are not retained after the flight completes — pair a
-// Group with a cache for memoisation across time, not just across
-// concurrency.
-func (g *Group) Do(key string, fn func() (*stats.Run, error)) (run *stats.Run, err error, shared bool) {
+// fn itself. A waiter whose ctx ends before the flight completes returns
+// its ctx error immediately — the flight itself keeps running under the
+// leader (whose own context governs fn). Results are not retained after the
+// flight completes — pair a Group with a cache for memoisation across time,
+// not just across concurrency.
+func (g *Group) Do(ctx context.Context, key string, fn func() (*stats.Run, error)) (run *stats.Run, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[string]*call{}
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.run, c.err, true
+		select {
+		case <-c.done:
+			return c.run, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
 	}
-	c := new(call)
-	c.wg.Add(1)
+	c := &call{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
+	// The flight must resolve even if fn panics (the panic re-propagates on
+	// this goroutine; waiters get errFlightPanicked rather than a hang).
+	finished := false
+	defer func() {
+		if !finished {
+			c.run, c.err = nil, errFlightPanicked
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
 	c.run, c.err = fn()
-	c.wg.Done()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
+	finished = true
 	return c.run, c.err, false
 }

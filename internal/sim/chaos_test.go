@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func activateFaults(t *testing.T, spec string) {
+	t.Helper()
+	p, err := faultinject.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Activate(p))
+}
+
+// TestChaosPanicBecomesTypedError: a panic inside the cycle loop surfaces as
+// a *SimError carrying the kind, the config, the panic value and the stack —
+// never as a crashed test binary.
+func TestChaosPanicBecomesTypedError(t *testing.T) {
+	activateFaults(t, "panic=1,seed=3")
+	cfg := Config{App: "511.povray", Predictor: "none", Instructions: 10_000}
+	_, err := Run(cfg)
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SimError, got %T: %v", err, err)
+	}
+	if se.Kind != ErrPanic {
+		t.Fatalf("kind = %s, want %s (%v)", se.Kind, ErrPanic, err)
+	}
+	if se.Panic == nil || len(se.Stack) == 0 {
+		t.Error("panic SimError must carry the panic value and goroutine stack")
+	}
+	if se.Config.App != cfg.App {
+		t.Errorf("error names config %q, want %q", se.Config.App, cfg.App)
+	}
+	if !strings.Contains(err.Error(), "[panic]") {
+		t.Errorf("message should carry the kind tag: %q", err.Error())
+	}
+	if KindOf(err) != ErrPanic {
+		t.Errorf("KindOf = %s, want %s", KindOf(err), ErrPanic)
+	}
+}
+
+// TestChaosPanicDoesNotPoisonLaterRuns: the panicked run's core is dropped,
+// not pooled, so the next fault-free run of the same config is bit-identical
+// to a clean baseline.
+func TestChaosPanicDoesNotPoisonLaterRuns(t *testing.T) {
+	cfg := Config{App: "541.leela", Predictor: "none", Instructions: 10_000}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, perr := faultinject.Parse("panic=1,seed=3")
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	restore := faultinject.Activate(p)
+	_, err = Run(cfg)
+	restore()
+	if KindOf(err) != ErrPanic {
+		t.Fatalf("faulted run: kind %s, want panic (%v)", KindOf(err), err)
+	}
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("run after a recovered panic differs from the fault-free baseline:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestChaosStallDetectedAsDeadlock: an injected zero-retirement stall is
+// caught by the watchdog and classified ErrDeadlock, with the pipeline-state
+// dump reachable through the error chain.
+func TestChaosStallDetectedAsDeadlock(t *testing.T) {
+	activateFaults(t, "stall=1,seed=3")
+	cfg := Config{App: "511.povray", Predictor: "none", Instructions: 5_000}
+	_, err := Run(cfg)
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SimError, got %T: %v", err, err)
+	}
+	if se.Kind != ErrDeadlock {
+		t.Fatalf("kind = %s, want %s (%v)", se.Kind, ErrDeadlock, err)
+	}
+	if se.Cycle == 0 {
+		t.Error("deadlock SimError should locate the cycle")
+	}
+	if !strings.Contains(err.Error(), "pipeline state") {
+		t.Errorf("deadlock error should carry the state dump: %v", err)
+	}
+}
+
+// TestRunContextDeadline: an expired deadline classifies as ErrTimeout.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done() // guarantee expiry before the run starts
+	_, err := RunContext(ctx, Config{App: "511.povray", Predictor: "none", Instructions: 5_000})
+	if KindOf(err) != ErrTimeout {
+		t.Fatalf("kind = %s, want %s (%v)", KindOf(err), ErrTimeout, err)
+	}
+}
+
+// TestRunContextCancelled: a cancelled context classifies as ErrCancelled.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Config{App: "511.povray", Predictor: "none", Instructions: 5_000})
+	if KindOf(err) != ErrCancelled {
+		t.Fatalf("kind = %s, want %s (%v)", KindOf(err), ErrCancelled, err)
+	}
+}
+
+// TestConfigErrorsAreTyped: setup failures (unknown app / machine /
+// predictor) classify as ErrConfig.
+func TestConfigErrorsAreTyped(t *testing.T) {
+	for _, cfg := range []Config{
+		{App: "599.nonesuch"},
+		{App: "511.povray", Machine: "vax11"},
+		{App: "511.povray", Predictor: "warp-drive"},
+	} {
+		_, err := Run(cfg)
+		if KindOf(err) != ErrConfig {
+			t.Errorf("%+v: kind = %s, want %s (%v)", cfg, KindOf(err), ErrConfig, err)
+		}
+	}
+}

@@ -4,7 +4,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -347,19 +349,38 @@ func runSetup(cfg Config) (config.Machine, mdp.Predictor, *trace.Trace, error) {
 
 // Run executes one simulation on a pooled core (see corePool).
 func Run(cfg Config) (*stats.Run, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one simulation on a pooled core (see corePool),
+// honouring ctx: cancellation or deadline expiry aborts the run within a
+// few thousand simulated cycles. Every failure — setup error, pipeline
+// deadlock, context abort, and any panic escaping the simulator — returns
+// as a typed *SimError, so one broken run poisons one result, never the
+// process.
+func RunContext(ctx context.Context, cfg Config) (run *stats.Run, err error) {
 	cfg = cfg.Normalized()
+	defer func() {
+		if v := recover(); v != nil {
+			run, err = nil, newPanicError(cfg, v, debug.Stack())
+		}
+	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, wrapError(cfg, cerr)
+	}
 	machine, pred, tr, err := runSetup(cfg)
 	if err != nil {
-		return nil, err
+		return nil, &SimError{Kind: ErrConfig, Config: cfg, Err: err}
 	}
 	key := coreKey{machine: machine, opt: pipelineOptions(cfg)}
 	c, err := getCore(key, pred)
 	if err != nil {
-		return nil, err
+		return nil, &SimError{Kind: ErrConfig, Config: cfg, Err: err}
 	}
-	run, err := c.Run(tr)
-	if err != nil {
-		return nil, fmt.Errorf("sim %s/%s/%s: %w", cfg.App, cfg.Machine, cfg.Predictor, err)
+	run, rerr := c.RunContext(ctx, tr)
+	if rerr != nil {
+		// The core is mid-run; drop it rather than pooling dirty state.
+		return nil, wrapError(cfg, rerr)
 	}
 	putCore(key, c)
 	run.Predictor = cfg.Predictor
@@ -369,19 +390,25 @@ func Run(cfg Config) (*stats.Run, error) {
 // RunCore is like Run but also returns the core, so callers can inspect
 // predictor internals (conflict-length histograms, path counts). The core is
 // always freshly built — ownership passes to the caller, never to the pool.
-func RunCore(cfg Config) (*stats.Run, *pipeline.Core, error) {
+// Failures return as typed *SimErrors, like RunContext.
+func RunCore(cfg Config) (run *stats.Run, core *pipeline.Core, err error) {
 	cfg = cfg.Normalized()
+	defer func() {
+		if v := recover(); v != nil {
+			run, core, err = nil, nil, newPanicError(cfg, v, debug.Stack())
+		}
+	}()
 	machine, pred, tr, err := runSetup(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, &SimError{Kind: ErrConfig, Config: cfg, Err: err}
 	}
 	c, err := pipeline.New(machine, pred, pipelineOptions(cfg))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, &SimError{Kind: ErrConfig, Config: cfg, Err: err}
 	}
-	run, err := c.Run(tr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("sim %s/%s/%s: %w", cfg.App, cfg.Machine, cfg.Predictor, err)
+	run, rerr := c.Run(tr)
+	if rerr != nil {
+		return nil, nil, wrapError(cfg, rerr)
 	}
 	run.Predictor = cfg.Predictor
 	return run, c, nil
