@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke chaos
+.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke chaos api-smoke
 
 all: build test
 
@@ -15,6 +15,7 @@ check:
 	go build ./...
 	go test -race ./...
 	$(MAKE) chaos
+	$(MAKE) api-smoke
 	$(MAKE) cache-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) benchdiff
@@ -25,6 +26,12 @@ check:
 chaos:
 	go test -race -run 'Chaos' ./internal/...
 	@echo "chaos ok: injected faults contained under -race"
+
+# HTTP API smoke: spawn phastd's serving stack on a random port, run the same
+# config over the wire and in-process, and require byte-identical rows.
+api-smoke:
+	go run ./examples/predictorapi
+	@echo "api smoke ok: HTTP rows byte-identical to in-process runs"
 
 SMOKEDIR := $(or $(TMPDIR),/tmp)/phast-cache-smoke
 SMOKEFLAGS := -fig fig12 -apps 511.povray,519.lbm -n 30000 -cache $(SMOKEDIR)/cache -metrics

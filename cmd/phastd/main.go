@@ -1,0 +1,131 @@
+// phastd is the simulation-as-a-service daemon: it serves the repository's
+// simulator over HTTP/JSON (POST /v1/runs, POST /v1/batch, GET /healthz,
+// GET /metrics) through the full library stack — persistent run cache,
+// shared worker-pool scheduler, typed failure containment — plus the serving
+// mechanics of internal/server: admission control with a bounded queue and
+// 429 backpressure, coalescing of identical in-flight requests, per-request
+// deadlines, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	phastd -addr :8091 -cache /var/cache/phast -workers 8
+//	curl -s localhost:8091/healthz
+//	curl -s -X POST localhost:8091/v1/runs -d '{"config":{"App":"511.povray","Predictor":"phast"}}'
+//	curl -s localhost:8091/metrics
+//
+// Benchmark it with cmd/phastload.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// fatal is the one exit path for errors: message to stderr, non-zero exit.
+func fatal(v ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"phastd:"}, v...)...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8091", "listen address")
+		workers      = flag.Int("workers", runtime.NumCPU(), "simulation worker pool size")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrently admitted requests (0 = NumCPU)")
+		queueDepth   = flag.Int("queue", 0, "admission queue depth beyond max-inflight (0 = 4x max-inflight)")
+		cacheDir     = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
+		n            = flag.Int("n", sim.DefaultInstructions, "default instructions when a request omits them")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-request deadline (0 = none)")
+		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-supplied deadlines")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight runs on shutdown")
+		maxBatch     = flag.Int("max-batch", 1024, "max configs per /v1/batch request")
+		faults       = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.1,seed=7\" (default $PHAST_FAULTS)")
+		metrics      = flag.Bool("metrics", true, "print the metrics table to stderr on exit")
+	)
+	flag.Parse()
+
+	plan, err := faultinject.Parse(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	if plan != nil {
+		defer faultinject.Activate(plan)()
+		fmt.Fprintln(os.Stderr, "phastd: fault injection active:", plan)
+	}
+
+	reg := stats.NewMetrics()
+	runner := experiments.NewRunner(experiments.Options{
+		Workers:      *workers,
+		Instructions: *n,
+		CacheDir:     *cacheDir,
+		Metrics:      reg,
+		// A service reports per-row errors; one bad config in a batch must
+		// not cancel its siblings.
+		KeepGoing: true,
+	})
+	srv := server.New(runner, server.Options{
+		MaxInflight:         *maxInflight,
+		QueueDepth:          *queueDepth,
+		DefaultInstructions: *n,
+		DefaultRunTimeout:   *timeout,
+		MaxRunTimeout:       *maxTimeout,
+		MaxBatch:            *maxBatch,
+		Metrics:             reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// Graceful drain on SIGTERM/SIGINT: health flips to 503, new submissions
+	// are refused, the listener closes, and in-flight runs get drain-timeout
+	// to finish before being hard-cancelled (typed sim.ErrCancelled rows
+	// still flow back to their clients). Disk-cache writes are synchronous
+	// with each run, so once the last handler returns the cache is flushed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Fprintf(os.Stderr, "phastd: draining (grace %s)\n", *drainTimeout)
+		srv.StartDrain()
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "phastd: grace period expired, cancelling in-flight runs")
+			srv.Abort()
+			hs.Close()
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "phastd: serving on %s (workers %d, cache %q)\n", ln.Addr(), *workers, *cacheDir)
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-shutdownDone
+	runner.Close()
+	if *metrics {
+		sim.PublishMetrics(reg)
+		reg.WriteTo(os.Stderr)
+	}
+	runner.WriteFailures(os.Stderr)
+	fmt.Fprintln(os.Stderr, "phastd: drained, bye")
+}

@@ -1,0 +1,274 @@
+// phastload is the load generator for phastd (ReqBench-style): it drives
+// POST /v1/runs with a configurable mixture of unique and duplicate
+// simulation configs in either closed-loop (fixed concurrency, next request
+// on completion) or open-loop (fixed arrival rate, latency includes queueing)
+// mode, and reports client-side latency percentiles next to the server's own
+// counter deltas — so admission control, queueing and coalescing are
+// measurable from day one.
+//
+// Usage:
+//
+//	phastload -url http://localhost:8091 -mode closed -c 16 -duration 10s -dup 0.5
+//	phastload -url http://localhost:8091 -mode open -qps 50 -duration 30s
+//
+// The -dup knob sets the probability a request re-asks one of -pool known
+// configs instead of a fresh unique one: duplicates that arrive while their
+// twin is in flight exercise server-side coalescing; duplicates after it
+// exercise the run cache.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func fatal(v ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"phastload:"}, v...)...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		url       = flag.String("url", "http://localhost:8091", "phastd base URL")
+		mode      = flag.String("mode", "closed", "arrival mode: closed (fixed concurrency) or open (fixed rate)")
+		c         = flag.Int("c", 16, "closed-loop concurrency (workers)")
+		qps       = flag.Float64("qps", 50, "open-loop target arrival rate (requests/second)")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		total     = flag.Int("requests", 0, "stop after this many requests (0 = duration-bound)")
+		dup       = flag.Float64("dup", 0.5, "probability a request duplicates one of -pool configs (0..1)")
+		pool      = flag.Int("pool", 4, "distinct configs in the duplicate pool")
+		app       = flag.String("app", "511.povray", "workload name")
+		predictor = flag.String("predictor", "phast", "predictor spec")
+		machine   = flag.String("machine", "alderlake", "machine configuration")
+		n         = flag.Int("n", 20_000, "instructions per simulation")
+		timeoutMS = flag.Int64("timeout-ms", 60_000, "per-request deadline sent to the server")
+		seed      = flag.Int64("seed", 1, "workload-mix random seed")
+	)
+	flag.Parse()
+	if *dup < 0 || *dup > 1 {
+		fatal("-dup out of [0,1]:", *dup)
+	}
+	if *pool < 1 {
+		fatal("-pool must be >= 1")
+	}
+
+	before, err := fetchMetrics(*url)
+	if err != nil {
+		fatal("server unreachable:", err)
+	}
+
+	// Pre-plan the request mix so the workload is reproducible under -seed
+	// and the hot loop does no locking around the RNG. Duplicate-pool seeds
+	// are 1..pool; unique requests get seeds far above the pool.
+	planned := *total
+	if planned == 0 {
+		planned = 1 << 20 // effectively duration-bound
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	seedOf := func(i int) int64 {
+		_ = i
+		if rng.Float64() < *dup {
+			return int64(1 + rng.Intn(*pool))
+		}
+		return int64(1_000_000 + rng.Int63n(1<<40))
+	}
+
+	lg := &loadgen{
+		url:    *url,
+		client: &http.Client{},
+		cfg: sim.Config{
+			App: *app, Machine: *machine, Predictor: *predictor, Instructions: *n,
+		},
+		timeoutMS: *timeoutMS,
+	}
+
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	switch *mode {
+	case "closed":
+		lg.closedLoop(*c, planned, deadline, seedOf)
+	case "open":
+		lg.openLoop(*qps, planned, deadline, seedOf)
+	default:
+		fatal("unknown -mode:", *mode)
+	}
+	elapsed := time.Since(start)
+
+	after, err := fetchMetrics(*url)
+	if err != nil {
+		fatal("server metrics after the run:", err)
+	}
+	lg.report(os.Stdout, elapsed, before, after)
+}
+
+// loadgen issues requests and accumulates client-side outcomes.
+type loadgen struct {
+	url       string
+	client    *http.Client
+	cfg       sim.Config
+	timeoutMS int64
+
+	mu        sync.Mutex
+	latencies []time.Duration
+	ok        int
+	rejected  int // HTTP 429: admission-control backpressure
+	failed    int // anything else
+}
+
+// next sends request i with the given stream seed and records its outcome.
+func (l *loadgen) next(seed int64) {
+	cfg := l.cfg
+	cfg.Seed = seed
+	body, err := json.Marshal(server.RunRequest{Config: cfg, TimeoutMS: l.timeoutMS})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	resp, err := l.client.Post(l.url+"/v1/runs", "application/json", bytes.NewReader(body))
+	lat := time.Since(start)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.latencies = append(l.latencies, lat)
+	if err != nil {
+		l.failed++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		l.ok++
+	case http.StatusTooManyRequests:
+		l.rejected++
+	default:
+		l.failed++
+	}
+}
+
+// closedLoop runs c workers, each issuing its next request as soon as the
+// previous one completes — throughput adapts to server latency.
+func (l *loadgen) closedLoop(c, total int, deadline time.Time, seedOf func(int) int64) {
+	seeds := make(chan int64, c)
+	go func() {
+		defer close(seeds)
+		for i := 0; i < total && time.Now().Before(deadline); i++ {
+			seeds <- seedOf(i)
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				if !time.Now().Before(deadline) {
+					return
+				}
+				l.next(seed)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// openLoop fires requests at a fixed rate regardless of completions — the
+// latency distribution then includes server-side queueing under overload.
+// In-flight requests are capped at 4096 as an OOM backstop; arrivals past
+// the cap count as client-side drops (reported as failed).
+func (l *loadgen) openLoop(qps float64, total int, deadline time.Time, seedOf func(int) int64) {
+	if qps <= 0 {
+		fatal("-qps must be > 0 in open mode")
+	}
+	interval := time.Duration(float64(time.Second) / qps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var inflight atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < total && time.Now().Before(deadline); i++ {
+		<-ticker.C
+		if inflight.Load() >= 4096 {
+			l.mu.Lock()
+			l.failed++
+			l.mu.Unlock()
+			continue
+		}
+		seed := seedOf(i)
+		inflight.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			l.next(seed)
+		}()
+	}
+	wg.Wait()
+}
+
+// fetchMetrics pulls the server's counter snapshot.
+func fetchMetrics(url string) (server.MetricsResponse, error) {
+	var m server.MetricsResponse
+	resp, err := http.Get(url + "/metrics?format=json")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+// report renders the client-side latency distribution and the server-side
+// counter deltas for the run.
+func (l *loadgen) report(w io.Writer, elapsed time.Duration, before, after server.MetricsResponse) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sort.Slice(l.latencies, func(i, j int) bool { return l.latencies[i] < l.latencies[j] })
+	pct := func(q float64) time.Duration {
+		if len(l.latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(l.latencies)-1))
+		return l.latencies[i]
+	}
+	n := len(l.latencies)
+
+	t := stats.NewTable("phastload — client side", "metric", "value")
+	t.AddRowf("requests", n)
+	t.AddRowf("ok", l.ok)
+	t.AddRowf("rejected (429)", l.rejected)
+	t.AddRowf("failed", l.failed)
+	t.AddRow("elapsed", elapsed.Round(time.Millisecond).String())
+	t.AddRow("achieved rps", fmt.Sprintf("%.1f", float64(n)/elapsed.Seconds()))
+	for _, p := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"max", 1.0}} {
+		t.AddRow("latency "+p.name, pct(p.q).Round(time.Microsecond).String())
+	}
+	fmt.Fprint(w, t)
+
+	st := stats.NewTable("phastd — server side (delta over the run)", "counter", "delta")
+	for _, name := range []string{
+		server.CounterRequests, server.CounterAccepted, server.CounterQueued,
+		server.CounterRejected, server.CounterCoalesced,
+		"cache.hits.mem", "cache.hits.disk", "cache.misses", "runs.simulated",
+	} {
+		st.AddRowf(name, after.Counters[name]-before.Counters[name])
+	}
+	fmt.Fprint(w, st)
+}

@@ -1,75 +1,134 @@
-// Predictorapi: drive a PHAST predictor directly through the mdp.Predictor
-// interface, without the timing model — the integration surface a custom
-// simulator would use. The scenario is the paper's Fig. 5: the same load
-// conflicts with stores at distance 0 or 1 depending on the divergent path,
-// and PHAST disambiguates with the path history.
+// Predictorapi: drive the simulator through phastd's HTTP API end-to-end —
+// the integration surface a remote consumer uses — and prove the serving
+// layer is a transparent facade: a run requested over the wire is
+// byte-identical to the same config executed in-process.
+//
+// The example spawns the daemon on a random port, submits a single run and a
+// small batch, checks /healthz and /metrics, and exits non-zero on any
+// mismatch; `make api-smoke` (part of `make check`) runs it as the serving
+// layer's acceptance smoke.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/histutil"
-	"repro/internal/mdp"
+	"repro/internal/experiments"
+	"repro/internal/server"
+	"repro/internal/sim"
 )
 
+func fatal(v ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"predictorapi:"}, v...)...)
+	os.Exit(1)
+}
+
 func main() {
-	phast := core.NewDefault()
-	decode := histutil.NewReg(64)
-	commit := histutil.NewReg(64)
-	phast.Bind(decode, commit)
-
-	const loadPC, storePC = 0x1000, 0x2000
-
-	// Two paths: branch taken -> the store distance is 0; not taken -> 1.
-	push := func(taken bool) {
-		dest := uint64(0x40)
-		if !taken {
-			dest = 0x44
-		}
-		e := histutil.NewEntry(false, taken, dest)
-		decode.Push(e)
-		commit.Push(e)
+	// Spawn phastd's serving stack on a random port.
+	runner := experiments.NewRunner(experiments.Options{Instructions: 20_000, KeepGoing: true})
+	defer runner.Close()
+	srv := server.New(runner, server.Options{
+		DefaultInstructions: 20_000,
+		Metrics:             runner.Metrics(),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
 	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("phastd serving on", base)
 
-	var seq, branchCount, storeCount uint64
-	// runInstance plays one dynamic occurrence of the Fig. 5 code: the
-	// divergent branch, the path's stores, then the load. If PHAST predicts
-	// no dependence, the speculative load suffers a memory order violation
-	// and the predictor trains at commit with the true conflicting store
-	// and the N+1 history length — exactly the pipeline's protocol.
-	runInstance := func(taken bool) mdp.Prediction {
-		push(taken)
-		branchCount++
-		dist := 0
-		if !taken {
-			dist = 1
-		}
-		storeCount += uint64(dist + 1) // stores on this path, older than the load
-		seq++
-		ld := mdp.LoadInfo{PC: loadPC, Seq: seq, BranchCount: branchCount, StoreCount: storeCount}
-		pred := phast.Predict(ld, decode)
-		if pred.Kind == mdp.NoDep {
-			st := mdp.StoreInfo{
-				PC: storePC, Seq: seq - 1,
-				BranchCount: branchCount - 1, // the divergent branch sits between store and load
-				StoreIndex:  storeCount - 1 - uint64(dist),
-			}
-			phast.TrainViolation(ld, st, dist, mdp.Outcome{Pred: pred}, commit)
-		}
-		return pred
+	client := &http.Client{Timeout: 2 * time.Minute}
+	cfg := sim.Config{App: "511.povray", Predictor: "phast", Instructions: 20_000}
+
+	// One run over the wire...
+	var viaHTTP server.RunResult
+	postJSON(client, base+"/v1/runs", server.RunRequest{Config: cfg}, &viaHTTP)
+	if viaHTTP.Run == nil {
+		fatal("HTTP run returned no row")
 	}
-
-	fmt.Println("warm-up (a missed prediction is a memory order violation, which trains PHAST):")
-	for i, taken := range []bool{true, false, true, false, true, false} {
-		p := runInstance(taken)
-		fmt.Printf("  instance %d path taken=%-5t -> predicted=%t\n", i, taken, p.Kind == mdp.Distance)
+	// ...against the same config in-process, compared bit for bit.
+	inProcess, err := sim.Run(cfg)
+	if err != nil {
+		fatal(err)
 	}
+	wire, _ := json.Marshal(viaHTTP.Run)
+	local, _ := json.Marshal(inProcess)
+	if !bytes.Equal(wire, local) {
+		fatal(fmt.Sprintf("server row differs from in-process run:\nhttp  %s\nlocal %s", wire, local))
+	}
+	fmt.Printf("single run ok: HTTP row == in-process row (IPC %.4f, %d cycles)\n",
+		viaHTTP.Run.IPC(), viaHTTP.Run.Cycles)
 
-	fmt.Println("steady state (PHAST disambiguates the distance by path):")
-	for _, taken := range []bool{true, false, false, true} {
-		p := runInstance(taken)
-		fmt.Printf("  path taken=%-5t -> dependent=%t distance=%d\n",
-			taken, p.Kind == mdp.Distance, p.Dist)
+	// A small sweep through /v1/batch: per-row outcomes, request order.
+	batch := server.BatchRequest{Configs: []sim.Config{
+		{App: "511.povray", Predictor: "phast"},
+		{App: "511.povray", Predictor: "ideal"},
+		{App: "511.povray", Predictor: "nosuchpredictor"}, // typed error row
+	}}
+	var batchResp server.BatchResponse
+	postJSON(client, base+"/v1/batch", batch, &batchResp)
+	if len(batchResp.Results) != 3 {
+		fatal("batch returned", len(batchResp.Results), "rows, want 3")
+	}
+	if batchResp.Results[0].Run == nil || batchResp.Results[1].Run == nil {
+		fatal("batch rows 0/1 must carry runs")
+	}
+	if batchResp.Results[2].Error == nil || batchResp.Results[2].Error.Kind != string(sim.ErrConfig) {
+		fatal("batch row 2 must be a typed config error, got", batchResp.Results[2].Error)
+	}
+	speedup := batchResp.Results[0].Run.Speedup(batchResp.Results[1].Run)
+	fmt.Printf("batch ok: phast reaches %.2f%% of ideal IPC; bad config -> typed %q row\n",
+		100*speedup, batchResp.Results[2].Error.Kind)
+
+	// Health and metrics round out the operational surface.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		fatal("healthz:", resp.Status, err)
+	}
+	resp.Body.Close()
+	var metrics server.MetricsResponse
+	getJSON(client, base+"/metrics?format=json", &metrics)
+	if metrics.Counters[server.CounterAccepted] < 2 {
+		fatal("metrics report", metrics.Counters[server.CounterAccepted], "accepted requests, want >= 2")
+	}
+	fmt.Printf("healthz ok; metrics ok (%d requests, %d runs simulated)\n",
+		metrics.Counters[server.CounterRequests], metrics.Counters["runs.simulated"])
+}
+
+func postJSON(client *http.Client, url string, req, out any) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal("POST", url, "->", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func getJSON(client *http.Client, url string, out any) {
+	resp, err := client.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		fatal(err)
 	}
 }

@@ -214,7 +214,16 @@ func (r *Runner) RunConfigs(cfgs []sim.Config) ([]*stats.Run, error) {
 // outcome in input order, error rows included — the keep-going entry point
 // for callers that tabulate partial results.
 func (r *Runner) RunConfigsDetailed(cfgs []sim.Config) []Result {
-	ctx, cancel := r.batchContext()
+	return r.RunConfigsDetailedContext(r.opt.Context, cfgs)
+}
+
+// RunConfigsDetailedContext is RunConfigsDetailed bounded by ctx — the
+// serving layer's entry point, where each HTTP request carries its own
+// deadline that must cover the whole batch. ctx should descend from the
+// runner's base context; the batch-level fail-fast/keep-going policy is the
+// runner's.
+func (r *Runner) RunConfigsDetailedContext(ctx context.Context, cfgs []sim.Config) []Result {
+	ctx, cancel := r.batchContextFrom(ctx)
 	defer cancel()
 	results := make([]Result, len(cfgs))
 	var wg sync.WaitGroup
@@ -242,10 +251,16 @@ func (r *Runner) RunConfigsDetailed(cfgs []sim.Config) []Result {
 // fail-fast (the default) the returned cancel aborts the batch's siblings;
 // with KeepGoing it is a no-op so one failure never touches the others.
 func (r *Runner) batchContext() (context.Context, context.CancelFunc) {
+	return r.batchContextFrom(r.opt.Context)
+}
+
+// batchContextFrom is batchContext rooted at an arbitrary parent (a server
+// request's context rather than the runner's base).
+func (r *Runner) batchContextFrom(parent context.Context) (context.Context, context.CancelFunc) {
 	if r.opt.KeepGoing {
-		return r.opt.Context, func() {}
+		return parent, func() {}
 	}
-	return context.WithCancel(r.opt.Context)
+	return context.WithCancel(parent)
 }
 
 // ForEachApp runs fn(i, app) for every app on the shared worker pool and

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Fault names one injectable failure mode.
@@ -40,11 +41,20 @@ const (
 	// FaultCorrupt flips bytes of persistent run-cache entries as they are
 	// read, exercising the corrupt-entry-reads-as-miss contract.
 	FaultCorrupt Fault = "corrupt"
+	// FaultSlowDisk delays persistent run-cache reads and writes by
+	// SlowDiskDelay, exercising latency tolerance (request deadlines,
+	// admission-control queueing) rather than failure paths: a slow disk
+	// must cost time, never correctness.
+	FaultSlowDisk Fault = "slowdisk"
 )
+
+// SlowDiskDelay is the per-operation stall FaultSlowDisk injects into
+// persistent-store reads and writes.
+const SlowDiskDelay = 25 * time.Millisecond
 
 // Faults lists every injectable fault.
 func Faults() []Fault {
-	return []Fault{FaultPanic, FaultStall, FaultDiskWrite, FaultCorrupt}
+	return []Fault{FaultPanic, FaultStall, FaultDiskWrite, FaultCorrupt, FaultSlowDisk}
 }
 
 // Plan maps faults to firing probabilities under one seed. A nil *Plan is

@@ -2,8 +2,10 @@ package runcache
 
 import (
 	"context"
+	"reflect"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/sim"
@@ -132,5 +134,44 @@ func TestChaosCorruptEntryReadsAsMiss(t *testing.T) {
 	}
 	if _, ok := s.Get(key); !ok {
 		t.Error("read-time corruption must not damage the on-disk entry")
+	}
+}
+
+// TestChaosSlowDiskCostsTimeNotCorrectness: FaultSlowDisk stalls persistent
+// reads and writes by SlowDiskDelay but every result stays bit-identical —
+// a slow disk degrades latency, never data.
+func TestChaosSlowDiskCostsTimeNotCorrectness(t *testing.T) {
+	s := NewStore(t.TempDir())
+	cfg := sim.Config{App: "511.povray", Instructions: 1000}
+	key := Key(cfg)
+	want := fakeRun("511.povray", 321)
+
+	activateFaults(t, "slowdisk=1,seed=1")
+	start := time.Now()
+	if err := s.Put(key, cfg, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	elapsed := time.Since(start)
+	if !ok {
+		t.Fatal("entry written under slowdisk must read back")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("slowdisk corrupted the entry:\nwant %+v\ngot  %+v", want, got)
+	}
+	// One slowed Put plus one slowed Get: at least two injected delays.
+	if min := 2 * faultinject.SlowDiskDelay; elapsed < min {
+		t.Errorf("put+get took %v, want >= %v with slowdisk active", elapsed, min)
+	}
+
+	// With the plan restored, the same store is fast again (well under one
+	// injected delay for a single read).
+	faultinject.Activate(nil)
+	start = time.Now()
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("entry vanished after plan deactivation")
+	}
+	if elapsed := time.Since(start); elapsed >= faultinject.SlowDiskDelay {
+		t.Errorf("fault-free read took %v, want < %v", elapsed, faultinject.SlowDiskDelay)
 	}
 }

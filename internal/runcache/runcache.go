@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/sim"
@@ -116,6 +117,7 @@ func (s *Store) path(key string) string {
 // error: the caller falls back to simulating. Detected corruption (vs a
 // merely stale version stamp) bumps CounterDiskCorrupt.
 func (s *Store) Get(key string) (*stats.Run, bool) {
+	slowDisk(key)
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
 		return nil, false
@@ -171,7 +173,17 @@ func (s *Store) Put(key string, cfg sim.Config, run *stats.Run) error {
 	return err
 }
 
+// slowDisk injects FaultSlowDisk's per-operation stall when the active chaos
+// plan says the fault fires for key. Slow disks cost latency, not
+// correctness, so both Get and put pay it before touching the filesystem.
+func slowDisk(key string) {
+	if p := faultinject.Active(); p != nil && p.Should(faultinject.FaultSlowDisk, key) {
+		time.Sleep(faultinject.SlowDiskDelay)
+	}
+}
+
 func (s *Store) put(key string, cfg sim.Config, run *stats.Run) error {
+	slowDisk(key)
 	if p := faultinject.Active(); p != nil && p.Should(faultinject.FaultDiskWrite, key) {
 		return errInjectedWrite
 	}

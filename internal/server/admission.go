@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// admitter is the server's admission controller: a fixed number of running
+// slots plus a bounded wait queue, both plain buffered channels. A request
+// either (1) takes a running slot immediately, (2) takes a queue slot and
+// blocks until a running slot frees or its deadline expires, or (3) bounces
+// with ErrRejected — explicit 429 backpressure instead of unbounded
+// goroutines piling onto the simulator. Admission is request-scoped: batch
+// requests take one slot and fan out on the runner's worker pool, which
+// bounds actual simulation parallelism (see DESIGN.md §12).
+type admitter struct {
+	metrics   *stats.Metrics
+	running   chan struct{} // capacity = MaxInflight
+	queue     chan struct{} // capacity = QueueDepth
+	queueWait *stats.Histogram
+}
+
+func newAdmitter(m *stats.Metrics, maxInflight, queueDepth int) *admitter {
+	return &admitter{
+		metrics:   m,
+		running:   make(chan struct{}, maxInflight),
+		queue:     make(chan struct{}, queueDepth),
+		queueWait: m.Histogram(HistQueueWait, stats.DefaultLatencyBuckets),
+	}
+}
+
+// admit blocks until the request holds a running slot, returning the release
+// function, or fails fast: ErrRejected when both the running set and the
+// queue are full, ctx.Err() when the deadline expires while queued. Exactly
+// one of release != nil and err != nil holds.
+func (a *admitter) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case a.running <- struct{}{}:
+		return a.accepted(), nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+		// Queued: wait for a running slot with the request's own deadline.
+	default:
+		a.metrics.Add(CounterRejected, 1)
+		return nil, ErrRejected
+	}
+	a.metrics.Add(CounterQueued, 1)
+	a.gauge(GaugeQueueDepth, len(a.queue))
+	start := time.Now()
+	defer func() {
+		<-a.queue
+		a.gauge(GaugeQueueDepth, len(a.queue))
+		a.queueWait.ObserveDuration(time.Since(start))
+	}()
+	select {
+	case a.running <- struct{}{}:
+		return a.accepted(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// accepted finalises a successful admission and returns its release.
+func (a *admitter) accepted() func() {
+	a.metrics.Add(CounterAccepted, 1)
+	a.gauge(GaugeInflight, len(a.running))
+	return func() {
+		<-a.running
+		a.gauge(GaugeInflight, len(a.running))
+	}
+}
+
+// gauge publishes a point-in-time channel occupancy. Concurrent admissions
+// race on the read, so the gauge is approximate — fine for monitoring; the
+// channels themselves are the source of truth for admission decisions.
+func (a *admitter) gauge(name string, v int) {
+	a.metrics.Set(name, uint64(v))
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/faultinject"
+	"repro/internal/sim"
+)
+
+// TestChaosServerContainsInjectedFaults drives the whole serving stack under
+// fault injection: a fault-injected run must come back as a typed error row
+// over HTTP — never a crashed daemon — and afterwards the server is still
+// healthy (/healthz green, fault-free runs succeed, no leaked goroutines).
+func TestChaosServerContainsInjectedFaults(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	r := experiments.NewRunner(experiments.Options{Instructions: 10_000, KeepGoing: true})
+	ts := httptest.NewServer(New(r, Options{MaxInflight: 2, Metrics: r.Metrics()}).Handler())
+
+	cfg := sim.Config{App: "511.povray", Predictor: "none", Instructions: 10_000}
+
+	// Phase 1: panic injection — the run fails with kind "panic" over the
+	// wire and HTTP 500.
+	plan, err := faultinject.Parse("panic=1,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := faultinject.Activate(plan)
+	var faulted errorResponse
+	status, _ := postJSON(t, ts.Client(), ts.URL+"/v1/runs", RunRequest{Config: cfg}, &faulted)
+	restore()
+	if status != http.StatusInternalServerError {
+		t.Fatalf("faulted run status = %d, want 500 (%+v)", status, faulted)
+	}
+	if faulted.Error.Kind != string(sim.ErrPanic) {
+		t.Errorf("error kind = %q, want %q", faulted.Error.Kind, sim.ErrPanic)
+	}
+
+	// Phase 2: the daemon is still healthy — /healthz green and the same
+	// config now succeeds (the panicked run was never cached).
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-fault /healthz = %d, want 200", resp.StatusCode)
+	}
+	var ok RunResult
+	if status, _ := postJSON(t, ts.Client(), ts.URL+"/v1/runs", RunRequest{Config: cfg}, &ok); status != http.StatusOK || ok.Run == nil {
+		t.Errorf("fault-free rerun = %d (run=%v), want 200 with a run", status, ok.Run != nil)
+	}
+
+	// Phase 3: slowdisk injection through the server path — the run still
+	// succeeds (slow disks cost latency, not correctness).
+	r2 := experiments.NewRunner(experiments.Options{Instructions: 10_000, CacheDir: t.TempDir(), KeepGoing: true})
+	ts2 := httptest.NewServer(New(r2, Options{MaxInflight: 2, Metrics: r2.Metrics()}).Handler())
+	plan, err = faultinject.Parse("slowdisk=1,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore = faultinject.Activate(plan)
+	var slow RunResult
+	if status, _ := postJSON(t, ts2.Client(), ts2.URL+"/v1/runs", RunRequest{Config: cfg}, &slow); status != http.StatusOK || slow.Run == nil {
+		t.Errorf("slowdisk run = %d (run=%v), want 200 with a run", status, slow.Run != nil)
+	}
+	restore()
+
+	// Phase 4: teardown leaks nothing.
+	ts.CloseClientConnections()
+	ts.Close()
+	r.Close()
+	ts2.CloseClientConnections()
+	ts2.Close()
+	r2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutine leak: %d before the chaos run, %d after teardown", before, got)
+	}
+}

@@ -1,0 +1,439 @@
+// Package server is the serving layer of the simulation stack: an HTTP/JSON
+// facade (cmd/phastd) over experiments.Runner that turns the in-process
+// figure-regeneration engine into a shared simulation-as-a-service backend.
+// The library layers (runcache, scheduler, failure containment) carry over
+// unchanged; what this package adds are the serving mechanics a networked
+// daemon needs and a library does not:
+//
+//   - admission control: a fixed running set plus a bounded queue, with
+//     explicit 429/Retry-After backpressure instead of unbounded goroutines
+//     (see admission.go);
+//   - request coalescing: identical in-flight configs share one execution,
+//     keyed exactly like the run cache (runcache.Key), so a duplicate-heavy
+//     client mix costs one simulation per unique config;
+//   - per-request deadlines propagated into the context plumbing end-to-end
+//     (HTTP timeout_ms → runner → pipeline cycle loop);
+//   - graceful drain: health flips unhealthy, new work is refused, in-flight
+//     runs finish (or are cancelled after the grace period via Abort).
+//
+// Endpoints: POST /v1/runs, POST /v1/batch, GET /healthz, GET /metrics.
+// Results are the same stats.Run rows and sim.SimError taxonomy the library
+// returns, serialised — a server-side run is byte-identical to an in-process
+// one for the same config (the golden test and examples/predictorapi hold
+// this).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/runcache"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Serving-layer counter and histogram names, published to the shared
+// stats.Metrics registry next to the cache/simulator counters.
+const (
+	// CounterRequests counts every /v1/* request received.
+	CounterRequests = "server.requests"
+	// CounterAccepted counts requests that obtained a running slot.
+	CounterAccepted = "server.accepted"
+	// CounterRejected counts requests bounced with 429 (queue full).
+	CounterRejected = "server.rejected"
+	// CounterQueued counts requests that waited in the admission queue.
+	CounterQueued = "server.queued"
+	// CounterCoalesced counts requests served by piggybacking on an
+	// identical in-flight request instead of executing their own run.
+	CounterCoalesced = "server.coalesced"
+	// CounterDrained counts requests refused because the server was
+	// draining.
+	CounterDrained = "server.drained"
+	// GaugeInflight is the current number of held running slots.
+	GaugeInflight = "server.inflight"
+	// GaugeQueueDepth is the current number of queued requests.
+	GaugeQueueDepth = "server.queue.depth"
+	// HistLatency is the request latency histogram (seconds, /v1/* only).
+	HistLatency = "server.latency.seconds"
+	// HistQueueWait is the admission queue wait histogram (seconds).
+	HistQueueWait = "server.queue.wait.seconds"
+)
+
+// Backend executes simulations for the server; *experiments.Runner is the
+// production implementation. Tests substitute controllable fakes.
+type Backend interface {
+	RunConfigContext(ctx context.Context, cfg sim.Config) (*stats.Run, error)
+	RunConfigsDetailedContext(ctx context.Context, cfgs []sim.Config) []experiments.Result
+}
+
+// Options tune the serving layer. The zero value is usable: defaults are
+// filled by New.
+type Options struct {
+	// MaxInflight bounds concurrently admitted requests (default NumCPU,
+	// min 2). A batch request holds one slot while its rows fan out on the
+	// runner's worker pool.
+	MaxInflight int
+	// QueueDepth bounds requests waiting for a slot (default 4×MaxInflight);
+	// beyond it requests are rejected with 429.
+	QueueDepth int
+	// DefaultInstructions fills Config.Instructions when a request leaves it
+	// zero — keep it equal to the runner's Options.Instructions so coalescing
+	// keys match cache keys (default sim.DefaultInstructions).
+	DefaultInstructions int
+	// DefaultRunTimeout applies when a request carries no timeout_ms
+	// (default 2m; 0 keeps requests deadline-free).
+	DefaultRunTimeout time.Duration
+	// MaxRunTimeout caps client-supplied timeouts (default 10m).
+	MaxRunTimeout time.Duration
+	// MaxBatch bounds configs per /v1/batch request (default 1024).
+	MaxBatch int
+	// Metrics is the registry serving /metrics — pass the runner's so cache,
+	// simulator and server counters land in one place (default private).
+	Metrics *stats.Metrics
+}
+
+func (o Options) norm() Options {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = runtime.NumCPU()
+		if o.MaxInflight < 2 {
+			o.MaxInflight = 2
+		}
+	}
+	if o.QueueDepth < 0 {
+		o.QueueDepth = 0
+	} else if o.QueueDepth == 0 {
+		o.QueueDepth = 4 * o.MaxInflight
+	}
+	if o.DefaultInstructions <= 0 {
+		o.DefaultInstructions = sim.DefaultInstructions
+	}
+	if o.DefaultRunTimeout == 0 {
+		o.DefaultRunTimeout = 2 * time.Minute
+	}
+	if o.MaxRunTimeout == 0 {
+		o.MaxRunTimeout = 10 * time.Minute
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.Metrics == nil {
+		o.Metrics = stats.NewMetrics()
+	}
+	return o
+}
+
+// Server is the HTTP serving layer; build with New, expose via Handler.
+type Server struct {
+	opt     Options
+	backend Backend
+	metrics *stats.Metrics
+	latency *stats.Histogram
+	adm     *admitter
+
+	// flights is the server-level single-flight map, keyed exactly like the
+	// run cache (runcache.Key) so "identical request" and "same cache entry"
+	// are one notion. Joins bump server.coalesced at join time, making
+	// coalescing observable while the flight is still running.
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	draining   atomic.Bool
+	hardCtx    context.Context // cancelled by Abort: hard-stops in-flight runs
+	hardCancel context.CancelFunc
+}
+
+// New builds a server over backend. Pass the runner's metrics registry in
+// opt.Metrics to get one unified /metrics view.
+func New(backend Backend, opt Options) *Server {
+	opt = opt.norm()
+	s := &Server{
+		opt:     opt,
+		backend: backend,
+		metrics: opt.Metrics,
+		latency: opt.Metrics.Histogram(HistLatency, stats.DefaultLatencyBuckets),
+		adm:     newAdmitter(opt.Metrics, opt.MaxInflight, opt.QueueDepth),
+		flights: map[string]*flight{},
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	// Touch the headline counters so /metrics shows explicit zeros from the
+	// first scrape (same contract as the runner's cache counters).
+	for _, c := range []string{CounterRequests, CounterAccepted, CounterRejected, CounterCoalesced} {
+		opt.Metrics.Add(c, 0)
+	}
+	return s
+}
+
+// Metrics returns the registry the server reports to.
+func (s *Server) Metrics() *stats.Metrics { return s.metrics }
+
+// Handler returns the server's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/runs", s.instrumented(s.handleRuns))
+	mux.HandleFunc("/v1/batch", s.instrumented(s.handleBatch))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// StartDrain begins graceful shutdown: /healthz flips to 503 (so load
+// balancers stop routing here) and new run submissions are refused, while
+// already-admitted requests keep running. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Abort hard-cancels every in-flight run (typed sim.ErrCancelled rows flow
+// back to their clients). The escape hatch when the drain grace period
+// expires; StartDrain first for a graceful exit.
+func (s *Server) Abort() {
+	s.StartDrain()
+	s.hardCancel()
+}
+
+// instrumented wraps a /v1 handler with the request counter and the latency
+// histogram.
+func (s *Server) instrumented(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Add(CounterRequests, 1)
+		start := time.Now()
+		h(w, r)
+		s.latency.ObserveDuration(time.Since(start))
+	}
+}
+
+// requestContext derives one request's run context: the HTTP request context
+// (client disconnect), the drain hard-stop, and the per-request deadline.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	if d := timeoutOf(timeoutMS, s.opt.DefaultRunTimeout, s.opt.MaxRunTimeout); d > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, d)
+		inner := cancel
+		cancel = func() { cancelT(); inner() }
+	}
+	outer := cancel
+	return ctx, func() { stop(); outer() }
+}
+
+// decode parses a JSON request body of at most limit bytes.
+func decode(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// normalize fills a request config's defaults the way the runner would, so
+// coalescing keys, cache keys and result rows all see the same resolved
+// config.
+func (s *Server) normalize(cfg sim.Config) sim.Config {
+	if cfg.Instructions == 0 {
+		cfg.Instructions = s.opt.DefaultInstructions
+	}
+	return cfg.Normalized()
+}
+
+// flight is one in-flight run shared by every request for its key.
+type flight struct {
+	done chan struct{} // closed when run/err are final
+	run  *stats.Run
+	err  error
+}
+
+// runOne executes one config through coalescing → admission → backend.
+// Identical in-flight configs share one execution: the first request leads
+// (and pays admission), duplicates wait for its result without consuming
+// slots — the single-flight keying is the run cache's, so "identical" means
+// "would hit the same cache entry". A waiter whose own deadline expires
+// unblocks with its context error while the flight continues for the others;
+// if the leader fails (including an admission rejection), every waiter
+// receives the leader's error.
+func (s *Server) runOne(ctx context.Context, cfg sim.Config) (*stats.Run, error) {
+	key := runcache.Key(cfg)
+	s.fmu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.fmu.Unlock()
+		s.metrics.Add(CounterCoalesced, 1)
+		select {
+		case <-f.done:
+			return f.run, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.fmu.Unlock()
+
+	// The flight must resolve even if the backend panics past its own
+	// recovery (the panic then propagates on this request's goroutine, where
+	// net/http contains it; waiters get a typed error, not a hang).
+	finished := false
+	defer func() {
+		if !finished {
+			f.run, f.err = nil, &sim.SimError{Kind: sim.ErrInternal, Config: cfg,
+				Err: errors.New("server: in-flight run panicked")}
+		}
+		s.fmu.Lock()
+		delete(s.flights, key)
+		s.fmu.Unlock()
+		close(f.done)
+	}()
+	release, aerr := s.adm.admit(ctx)
+	if aerr != nil {
+		f.run, f.err = nil, aerr
+		finished = true
+		return nil, aerr
+	}
+	defer release()
+	f.run, f.err = s.backend.RunConfigContext(ctx, cfg)
+	finished = true
+	return f.run, f.err
+}
+
+// refuse reports (and counts) a drain-time refusal.
+func (s *Server) refuse(w http.ResponseWriter) {
+	s.metrics.Add(CounterDrained, 1)
+	writeError(w, ErrDraining)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return
+	}
+	if s.Draining() {
+		s.refuse(w)
+		return
+	}
+	var req RunRequest
+	if err := decode(w, r, 1<<20, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, struct {
+			Error ErrorBody `json:"error"`
+		}{ErrorBody{Kind: KindBadRequest, Message: "bad run request: " + err.Error()}})
+		return
+	}
+	cfg := s.normalize(req.Config)
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	run, err := s.runOne(ctx, cfg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResult{Config: cfg, Run: run})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return
+	}
+	if s.Draining() {
+		s.refuse(w)
+		return
+	}
+	var req BatchRequest
+	if err := decode(w, r, 64<<20, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, struct {
+			Error ErrorBody `json:"error"`
+		}{ErrorBody{Kind: KindBadRequest, Message: "bad batch request: " + err.Error()}})
+		return
+	}
+	if len(req.Configs) == 0 || len(req.Configs) > s.opt.MaxBatch {
+		writeJSON(w, http.StatusBadRequest, struct {
+			Error ErrorBody `json:"error"`
+		}{ErrorBody{Kind: KindBadRequest,
+			Message: fmt.Sprintf("batch size %d out of range [1, %d]", len(req.Configs), s.opt.MaxBatch)}})
+		return
+	}
+	cfgs := make([]sim.Config, len(req.Configs))
+	for i, cfg := range req.Configs {
+		cfgs[i] = s.normalize(cfg)
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	// One admission slot per batch request; row-level parallelism is bounded
+	// by the runner's shared worker pool, and row-level dedup by the run
+	// cache's own single-flight layer.
+	release, err := s.adm.admit(ctx)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	results := s.backend.RunConfigsDetailedContext(ctx, cfgs)
+	resp := BatchResponse{Results: make([]RunResult, len(results))}
+	for i, res := range results {
+		row := RunResult{Config: res.Config, Run: res.Run}
+		if res.Err != nil {
+			_, body := errorBody(res.Err)
+			row.Error = &body
+		}
+		resp.Results[i] = row
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", retryAfter)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sim.PublishMetrics(s.metrics) // fold in the process-wide sim counters
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, MetricsResponse{
+			Counters:   s.metrics.Snapshot(),
+			Histograms: s.metrics.Histograms(),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.metrics.String())
+}
+
+func methodNotAllowed(w http.ResponseWriter) {
+	w.Header().Set("Allow", http.MethodPost)
+	writeJSON(w, http.StatusMethodNotAllowed, struct {
+		Error ErrorBody `json:"error"`
+	}{ErrorBody{Kind: KindBadRequest, Message: "use POST"}})
+}
+
+// writeError maps a failed run onto its status + body; 429/503 carry a
+// Retry-After hint.
+func writeError(w http.ResponseWriter, err error) {
+	status, body := errorBody(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	writeJSON(w, status, struct {
+		Error ErrorBody `json:"error"`
+	}{body})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(v); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
+		// The status line is gone; nothing useful left to send.
+		return
+	}
+}

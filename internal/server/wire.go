@@ -1,0 +1,116 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RunRequest is the body of POST /v1/runs: one simulation config plus an
+// optional per-request deadline. The config is normalised server-side, so
+// defaultable fields (machine, predictor, instruction count) may be omitted.
+type RunRequest struct {
+	Config sim.Config `json:"config"`
+	// TimeoutMS bounds this request's wall-clock time (queue wait included).
+	// Zero uses the server default; the server's MaxRunTimeout caps it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: a sweep of configs executed
+// through the runner's shared worker pool, with per-row outcomes.
+type BatchRequest struct {
+	Configs   []sim.Config `json:"configs"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"` // whole-batch deadline
+}
+
+// RunResult is one config's outcome: exactly one of Run and Error is set —
+// the same invariant as experiments.Result, serialised.
+type RunResult struct {
+	Config sim.Config `json:"config"`
+	Run    *stats.Run `json:"run,omitempty"`
+	Error  *ErrorBody `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a POST /v1/batch reply, results in request
+// order.
+type BatchResponse struct {
+	Results []RunResult `json:"results"`
+}
+
+// ErrorBody is the wire form of a failed run: the sim.SimError kind taxonomy
+// (panic, deadlock, timeout, cancelled, config, internal) extended with the
+// serving layer's own kinds (rejected, draining, bad_request).
+type ErrorBody struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// MetricsResponse is the JSON form of GET /metrics?format=json.
+type MetricsResponse struct {
+	Counters   map[string]uint64                  `json:"counters"`
+	Histograms map[string]stats.HistogramSnapshot `json:"histograms"`
+}
+
+// Serving-layer error kinds (beyond the sim.SimError taxonomy).
+const (
+	// KindRejected marks a request bounced by admission control (HTTP 429):
+	// the run queue was full. Retry after backoff.
+	KindRejected = "rejected"
+	// KindDraining marks a request refused because the daemon is shutting
+	// down (HTTP 503). Retry against another replica.
+	KindDraining = "draining"
+	// KindBadRequest marks an unparseable or oversized request (HTTP 400).
+	KindBadRequest = "bad_request"
+)
+
+// ErrRejected is the admission-control rejection: the running set and the
+// wait queue are both full. Mapped to HTTP 429 with Retry-After.
+var ErrRejected = errors.New("server: at capacity, request rejected")
+
+// ErrDraining refuses new work during graceful shutdown (HTTP 503).
+var ErrDraining = errors.New("server: draining, not accepting new runs")
+
+// errorBody maps a failed run to its HTTP status and wire form. The sim
+// taxonomy maps kind-for-kind; admission and drain rejections carry the
+// serving-layer kinds.
+func errorBody(err error) (int, ErrorBody) {
+	switch {
+	case errors.Is(err, ErrRejected):
+		return http.StatusTooManyRequests, ErrorBody{Kind: KindRejected, Message: err.Error()}
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, ErrorBody{Kind: KindDraining, Message: err.Error()}
+	}
+	body := ErrorBody{Kind: string(sim.KindOf(err)), Message: err.Error()}
+	switch sim.KindOf(err) {
+	case sim.ErrConfig:
+		return http.StatusBadRequest, body
+	case sim.ErrTimeout:
+		return http.StatusGatewayTimeout, body
+	case sim.ErrCancelled:
+		// The client went away or the daemon is being torn down; 503 tells a
+		// retrying proxy the request may succeed elsewhere/later.
+		return http.StatusServiceUnavailable, body
+	default: // panic, deadlock, internal
+		return http.StatusInternalServerError, body
+	}
+}
+
+// retryAfter is the backoff hint attached to 429/503 responses. A constant
+// is honest here: the server cannot predict when a simulation slot frees.
+const retryAfter = "1"
+
+// timeoutOf converts a request's timeout_ms field, clamped to [0, max]
+// (max 0 = uncapped).
+func timeoutOf(ms int64, def, max time.Duration) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = def
+	}
+	if max > 0 && (d <= 0 || d > max) {
+		d = max
+	}
+	return d
+}

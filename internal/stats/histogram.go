@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution counter: observations land in the
+// first bucket whose upper bound is >= the value, with an implicit +Inf
+// overflow bucket. Buckets are fixed at construction, so Observe is a bucket
+// search plus one atomic add — safe for concurrent use on request hot paths.
+// Histograms live in a Metrics registry next to the counters (see
+// Metrics.Histogram) so a /metrics endpoint renders both from one snapshot.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; len(counts) = len(bounds)+1
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, accumulated by CAS
+}
+
+// DefaultLatencyBuckets are upper bounds in seconds spanning sub-millisecond
+// cache hits through multi-second sweep simulations — the default shape for
+// request-latency histograms.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds. The
+// bounds slice is copied; an empty bounds list yields a single +Inf bucket
+// (count and sum only).
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy. Buckets are read without a global
+// lock, so a snapshot taken mid-Observe may be off by the in-flight
+// observation — fine for monitoring, which is all histograms are for.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a frozen histogram: per-bucket counts (the last entry
+// is the +Inf overflow bucket), total count and sum.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts, reporting
+// the upper bound of the bucket holding the q-th observation. Observations in
+// the overflow bucket report the largest finite bound. Empty histograms
+// report 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			return s.Bounds[i]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// String renders the non-empty buckets as "≤bound:count" pairs plus the
+// total — compact enough for one metrics-table row.
+func (s HistogramSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.4g", s.Count, s.Mean())
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			fmt.Fprintf(&b, " >%.4g:%d", s.Bounds[len(s.Bounds)-1], c)
+		} else {
+			fmt.Fprintf(&b, " ≤%.4g:%d", s.Bounds[i], c)
+		}
+	}
+	return b.String()
+}
+
+// histograms is the registry side of Metrics histogram support, kept separate
+// from the counter map so counter Snapshot/String semantics are untouched.
+type histograms struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// Histogram returns the named histogram, creating it with the given bounds on
+// first use. Later calls return the existing histogram regardless of bounds,
+// mirroring the create-on-first-touch counter contract.
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	m.hists.mu.RLock()
+	h := m.hists.m[name]
+	m.hists.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.hists.mu.Lock()
+	defer m.hists.mu.Unlock()
+	if m.hists.m == nil {
+		m.hists.m = map[string]*Histogram{}
+	}
+	if h = m.hists.m[name]; h == nil {
+		h = NewHistogram(bounds)
+		m.hists.m[name] = h
+	}
+	return h
+}
+
+// Histograms returns a point-in-time snapshot of every histogram.
+func (m *Metrics) Histograms() map[string]HistogramSnapshot {
+	m.hists.mu.RLock()
+	defer m.hists.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(m.hists.m))
+	for name, h := range m.hists.m {
+		out[name] = h.Snapshot()
+	}
+	return out
+}

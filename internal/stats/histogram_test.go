@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	// 0.005 and 0.01 land in ≤0.01 (bounds are inclusive), 0.05 in ≤0.1,
+	// 0.5 in ≤1, and 2 and 100 overflow.
+	want := []uint64{2, 1, 1, 2}
+	for i, c := range want {
+		if s.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, s.Counts[i], c, s.Counts)
+		}
+	}
+	if got, wantSum := s.Sum, 0.005+0.01+0.05+0.5+2+100; got != wantSum {
+		t.Errorf("sum = %g, want %g", got, wantSum)
+	}
+	if mean := s.Mean(); mean != s.Sum/6 {
+		t.Errorf("mean = %g, want %g", mean, s.Sum/6)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// 90 observations ≤1, 10 in the ≤2 bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 1 {
+		t.Errorf("p50 = %g, want 1", q)
+	}
+	if q := s.Quantile(0.99); q != 2 {
+		t.Errorf("p99 = %g, want 2", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %g, want 0", q)
+	}
+	// Overflow observations report the largest finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(50)
+	if q := h2.Snapshot().Quantile(0.5); q != 1 {
+		t.Errorf("overflow p50 = %g, want the top bound 1", q)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	h.ObserveDuration(50 * time.Millisecond)
+	h.Observe(10)
+	out := h.Snapshot().String()
+	for _, want := range []string{"n=2", "≤0.1:1", ">1:1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering %q missing %q", out, want)
+		}
+	}
+}
+
+func TestMetricsHistogramRegistry(t *testing.T) {
+	m := NewMetrics()
+	if len(m.Histograms()) != 0 {
+		t.Error("fresh registry must have no histograms")
+	}
+	h := m.Histogram("lat", []float64{1, 2})
+	if h2 := m.Histogram("lat", []float64{99}); h2 != h {
+		t.Error("second Histogram call must return the first instance")
+	}
+	h.Observe(1.5)
+	m.Add("reqs", 3)
+	snaps := m.Histograms()
+	if s, ok := snaps["lat"]; !ok || s.Count != 1 {
+		t.Fatalf("snapshot = %+v, want lat with one observation", snaps)
+	}
+	out := m.String()
+	for _, want := range []string{"reqs", "lat", "n=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+	// Counter-only registries keep rendering without a histogram table.
+	if out := NewMetrics().String(); strings.Contains(out, "histograms") {
+		t.Errorf("counter-only rendering grew a histogram table:\n%s", out)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	m := NewMetrics()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.Histogram("lat", DefaultLatencyBuckets)
+			for j := 0; j < perWorker; j++ {
+				h.Observe(0.001 * float64(j%10))
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Histograms()["lat"]
+	if s.Count != workers*perWorker {
+		t.Errorf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Errorf("bucket sum %d != count %d", total, s.Count)
+	}
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 type Metrics struct {
 	mu       sync.RWMutex
 	counters map[string]*uint64
+	hists    histograms // fixed-bucket distributions, see histogram.go
 }
 
 // NewMetrics returns an empty registry.
@@ -79,14 +81,28 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 	return out
 }
 
-// String renders the counters as a sorted table.
+// String renders the counters as a sorted table, followed by one row per
+// histogram when any exist.
 func (m *Metrics) String() string {
 	snap := m.Snapshot()
 	t := NewTable("metrics", "counter", "value")
 	for _, name := range SortedKeys(snap) {
 		t.AddRowf(name, snap[name])
 	}
-	return t.String()
+	hists := m.Histograms()
+	if len(hists) == 0 {
+		return t.String()
+	}
+	ht := NewTable("histograms", "name", "distribution")
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ht.AddRow(name, hists[name].String())
+	}
+	return t.String() + ht.String()
 }
 
 // WriteTo writes the rendered table, satisfying io.WriterTo.

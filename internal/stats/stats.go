@@ -138,18 +138,20 @@ func Mean(vals []float64) float64 {
 	return sum / float64(len(vals))
 }
 
-// Histogram is a fixed-bucket integer histogram (used e.g. for the
-// conflicts-per-history-length distribution of Fig. 10).
-type Histogram struct {
+// IntHistogram is a fixed-bucket integer histogram (used e.g. for the
+// conflicts-per-history-length distribution of Fig. 10). For concurrent
+// float-valued distributions (request latencies) see Histogram in
+// histogram.go.
+type IntHistogram struct {
 	Buckets  []uint64
 	Overflow uint64
 }
 
-// NewHistogram returns a histogram with n buckets for values 0..n-1.
-func NewHistogram(n int) *Histogram { return &Histogram{Buckets: make([]uint64, n)} }
+// NewIntHistogram returns a histogram with n buckets for values 0..n-1.
+func NewIntHistogram(n int) *IntHistogram { return &IntHistogram{Buckets: make([]uint64, n)} }
 
 // Add records one occurrence of v.
-func (h *Histogram) Add(v int) {
+func (h *IntHistogram) Add(v int) {
 	if v >= 0 && v < len(h.Buckets) {
 		h.Buckets[v]++
 		return
@@ -158,7 +160,7 @@ func (h *Histogram) Add(v int) {
 }
 
 // Total returns the number of recorded values, including overflow.
-func (h *Histogram) Total() uint64 {
+func (h *IntHistogram) Total() uint64 {
 	t := h.Overflow
 	for _, b := range h.Buckets {
 		t += b
@@ -167,7 +169,7 @@ func (h *Histogram) Total() uint64 {
 }
 
 // Fraction returns bucket v's share of all recorded values.
-func (h *Histogram) Fraction(v int) float64 {
+func (h *IntHistogram) Fraction(v int) float64 {
 	t := h.Total()
 	if t == 0 {
 		return 0

@@ -100,8 +100,8 @@ func TestMean(t *testing.T) {
 	}
 }
 
-func TestHistogram(t *testing.T) {
-	h := NewHistogram(4)
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram(4)
 	for _, v := range []int{0, 1, 1, 3, 9, -1} {
 		h.Add(v)
 	}
