@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke chaos api-smoke
+.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke chaos api-smoke fuzz cover
 
 all: build test
 
@@ -15,6 +15,7 @@ check:
 	go build ./...
 	go test -race ./...
 	$(MAKE) chaos
+	$(MAKE) examples
 	$(MAKE) api-smoke
 	$(MAKE) cache-smoke
 	$(MAKE) bench-smoke
@@ -84,12 +85,34 @@ figures:
 	mkdir -p results
 	go run ./cmd/paperfigs -fig all -n 300000 | tee results/paperfigs_full.txt
 
+# Every example must at least compile; the two fast ones also run headless
+# as living documentation tests (predictorapi runs under api-smoke, and the
+# long-running budgetsweep/customworkload stay build-only here — run them
+# directly when wanted).
 examples:
+	go build ./examples/...
 	go run ./examples/quickstart
-	go run ./examples/predictorapi
 	go run ./examples/compare
-	go run ./examples/budgetsweep
-	go run ./examples/customworkload
+
+# Native Go fuzzing over the three externally-driven surfaces: arbitrary
+# micro-op streams through the oracle-verified pipeline, arbitrary Configs
+# through the sim facade, arbitrary bytes through the HTTP wire decoder.
+# Seed corpora are checked in under internal/*/testdata/fuzz/; crashers that
+# fuzzing discovers land next to them (gitignored) — promote one to a
+# seed-* file to pin its regression test.
+FUZZTIME ?= 30s
+
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzPipelineTrace$$' -fuzztime $(FUZZTIME) ./internal/oracle
+	go test -run '^$$' -fuzz '^FuzzSimConfig$$' -fuzztime $(FUZZTIME) ./internal/sim
+	go test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME) ./internal/server
+	@echo "fuzz ok: $(FUZZTIME) per target, no crashers"
+
+# Per-package and total statement coverage; cover.out feeds
+# `go tool cover -html=cover.out` and the CI artifact upload.
+cover:
+	go test -coverprofile=cover.out ./...
+	go tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt cover.out

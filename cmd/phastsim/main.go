@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/faultinject"
+	"repro/internal/oracle"
 	"repro/internal/pipeline"
 	"repro/internal/prof"
 	"repro/internal/runcache"
@@ -42,6 +43,7 @@ func main() {
 		n          = flag.Int("n", sim.DefaultInstructions, "instructions to simulate")
 		seed       = flag.Int64("seed", 0, "stream seed override (0 = app default)")
 		noFwd      = flag.Bool("no-fwd-filter", false, "disable the §IV-A1 forwarding filter")
+		verify     = flag.Bool("verify", false, "check retirement against the in-order architectural oracle (slower; fails on first divergence)")
 		bp         = flag.String("bp", "tagescl", "branch predictor (bimodal, gshare, perceptron, tage, tagescl)")
 		list       = flag.Bool("list", false, "list apps, machines and predictors, then exit")
 		vsIdeal    = flag.Bool("vs-ideal", false, "also run the ideal predictor and report the gap")
@@ -113,6 +115,7 @@ func main() {
 	cfg := sim.Config{
 		App: *app, Machine: *machine, Predictor: *predictor,
 		Instructions: *n, Seed: *seed, FwdFilterOff: *noFwd, BranchPredictor: *bp,
+		Verify: *verify,
 	}
 
 	if *saveTrace != "" {
@@ -152,6 +155,9 @@ func main() {
 		fatal(err)
 	}
 	printRun(run)
+	if *verify {
+		fmt.Printf("verified: %d micro-ops retired with oracle-identical architectural results\n", run.Committed)
+	}
 
 	if *vsIdeal {
 		cfg.Predictor = "ideal"
@@ -228,6 +234,9 @@ func replay(ctx context.Context, path string, cfg sim.Config) (*stats.Run, error
 		opt.Filter = pipeline.FilterNone
 	}
 	opt.BranchPredictor = cfg.BranchPredictor
+	if cfg.Verify {
+		opt.Verify = oracle.NewChecker(tr).Check
+	}
 	c, err := pipeline.New(machine, pred, opt)
 	if err != nil {
 		return nil, err

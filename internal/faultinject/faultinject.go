@@ -46,6 +46,12 @@ const (
 	// admission-control queueing) rather than failure paths: a slow disk
 	// must cost time, never correctness.
 	FaultSlowDisk Fault = "slowdisk"
+	// FaultFwdFlip flips the pipeline's §IV-A1 forwarding-filter condition
+	// for a whole run: every conflicting load is wrongly deemed already-
+	// correct, so memory-order violations go undetected and stale values
+	// retire. It exists as a mutation test for the verification oracle
+	// (internal/oracle), which must report the first divergence.
+	FaultFwdFlip Fault = "fwdflip"
 )
 
 // SlowDiskDelay is the per-operation stall FaultSlowDisk injects into
@@ -54,7 +60,7 @@ const SlowDiskDelay = 25 * time.Millisecond
 
 // Faults lists every injectable fault.
 func Faults() []Fault {
-	return []Fault{FaultPanic, FaultStall, FaultDiskWrite, FaultCorrupt, FaultSlowDisk}
+	return []Fault{FaultPanic, FaultStall, FaultDiskWrite, FaultCorrupt, FaultSlowDisk, FaultFwdFlip}
 }
 
 // Plan maps faults to firing probabilities under one seed. A nil *Plan is

@@ -1,0 +1,231 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// recentStores bounds the ring of recent store words the checker keeps for
+// reconstructing the *actual* value a diverging load retired. A stale
+// capture always points at an older writer of the same byte; anything
+// farther back than this window reports its provider but an unknown value.
+const recentStores = 8192
+
+type storeRec struct {
+	idx  int32
+	addr uint64
+	size uint8
+	word uint64
+}
+
+// Checker verifies a pipeline's retirement stream against the in-order
+// reference executor, micro-op by micro-op. Bind its Check method to
+// pipeline.Options.Verify; the pipeline then aborts the run on the first
+// divergence with a *DivergenceError.
+//
+// A Checker is single-run, single-goroutine state: build one per simulation
+// over the same *trace.Trace the pipeline runs.
+type Checker struct {
+	x      *Exec
+	recent []storeRec
+	rpos   int
+	err    error // first divergence, sticky
+}
+
+// NewChecker builds a checker for one run over tr.
+func NewChecker(tr *trace.Trace) *Checker {
+	return &Checker{x: New(tr), recent: make([]storeRec, 0, recentStores)}
+}
+
+// Committed returns the number of micro-ops verified so far.
+func (c *Checker) Committed() int { return c.x.Pos() }
+
+// Digest returns the architectural fingerprint accumulated over the
+// verified retirement stream (see Exec.Digest).
+func (c *Checker) Digest() uint64 { return c.x.Digest() }
+
+// Err returns the first divergence observed, if any.
+func (c *Checker) Err() error { return c.err }
+
+// Check consumes one retirement event. It verifies in-order retirement and,
+// for loads, that every byte the pipeline retired came from the same
+// architectural writer the in-order execution produces, then advances the
+// reference state. The event and its Providers slice are not retained.
+func (c *Checker) Check(ev *pipeline.CommitEvent) error {
+	if c.err != nil {
+		return c.err
+	}
+	idx := c.x.Pos()
+	if c.x.Done() {
+		c.err = &DivergenceError{Cycle: ev.Cycle, TraceIdx: ev.TraceIdx,
+			Reason: fmt.Sprintf("retired micro-op #%d after the %d-op trace completed", ev.TraceIdx, idx)}
+		return c.err
+	}
+	in := &c.x.tr.Insts[idx]
+	if ev.TraceIdx != idx {
+		c.err = &DivergenceError{Cycle: ev.Cycle, TraceIdx: ev.TraceIdx, PC: in.PC,
+			Reason: fmt.Sprintf("retirement out of order: retired micro-op #%d, in-order oracle expects #%d", ev.TraceIdx, idx)}
+		return c.err
+	}
+	if in.Kind == isa.Load && in.Size > 0 {
+		if len(ev.Providers) != int(in.Size) {
+			c.err = &DivergenceError{Cycle: ev.Cycle, TraceIdx: idx, PC: in.PC, Op: in.String(),
+				Reason: fmt.Sprintf("pipeline captured %d provider bytes for a %d-byte load", len(ev.Providers), in.Size)}
+			return c.err
+		}
+		if err := c.checkLoad(ev, in, idx); err != nil {
+			c.err = err
+			return c.err
+		}
+	}
+	c.x.Step()
+	if in.Kind == isa.Store && in.Size > 0 {
+		// A store writes no register, so its data register still holds the
+		// value Step consumed: record exactly the word the oracle wrote.
+		c.pushStore(storeRec{idx: int32(idx), addr: in.Addr, size: in.Size,
+			word: StoreWord(c.x.Reg(in.SrcB), in.PC, idx)})
+	}
+	return nil
+}
+
+// checkLoad compares the pipeline's per-byte provenance capture against the
+// oracle's ground truth for the load about to retire.
+func (c *Checker) checkLoad(ev *pipeline.CommitEvent, in *isa.Inst, idx int) error {
+	mismatch := -1
+	for i := 0; i < int(in.Size); i++ {
+		if ev.Providers[i] != c.x.WriterOf(in.Addr+uint64(i)) {
+			mismatch = i
+			break
+		}
+	}
+	if mismatch < 0 {
+		return nil
+	}
+	expVal := c.x.ReadVal(in.Addr, in.Size)
+	actVal, actKnown := c.actualValue(ev.Providers, in)
+	d := &DivergenceError{
+		Cycle:    ev.Cycle,
+		TraceIdx: idx,
+		PC:       in.PC,
+		Op:       in.String(),
+		Byte:     mismatch,
+		Expected: c.x.WriterOf(in.Addr + uint64(mismatch)),
+		Actual:   ev.Providers[mismatch],
+		ExpVal:   expVal,
+		ActVal:   actVal,
+		ActKnown: actKnown,
+	}
+	var b strings.Builder
+	for i := 0; i < int(in.Size); i++ {
+		a := in.Addr + uint64(i)
+		exp, act := c.x.WriterOf(a), ev.Providers[i]
+		marker := "  "
+		if exp != act {
+			marker = "!!"
+		}
+		fmt.Fprintf(&b, "  %s byte +%d (%#x): expected %s, pipeline used %s\n",
+			marker, i, a, c.describe(exp), c.describe(act))
+	}
+	d.Detail = b.String()
+	return d
+}
+
+// describe renders one provider for the divergence report.
+func (c *Checker) describe(p int32) string {
+	if p == NoWriter {
+		return "initial memory"
+	}
+	if int(p) < c.x.tr.Len() {
+		return fmt.Sprintf("store #%d (pc %#x)", p, c.x.tr.Insts[p].PC)
+	}
+	return fmt.Sprintf("store #%d (out of trace!)", p)
+}
+
+// actualValue reconstructs the value the pipeline actually retired from its
+// captured providers: bytes whose provider matches the oracle read the
+// current image; initial-memory bytes read the deterministic pattern; stale
+// providers are looked up in the recent-store ring. Returns ok=false when a
+// provider fell out of the window (value then reported as unknown).
+func (c *Checker) actualValue(prov []int32, in *isa.Inst) (uint64, bool) {
+	var v uint64
+	ok := true
+	for i := 0; i < int(in.Size); i++ {
+		a := in.Addr + uint64(i)
+		var b byte
+		switch p := prov[i]; {
+		case p == c.x.WriterOf(a):
+			b = c.x.MemByte(a)
+		case p == NoWriter:
+			b = InitByte(a)
+		default:
+			rb, found := c.recentByte(p, a)
+			if !found {
+				ok = false
+				continue
+			}
+			b = rb
+		}
+		v ^= uint64(b) << (8 * (i % 8))
+	}
+	return v, ok
+}
+
+// recentByte finds the byte a recent store wrote at addr.
+func (c *Checker) recentByte(idx int32, addr uint64) (byte, bool) {
+	for i := len(c.recent) - 1; i >= 0; i-- {
+		r := c.recent[i]
+		if r.idx == idx {
+			if addr < r.addr || addr >= r.addr+uint64(r.size) {
+				return 0, false
+			}
+			return StoreByte(r.word, int(addr-r.addr)), true
+		}
+	}
+	return 0, false
+}
+
+// pushStore appends to the bounded recent-store ring.
+func (c *Checker) pushStore(r storeRec) {
+	if len(c.recent) < recentStores {
+		c.recent = append(c.recent, r)
+		return
+	}
+	c.recent[c.rpos] = r
+	c.rpos = (c.rpos + 1) % recentStores
+}
+
+// DivergenceError is the first point where the pipeline's retirement stream
+// departed from the in-order oracle: which cycle and micro-op, which byte,
+// and the expected versus actual provider and value. Reason is set for
+// stream-level failures (out-of-order retirement) instead of the byte
+// fields.
+type DivergenceError struct {
+	Cycle    uint64
+	TraceIdx int
+	PC       uint64
+	Op       string // human-readable micro-op
+	Reason   string // non-empty for stream-shape divergences
+
+	Byte             int   // first diverging byte offset within the load
+	Expected, Actual int32 // providers (trace indices, NoWriter = initial memory)
+	ExpVal, ActVal   uint64
+	ActKnown         bool   // ActVal reconstructed successfully
+	Detail           string // per-byte provider table
+}
+
+func (e *DivergenceError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("oracle divergence at cycle %d, micro-op #%d: %s", e.Cycle, e.TraceIdx, e.Reason)
+	}
+	act := fmt.Sprintf("%#x", e.ActVal)
+	if !e.ActKnown {
+		act = "unknown (provider outside the checker window)"
+	}
+	return fmt.Sprintf("oracle divergence at cycle %d, micro-op #%d (%s):\n"+
+		"  expected value %#x, pipeline retired %s\n%s",
+		e.Cycle, e.TraceIdx, e.Op, e.ExpVal, act, e.Detail)
+}

@@ -1,0 +1,206 @@
+package oracle_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/faultinject"
+	"repro/internal/oracle"
+	"repro/internal/pipeline"
+	"repro/internal/runcache"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The metamorphic property under test: a memory dependence predictor, a
+// cache geometry, a scheduler width, a violation filter or a watchdog
+// setting may change *when* micro-ops execute, but never *what* they
+// compute. Every configuration below must retire the exact architectural
+// results of the in-order oracle — one load-value digest per workload, no
+// matter how the timing model is twisted.
+
+const metaN = 20000
+
+// verifiedDigest runs one verified simulation and returns the checker's
+// architectural digest. Any divergence or incomplete retirement fails t.
+func verifiedDigest(t *testing.T, app, predSpec, machineName string, mod func(*pipeline.Options)) uint64 {
+	t.Helper()
+	tr, err := sim.TraceFor(app, metaN, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := config.ByName(machineName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := sim.NewPredictor(predSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := pipeline.DefaultOptions()
+	if mod != nil {
+		mod(&opt)
+	}
+	ck := oracle.NewChecker(tr)
+	opt.Verify = ck.Check
+	c, err := pipeline.New(machine, pred, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := c.Run(tr)
+	if err != nil {
+		t.Fatalf("%s/%s/%s: %v", app, predSpec, machineName, err)
+	}
+	if run.Committed != uint64(tr.Len()) || ck.Committed() != tr.Len() {
+		t.Fatalf("%s/%s/%s: committed %d, verified %d, want %d",
+			app, predSpec, machineName, run.Committed, ck.Committed(), tr.Len())
+	}
+	return ck.Digest()
+}
+
+func TestAllPredictorsRetireIdenticalResults(t *testing.T) {
+	preds := []string{"phast", "storesets", "storevector", "perceptron-mdp", "none", "unlimited-phast"}
+	for _, app := range []string{"511.povray", "519.lbm", "502.gcc_1", "541.leela"} {
+		tr, err := sim.TraceFor(app, metaN, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracle.Run(tr).Digest()
+		for _, pred := range preds {
+			if got := verifiedDigest(t, app, pred, "alderlake", nil); got != want {
+				t.Errorf("%s/%s: digest %#x, want oracle %#x", app, pred, got, want)
+			}
+		}
+	}
+}
+
+func TestResultsInvariantAcrossGeometryAndFilters(t *testing.T) {
+	const app = "511.povray"
+	tr, err := sim.TraceFor(app, metaN, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.Run(tr).Digest()
+	for _, machine := range []string{"nehalem", "skylake", "alderlake"} {
+		for _, filter := range []pipeline.FilterMode{pipeline.FilterFwd, pipeline.FilterNone, pipeline.FilterSVW} {
+			got := verifiedDigest(t, app, "phast", machine, func(o *pipeline.Options) { o.Filter = filter })
+			if got != want {
+				t.Errorf("%s filter %d: digest %#x, want %#x", machine, filter, got, want)
+			}
+		}
+	}
+}
+
+func TestResultsInvariantAcrossSchedulingKnobs(t *testing.T) {
+	const app = "541.leela"
+	tr, err := sim.TraceFor(app, metaN, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.Run(tr).Digest()
+	mods := map[string]func(*pipeline.Options){
+		"defaults":       nil,
+		"tight-watchdog": func(o *pipeline.Options) { o.WatchdogCycles = 50_000 },
+		"low-ceiling":    func(o *pipeline.Options) { o.MaxCycles = 5_000_000 },
+		"train-detect":   func(o *pipeline.Options) { o.TrainAtDetect = true },
+		"bimodal-bp":     func(o *pipeline.Options) { o.BranchPredictor = "bimodal" },
+	}
+	for name, mod := range mods {
+		if got := verifiedDigest(t, app, "storesets", "alderlake", mod); got != want {
+			t.Errorf("%s: digest %#x, want %#x", name, got, want)
+		}
+	}
+}
+
+func TestCachedAndUncachedVerifiedRunsAgree(t *testing.T) {
+	cfg := sim.Config{App: "519.lbm", Predictor: "phast", Instructions: metaN, Verify: true}
+	reg := stats.NewMetrics()
+	cache := runcache.New(runcache.NewStore(t.TempDir()), reg)
+	first, err := cache.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cache.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if string(a) != string(b) {
+		t.Errorf("cached replay differs from verified run:\n%s\nvs\n%s", a, b)
+	}
+	direct, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := json.Marshal(direct)
+	if string(a) != string(c) {
+		t.Errorf("uncached verified run differs from cached:\n%s\nvs\n%s", a, c)
+	}
+	// Verified and unverified runs are distinct cache entries, but a
+	// Verify:false config keys identically to one that predates the field
+	// (json omitempty) — existing persistent caches stay valid.
+	plain := cfg
+	plain.Verify = false
+	if runcache.Key(cfg) == runcache.Key(plain) {
+		t.Error("Verify does not separate cache keys")
+	}
+}
+
+// TestForwardingBugCaughtByOracle is the mutation test: with the injected
+// fwdflip fault suppressing the pipeline's violation detection, stale values
+// retire — invisibly without the oracle, as a first-divergence report with
+// it. This is the proof the verification has teeth.
+func TestForwardingBugCaughtByOracle(t *testing.T) {
+	cfg := sim.Config{App: "511.povray", Predictor: "phast", Instructions: metaN}
+
+	// The mutation only matters if this run truly has memory-order
+	// violations to mis-handle.
+	baseline, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.MemOrderViolations == 0 {
+		t.Fatalf("baseline has no violations — mutation test is vacuous")
+	}
+
+	plan, err := faultinject.NewPlan(1, map[faultinject.Fault]float64{faultinject.FaultFwdFlip: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Activate(plan)()
+
+	// Without the oracle the bug is silent: the run "succeeds" and even
+	// reports a clean violation counter.
+	silent, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatalf("mutated run without verification should pass silently, got %v", err)
+	}
+	if silent.MemOrderViolations != 0 {
+		t.Errorf("fwdflip left %d violations flagged, want 0 (fault not injected?)",
+			silent.MemOrderViolations)
+	}
+
+	// With the oracle it is a typed first-divergence report.
+	vcfg := cfg
+	vcfg.Verify = true
+	_, err = sim.Run(vcfg)
+	var se *sim.SimError
+	if !errors.As(err, &se) || se.Kind != sim.ErrVerify {
+		t.Fatalf("want SimError kind %q, got %v", sim.ErrVerify, err)
+	}
+	var dv *oracle.DivergenceError
+	if !errors.As(err, &dv) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if dv.Cycle == 0 || dv.Op == "" || dv.Detail == "" || dv.Expected == dv.Actual {
+		t.Errorf("divergence report incomplete: %+v", dv)
+	}
+	if se.Cycle != dv.Cycle {
+		t.Errorf("SimError cycle %d does not locate the divergence at %d", se.Cycle, dv.Cycle)
+	}
+	t.Logf("caught injected forwarding bug:\n%v", dv)
+}

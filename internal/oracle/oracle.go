@@ -1,0 +1,196 @@
+// Package oracle is the simulator's independent architectural reference:
+// a dead-simple in-order executor that replays a micro-op trace and
+// computes ground-truth architectural state — register file, byte-granular
+// memory image with per-byte last-writer provenance, and the committed
+// value of every load — plus a retirement-stream checker (checker.go) that
+// verifies an out-of-order pipeline run against it micro-op by micro-op.
+//
+// The timing model is "functional first, timing second": the trace fixes
+// addresses and control flow architecturally, and the pipeline only decides
+// *when* effects become visible. What speculation must preserve is *where
+// each loaded byte's value comes from* — the youngest earlier store writing
+// it, or initial memory. The oracle computes that in order, with no queues,
+// no speculation and no shared code with the pipeline, so a silent
+// forwarding or wakeup bug in the out-of-order model cannot also hide here.
+//
+// Because the trace carries no data values, the oracle defines the value
+// semantics: every dynamic store writes bytes derived from its data
+// register, PC and dynamic index (a per-store watermark, so distinct stores
+// virtually never write identical bytes), loads assemble the bytes they
+// cover, ALU results mix their operands, and untouched memory holds a
+// deterministic per-address pattern. Timing parameters (latencies, machine
+// geometry) never enter a value, which is exactly what makes architectural
+// state comparable across predictors, cache geometries and scheduler
+// widths.
+package oracle
+
+import (
+	"math/bits"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// NoWriter marks a byte still holding initial memory (never stored to).
+const NoWriter int32 = -1
+
+// mix3 is the oracle's 64-bit value mixer (splitmix64-style finalisation
+// over three lanes). It only needs to be deterministic and well spread.
+func mix3(a, b, c uint64) uint64 {
+	x := a*0x9E3779B97F4A7C15 ^ bits.RotateLeft64(b, 27)*0xBF58476D1CE4E5B9 ^
+		bits.RotateLeft64(c, 50)*0x94D049BB133111EB
+	x ^= x >> 31
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 29
+	return x
+}
+
+// InitByte is the deterministic content of never-written memory at addr.
+func InitByte(addr uint64) byte {
+	return byte(mix3(addr, 0xA5A5A5A5, 0) >> 56)
+}
+
+// StoreWord derives the 64-bit watermark a dynamic store writes from: its
+// data-register value, its PC, and its dynamic trace index. The index keeps
+// distinct dynamic stores from writing identical bytes even when their data
+// registers agree, so a wrong-provider divergence is visible in the values
+// too, not just the provenance.
+func StoreWord(data, pc uint64, traceIdx int) uint64 {
+	return mix3(data, pc, uint64(traceIdx)+1)
+}
+
+// StoreByte extracts the i-th stored byte of a store word (bytes beyond the
+// first eight rehash, so arbitrary Size stays defined).
+func StoreByte(word uint64, i int) byte {
+	if i < 8 {
+		return byte(word >> (8 * i))
+	}
+	return byte(mix3(word, uint64(i), 1) >> 56)
+}
+
+// foldPrime/foldOffset are FNV-1a constants for the load-value digest.
+const (
+	foldOffset uint64 = 14695981039346656037
+	foldPrime  uint64 = 1099511628211
+)
+
+func fold(d, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		d = (d ^ (v >> (8 * i) & 0xFF)) * foldPrime
+	}
+	return d
+}
+
+// Exec is the in-order reference executor over one trace. The zero value is
+// unusable; build with New.
+type Exec struct {
+	tr      *trace.Trace
+	regs    [isa.NumRegs]uint64
+	mem     map[uint64]byte  // byte-granular memory image (missing = InitByte)
+	writers map[uint64]int32 // per-byte youngest writer (trace index)
+	idx     int              // next micro-op to execute
+	loads   uint64
+	digest  uint64 // FNV-1a fold over (trace index, value) of every load
+}
+
+// New builds an executor positioned before the first micro-op.
+func New(tr *trace.Trace) *Exec {
+	return &Exec{
+		tr:      tr,
+		mem:     make(map[uint64]byte),
+		writers: make(map[uint64]int32),
+		digest:  foldOffset,
+	}
+}
+
+// Run executes the whole trace and returns the final architectural state.
+func Run(tr *trace.Trace) *Exec {
+	x := New(tr)
+	for x.idx < tr.Len() {
+		x.Step()
+	}
+	return x
+}
+
+// Pos returns the index of the next micro-op to execute (equivalently, the
+// number executed so far).
+func (x *Exec) Pos() int { return x.idx }
+
+// Done reports whether the whole trace has executed.
+func (x *Exec) Done() bool { return x.idx >= x.tr.Len() }
+
+// Reg returns an architectural register's current value (R0 is always 0).
+func (x *Exec) Reg(r isa.Reg) uint64 { return x.regs[r] }
+
+// MemByte returns the current architectural content of one memory byte.
+func (x *Exec) MemByte(addr uint64) byte {
+	if b, ok := x.mem[addr]; ok {
+		return b
+	}
+	return InitByte(addr)
+}
+
+// WriterOf returns the trace index of the youngest store so far to have
+// written addr, or NoWriter for initial memory.
+func (x *Exec) WriterOf(addr uint64) int32 {
+	if w, ok := x.writers[addr]; ok {
+		return w
+	}
+	return NoWriter
+}
+
+// Loads returns the number of loads executed so far.
+func (x *Exec) Loads() uint64 { return x.loads }
+
+// Digest returns the running fold over every executed load's (index, value)
+// pair — the architectural fingerprint two runs must share to have retired
+// identical results.
+func (x *Exec) Digest() uint64 { return x.digest }
+
+// ReadVal assembles the value a load of [addr, addr+size) would observe in
+// the current memory image (bytes XOR-fold into a little-endian word, so
+// sizes up to 8 read as plain little-endian assembly).
+func (x *Exec) ReadVal(addr uint64, size uint8) uint64 {
+	var v uint64
+	for i := 0; i < int(size); i++ {
+		v ^= uint64(x.MemByte(addr+uint64(i))) << (8 * (i % 8))
+	}
+	return v
+}
+
+// Step executes the next micro-op architecturally.
+func (x *Exec) Step() {
+	in := &x.tr.Insts[x.idx]
+	idx := x.idx
+	x.idx++
+	switch in.Kind {
+	case isa.Load:
+		v := x.ReadVal(in.Addr, in.Size)
+		x.setReg(in.Dst, v)
+		x.loads++
+		x.digest = fold(fold(x.digest, uint64(idx)), v)
+	case isa.Store:
+		w := StoreWord(x.regs[in.SrcB], in.PC, idx)
+		for i := 0; i < int(in.Size); i++ {
+			a := in.Addr + uint64(i)
+			x.mem[a] = StoreByte(w, i)
+			x.writers[a] = int32(idx)
+		}
+	default:
+		// Any other op with a destination (ALU results, branch link
+		// values, degenerate Nops with a Dst — the pipeline renames all of
+		// them) writes a pure mix of its identity and operands. Latency is
+		// deliberately excluded: timing must never enter a value.
+		if in.Dst != 0 {
+			x.setReg(in.Dst, mix3(in.PC^uint64(in.Kind)<<56, x.regs[in.SrcA], x.regs[in.SrcB]))
+		}
+	}
+}
+
+// setReg writes a destination register; R0 is the hard-wired none register
+// and discards writes.
+func (x *Exec) setReg(r isa.Reg, v uint64) {
+	if r != 0 {
+		x.regs[r] = v
+	}
+}

@@ -1,0 +1,202 @@
+package oracle_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/oracle"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// handTrace is a small hand-written stream with statically known dataflow:
+// two overlapping stores, a load covering both, and a load of untouched
+// memory.
+func handTrace() *trace.Trace {
+	return &trace.Trace{Name: "hand", Insts: []isa.Inst{
+		{PC: 0x1000, Kind: isa.ALU, Dst: 2, SrcA: 1, SrcB: 1, Lat: 1},
+		{PC: 0x1004, Kind: isa.Store, SrcA: 1, SrcB: 2, Addr: 0x100, Size: 8},
+		{PC: 0x1008, Kind: isa.Store, SrcA: 1, SrcB: 2, Addr: 0x104, Size: 4},
+		{PC: 0x100c, Kind: isa.Load, Dst: 3, SrcA: 1, Addr: 0x100, Size: 8},
+		{PC: 0x1010, Kind: isa.Load, Dst: 4, SrcA: 1, Addr: 0x200, Size: 4},
+	}}
+}
+
+func TestExecWriterTracking(t *testing.T) {
+	x := oracle.Run(handTrace())
+	for i := uint64(0); i < 4; i++ {
+		if w := x.WriterOf(0x100 + i); w != 1 {
+			t.Errorf("byte %#x: writer %d, want store #1", 0x100+i, w)
+		}
+		if w := x.WriterOf(0x104 + i); w != 2 {
+			t.Errorf("byte %#x: writer %d, want store #2", 0x104+i, w)
+		}
+	}
+	if w := x.WriterOf(0x200); w != oracle.NoWriter {
+		t.Errorf("untouched byte: writer %d, want NoWriter", w)
+	}
+	if got, want := x.MemByte(0x200), oracle.InitByte(0x200); got != want {
+		t.Errorf("untouched byte reads %#x, want InitByte %#x", got, want)
+	}
+	if x.Loads() != 2 {
+		t.Errorf("loads = %d, want 2", x.Loads())
+	}
+	if !x.Done() || x.Pos() != 5 {
+		t.Errorf("Pos/Done = %d/%v after full run", x.Pos(), x.Done())
+	}
+}
+
+func TestExecValueSemantics(t *testing.T) {
+	tr := handTrace()
+	x := oracle.Run(tr)
+	// The covering load must assemble exactly the bytes of the two store
+	// watermarks, little-endian.
+	data := oracle.Run(&trace.Trace{Insts: tr.Insts[:1]}).Reg(2)
+	w1 := oracle.StoreWord(data, 0x1004, 1)
+	w2 := oracle.StoreWord(data, 0x1008, 2)
+	var want uint64
+	for i := 0; i < 4; i++ {
+		want |= uint64(oracle.StoreByte(w1, i)) << (8 * i)
+		want |= uint64(oracle.StoreByte(w2, i)) << (8 * (i + 4))
+	}
+	if got := x.Reg(3); got != want {
+		t.Errorf("covering load value %#x, want %#x", got, want)
+	}
+	// Distinct dynamic stores with identical data and PC still write distinct
+	// watermarks (the trace index is mixed in).
+	if oracle.StoreWord(7, 0x1000, 3) == oracle.StoreWord(7, 0x1000, 4) {
+		t.Error("store watermark ignores the dynamic index")
+	}
+	// R0 is the hard-wired none register.
+	big := &trace.Trace{Insts: []isa.Inst{
+		{PC: 0x10, Kind: isa.ALU, Dst: 0, SrcA: 1, SrcB: 2, Lat: 1},
+	}}
+	if v := oracle.Run(big).Reg(0); v != 0 {
+		t.Errorf("R0 = %#x after write, want 0", v)
+	}
+}
+
+func TestExecDeterminism(t *testing.T) {
+	a, b := oracle.Run(handTrace()), oracle.Run(handTrace())
+	if a.Digest() != b.Digest() {
+		t.Errorf("digests differ: %#x vs %#x", a.Digest(), b.Digest())
+	}
+	if a.Digest() == 0 {
+		t.Error("digest is zero — fold not running")
+	}
+}
+
+// replayCorrect feeds the checker the event stream a correct pipeline would
+// produce, computing each load's providers from a shadow executor just
+// before it retires.
+func replayCorrect(t *testing.T, ck *oracle.Checker, tr *trace.Trace, mutate func(idx int, ev *pipeline.CommitEvent)) error {
+	t.Helper()
+	shadow := oracle.New(tr)
+	for i := range tr.Insts {
+		in := &tr.Insts[i]
+		ev := pipeline.CommitEvent{Cycle: uint64(i + 1), TraceIdx: i}
+		if in.Kind == isa.Load {
+			for b := uint64(0); b < uint64(in.Size); b++ {
+				ev.Providers = append(ev.Providers, shadow.WriterOf(in.Addr+b))
+			}
+		}
+		shadow.Step()
+		if mutate != nil {
+			mutate(i, &ev)
+		}
+		if err := ck.Check(&ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestCheckerAcceptsCorrectStream(t *testing.T) {
+	tr := handTrace()
+	ck := oracle.NewChecker(tr)
+	if err := replayCorrect(t, ck, tr, nil); err != nil {
+		t.Fatalf("correct stream rejected: %v", err)
+	}
+	if ck.Committed() != tr.Len() {
+		t.Errorf("committed %d, want %d", ck.Committed(), tr.Len())
+	}
+	if want := oracle.Run(tr).Digest(); ck.Digest() != want {
+		t.Errorf("checker digest %#x, want executor digest %#x", ck.Digest(), want)
+	}
+}
+
+func TestCheckerReportsWrongProvider(t *testing.T) {
+	tr := handTrace()
+	ck := oracle.NewChecker(tr)
+	err := replayCorrect(t, ck, tr, func(idx int, ev *pipeline.CommitEvent) {
+		if idx == 3 { // the covering load: pretend bytes 4..7 came from store #1
+			for b := 4; b < 8; b++ {
+				ev.Providers[b] = 1
+			}
+		}
+	})
+	var dv *oracle.DivergenceError
+	if !errors.As(err, &dv) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	if dv.TraceIdx != 3 || dv.Byte != 4 || dv.Expected != 2 || dv.Actual != 1 {
+		t.Errorf("divergence fields = idx %d byte %d exp %d act %d, want 3/4/2/1",
+			dv.TraceIdx, dv.Byte, dv.Expected, dv.Actual)
+	}
+	if !dv.ActKnown {
+		t.Error("actual value should reconstruct from the recent-store ring")
+	}
+	if dv.ActVal == dv.ExpVal {
+		t.Error("stale provider reconstructed to the expected value — watermarks not distinct")
+	}
+	msg := dv.Error()
+	for _, want := range []string{"cycle 4", "micro-op #3", "expected store #2", "pipeline used store #1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("report missing %q:\n%s", want, msg)
+		}
+	}
+	// The error is sticky: further events keep failing with the first report.
+	if err2 := ck.Check(&pipeline.CommitEvent{Cycle: 9, TraceIdx: 4}); err2 != err {
+		t.Errorf("sticky error violated: got %v", err2)
+	}
+	if ck.Err() != err {
+		t.Errorf("Err() = %v, want first divergence", ck.Err())
+	}
+}
+
+func TestCheckerRejectsOutOfOrderRetirement(t *testing.T) {
+	tr := handTrace()
+	ck := oracle.NewChecker(tr)
+	err := ck.Check(&pipeline.CommitEvent{Cycle: 1, TraceIdx: 2})
+	var dv *oracle.DivergenceError
+	if !errors.As(err, &dv) || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("want out-of-order DivergenceError, got %v", err)
+	}
+}
+
+func TestCheckerRejectsRetireAfterEnd(t *testing.T) {
+	tr := handTrace()
+	ck := oracle.NewChecker(tr)
+	if err := replayCorrect(t, ck, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := ck.Check(&pipeline.CommitEvent{Cycle: 99, TraceIdx: 5})
+	if err == nil || !strings.Contains(err.Error(), "trace completed") {
+		t.Fatalf("want after-end DivergenceError, got %v", err)
+	}
+}
+
+func TestCheckerRejectsShortProviderCapture(t *testing.T) {
+	tr := handTrace()
+	ck := oracle.NewChecker(tr)
+	err := replayCorrect(t, ck, tr, func(idx int, ev *pipeline.CommitEvent) {
+		if idx == 3 {
+			ev.Providers = ev.Providers[:2]
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "provider bytes") {
+		t.Fatalf("want short-capture DivergenceError, got %v", err)
+	}
+}

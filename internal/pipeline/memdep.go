@@ -157,7 +157,7 @@ func (c *Core) tryLoad(e *robEntry) bool {
 			}
 			if st.inst.Covers(in.Addr, in.Size) {
 				if c.storeDone(st) {
-					c.issueLoadForward(e, st.seq)
+					c.issueLoadForward(e, st.seq, st.traceIdx)
 					c.recordSVW(e, st.storeIndex, true)
 					c.noteLoadExecuted(e)
 					return true
@@ -179,7 +179,7 @@ func (c *Core) tryLoad(e *robEntry) bool {
 				continue
 			}
 			if sb.addr <= in.Addr && in.Addr+uint64(in.Size) <= sb.addr+uint64(sb.size) {
-				c.issueLoadForward(e, sb.seq)
+				c.issueLoadForward(e, sb.seq, sb.traceIdx)
 				c.recordSVW(e, sb.storeIndex, true)
 				c.noteLoadExecuted(e)
 				return true
@@ -190,6 +190,9 @@ func (c *Core) tryLoad(e *robEntry) bool {
 		}
 	}
 	// No overlapping store visible: access the cache hierarchy.
+	if c.vprov != nil {
+		c.captureMemRead(e)
+	}
 	c.run.IssuedUops++
 	e.state = stIssued
 	e.executed = true
@@ -223,8 +226,12 @@ func (c *Core) noteLoadExecuted(e *robEntry) {
 
 // issueLoadForward completes a load through store-to-load forwarding. The
 // LQ and SB are searched associatively in parallel with the L1D access, so
-// forwarding costs the L1D hit latency (Table I).
-func (c *Core) issueLoadForward(e *robEntry, fromSeq uint64) {
+// forwarding costs the L1D hit latency (Table I). fromTraceIdx is the
+// forwarding store's dynamic trace index (verification provenance).
+func (c *Core) issueLoadForward(e *robEntry, fromSeq uint64, fromTraceIdx int) {
+	if c.vprov != nil {
+		c.captureForward(e, fromTraceIdx)
+	}
 	c.run.IssuedUops++
 	e.state = stIssued
 	e.executed = true
@@ -287,6 +294,13 @@ func (c *Core) resolveStore(st *robEntry) {
 		}
 		if c.opt.Filter == FilterFwd && ld.fwdFrom > st.seq {
 			continue // got the value from a younger store: correct
+		}
+		if c.fiFwdFlip {
+			// Injected forwarding bug (faultinject.FaultFwdFlip): the filter
+			// condition is flipped, wrongly concluding this load already has
+			// the store's value, so no violation is ever flagged and the
+			// stale value retires. The verification oracle must catch it.
+			continue
 		}
 		if !ld.violated || st.seq > ld.violStore.Seq {
 			ld.violated = true

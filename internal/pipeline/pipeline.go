@@ -26,9 +26,9 @@ import (
 	"fmt"
 
 	"repro/internal/bpred"
-	"repro/internal/faultinject"
 	"repro/internal/cache"
 	"repro/internal/config"
+	"repro/internal/faultinject"
 	"repro/internal/histutil"
 	"repro/internal/isa"
 	"repro/internal/mdp"
@@ -60,6 +60,13 @@ type Options struct {
 	// longest legitimate commit stall, a DRAM-latency chain). The check is
 	// quantised to watchdogPeriod cycles.
 	WatchdogCycles uint64
+	// Verify, when non-nil, receives every retiring micro-op (see
+	// CommitEvent in verify.go) so an external oracle can check the
+	// architectural retirement stream; a non-nil return aborts the run with
+	// that error. Nil (the default) costs the hot path nothing. Options
+	// with a Verify callback are not comparable — pool cores by
+	// Options.Key() instead.
+	Verify CommitCheck
 }
 
 // DefaultOptions returns the options every headline experiment uses.
@@ -277,12 +284,28 @@ type Core struct {
 
 	nextCommitIdx int // invariant: commits follow trace order
 
+	// Verification state, allocated only when opt.Verify != nil (see
+	// verify.go): per-ROB-slot provider captures, the per-byte last-drained-
+	// store map, the reused commit event, and the first checker error.
+	vprov     [][]int32
+	vdrained  map[uint64]int32
+	vev       CommitEvent
+	verifyErr error
+
+	// fiFwdFlip is the per-run fault-injection decision for
+	// faultinject.FaultFwdFlip: the §IV-A1 forwarding-filter condition is
+	// flipped so every conflicting load is wrongly deemed already-correct
+	// (no violation is ever flagged). Exists to prove the verification
+	// oracle detects a silent forwarding bug.
+	fiFwdFlip bool
+
 	run stats.Run
 }
 
 type sbEntry struct {
 	seq        uint64
 	storeIndex uint64
+	traceIdx   int // dynamic trace index (forwarding provenance for verify)
 	addr       uint64
 	size       uint8
 	drainedAt  uint64
@@ -338,6 +361,10 @@ func New(cfg config.Machine, pred mdp.Predictor, opt Options) (*Core, error) {
 		// largest in-flight load population with headroom.
 		c.svw = newSSBF(1024, 2)
 		c.storeRing = make([]committedStore, 4096)
+	}
+	if opt.Verify != nil {
+		c.vprov = make([][]int32, len(c.rob))
+		c.vdrained = make(map[uint64]int32)
 	}
 	if err := c.bindFrontEnd(pred); err != nil {
 		return nil, err
@@ -396,6 +423,16 @@ func (c *Core) Reset(pred mdp.Predictor) error {
 			c.storeRing[i] = committedStore{}
 		}
 	}
+	if c.opt.Verify != nil {
+		// The callback (and any oracle behind it) carries over; callers
+		// resetting a verified core must bind a checker for the new trace
+		// themselves. sim never pools verify-enabled cores.
+		clear(c.vdrained)
+		for i := range c.vprov {
+			c.vprov[i] = c.vprov[i][:0]
+		}
+	}
+	c.verifyErr = nil
 	c.committedStores = 0
 	c.cycle = 0
 	c.memEpoch = 0
@@ -526,6 +563,7 @@ func (c *Core) RunContext(ctx context.Context, tr *trace.Trace) (*stats.Run, err
 	// Fault injection decides per run, before the loop, whether and when to
 	// misbehave — the steady state pays two integer compares per cycle.
 	var fiPanicAt, fiStallAt uint64
+	c.fiFwdFlip = false
 	if p := faultinject.Active(); p != nil {
 		key := tr.Name + "/" + c.cfg.Name + "/" + c.pred.Name()
 		if p.Should(faultinject.FaultPanic, key) {
@@ -534,7 +572,9 @@ func (c *Core) RunContext(ctx context.Context, tr *trace.Trace) (*stats.Run, err
 		if p.Should(faultinject.FaultStall, key) {
 			fiStallAt = 1 + p.Point(faultinject.FaultStall, key, faultHorizon)
 		}
+		c.fiFwdFlip = p.Should(faultinject.FaultFwdFlip, key)
 	}
+	c.verifyErr = nil
 	lastCommitted := c.run.Committed
 	lastProgress := c.cycle
 	for c.nextCommitIdx < n {
@@ -554,6 +594,9 @@ func (c *Core) RunContext(ctx context.Context, tr *trace.Trace) (*stats.Run, err
 			c.drainStoreBuffer()
 			c.issueStage()
 			c.fetchStage()
+		}
+		if c.verifyErr != nil {
+			return nil, c.verifyErr
 		}
 		c.run.ROBOccupancySum += c.tailSeq - c.headSeq
 		c.run.SQOccupancySum += uint64(c.sqLen)

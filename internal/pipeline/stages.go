@@ -308,7 +308,7 @@ func (c *Core) commitStage() {
 			if c.sbLen >= c.cfg.SQ {
 				return // store buffer full: commit stalls
 			}
-			c.sbPush(sbEntry{seq: e.seq, storeIndex: e.storeIndex, addr: in.Addr, size: in.Size})
+			c.sbPush(sbEntry{seq: e.seq, storeIndex: e.storeIndex, traceIdx: e.traceIdx, addr: in.Addr, size: in.Size})
 			c.sbLines.add(in.Addr, in.Size)
 			c.noteCommittedStore(e)
 			c.pred.StoreCommit(mdp.StoreInfo{
@@ -327,6 +327,12 @@ func (c *Core) commitStage() {
 		}
 		if in.Divergent() {
 			c.commitHist.Push(trace.EntryOf(in))
+		}
+		if c.opt.Verify != nil {
+			if err := c.verifyCommit(e); err != nil {
+				c.verifyErr = err
+				return
+			}
 		}
 		c.run.Committed++
 		c.nextCommitIdx++
@@ -488,6 +494,9 @@ func (c *Core) drainStoreBuffer() {
 		e := c.sbAt(0)
 		if !e.drainStart || c.cycle < e.drainedAt {
 			break
+		}
+		if c.vdrained != nil {
+			c.noteDrained(e)
 		}
 		c.sbLines.remove(e.addr, e.size)
 		c.sbHead = (c.sbHead + 1) & c.sbMask

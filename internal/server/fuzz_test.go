@@ -1,0 +1,68 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzWireDecode posts arbitrary bytes at the two run endpoints: whatever
+// the body, the server must answer with a known status, a JSON body, and —
+// on failures — the ErrorBody wire shape. Request decoding must never
+// panic the handler or leak a non-JSON error page.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte(`{"config":{"App":"511.povray","Predictor":"phast"}}`), false)
+	f.Add([]byte(`{"config":{"App":"511.povray","Verify":true},"timeout_ms":5000}`), false)
+	f.Add([]byte(`{"configs":[{"App":"a"},{"App":"b"}]}`), true)
+	f.Add([]byte(`{"configs":[]}`), true)
+	f.Add([]byte(`{`), false)
+	f.Add([]byte(`[1,2,3]`), true)
+	f.Add([]byte(``), false)
+	f.Add([]byte(`{"config":{"Instructions":-5},"timeout_ms":-1}`), false)
+
+	srv := New(&fakeBackend{}, Options{MaxInflight: 2})
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(ts.Close)
+
+	valid := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusBadRequest:          true,
+		http.StatusTooManyRequests:     true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      true,
+		http.StatusInternalServerError: true,
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte, batch bool) {
+		url := ts.URL + "/v1/runs"
+		if batch {
+			url = ts.URL + "/v1/batch"
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !valid[resp.StatusCode] {
+			t.Fatalf("unexpected status %d for body %q", resp.StatusCode, body)
+		}
+		if !json.Valid(out) {
+			t.Fatalf("status %d: response is not JSON: %q", resp.StatusCode, out)
+		}
+		if resp.StatusCode != http.StatusOK && !batch {
+			var eb struct {
+				Error ErrorBody `json:"error"`
+			}
+			if json.Unmarshal(out, &eb) != nil || eb.Error.Kind == "" {
+				t.Fatalf("status %d: error body off the wire shape: %q", resp.StatusCode, out)
+			}
+		}
+	})
+}

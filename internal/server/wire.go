@@ -93,6 +93,10 @@ func errorBody(err error) (int, ErrorBody) {
 		// The client went away or the daemon is being torn down; 503 tells a
 		// retrying proxy the request may succeed elsewhere/later.
 		return http.StatusServiceUnavailable, body
+	case sim.ErrVerify:
+		// An architectural divergence on a Verify run is a simulator defect,
+		// not a client mistake: surface it like any other internal failure.
+		return http.StatusInternalServerError, body
 	default: // panic, deadlock, internal
 		return http.StatusInternalServerError, body
 	}

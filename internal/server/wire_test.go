@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestErrorBodyStatusMapping pins the error-kind → HTTP-status contract:
+// load balancers retry on it, clients branch on it, dashboards group by it.
+func TestErrorBodyStatusMapping(t *testing.T) {
+	simErr := func(kind sim.ErrorKind) error {
+		return &sim.SimError{Kind: kind, Config: sim.Config{App: "x"}, Err: errors.New("boom")}
+	}
+	cases := []struct {
+		name       string
+		err        error
+		wantStatus int
+		wantKind   string
+	}{
+		{"config", simErr(sim.ErrConfig), http.StatusBadRequest, "config"},
+		{"timeout", simErr(sim.ErrTimeout), http.StatusGatewayTimeout, "timeout"},
+		{"cancelled", simErr(sim.ErrCancelled), http.StatusServiceUnavailable, "cancelled"},
+		{"panic", simErr(sim.ErrPanic), http.StatusInternalServerError, "panic"},
+		{"deadlock", simErr(sim.ErrDeadlock), http.StatusInternalServerError, "deadlock"},
+		{"internal", simErr(sim.ErrInternal), http.StatusInternalServerError, "internal"},
+		{"verify", simErr(sim.ErrVerify), http.StatusInternalServerError, "verify"},
+		{"rejected", ErrRejected, http.StatusTooManyRequests, KindRejected},
+		{"rejected-wrapped", fmt.Errorf("queue: %w", ErrRejected), http.StatusTooManyRequests, KindRejected},
+		{"draining", ErrDraining, http.StatusServiceUnavailable, KindDraining},
+		{"bare-deadline", context.DeadlineExceeded, http.StatusGatewayTimeout, "timeout"},
+		{"bare-cancel", context.Canceled, http.StatusServiceUnavailable, "cancelled"},
+		{"untyped", errors.New("mystery"), http.StatusInternalServerError, "internal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := errorBody(tc.err)
+			if status != tc.wantStatus {
+				t.Errorf("status = %d, want %d", status, tc.wantStatus)
+			}
+			if body.Kind != tc.wantKind {
+				t.Errorf("kind = %q, want %q", body.Kind, tc.wantKind)
+			}
+			if body.Message == "" {
+				t.Error("empty message")
+			}
+		})
+	}
+}
+
+// TestWriteErrorRetryAfter: backpressure responses (429) and drain/cancel
+// responses (503) must carry the Retry-After hint; everything else must not.
+func TestWriteErrorRetryAfter(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string // Retry-After header value, "" = absent
+	}{
+		{ErrRejected, retryAfter},
+		{ErrDraining, retryAfter},
+		{&sim.SimError{Kind: sim.ErrCancelled, Err: context.Canceled}, retryAfter},
+		{&sim.SimError{Kind: sim.ErrConfig, Err: errors.New("bad")}, ""},
+		{&sim.SimError{Kind: sim.ErrTimeout, Err: context.DeadlineExceeded}, ""},
+		{&sim.SimError{Kind: sim.ErrVerify, Err: errors.New("diverged")}, ""},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, tc.err)
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("%v: Retry-After = %q, want %q", tc.err, got, tc.want)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%v: Content-Type = %q", tc.err, ct)
+		}
+	}
+}
+
+func TestTimeoutOfClamping(t *testing.T) {
+	const (
+		def = 2 * time.Minute
+		max = 10 * time.Minute
+	)
+	cases := []struct {
+		ms   int64
+		want time.Duration
+	}{
+		{0, def},                             // unset → default
+		{-50, def},                           // negative → default
+		{5_000, 5 * time.Second},             // in range → honoured
+		{3_600_000, max},                     // over the cap → clamped
+		{int64(max / time.Millisecond), max}, // exactly the cap
+	}
+	for _, tc := range cases {
+		if got := timeoutOf(tc.ms, def, max); got != tc.want {
+			t.Errorf("timeoutOf(%d) = %v, want %v", tc.ms, got, tc.want)
+		}
+	}
+	// Uncapped server (max 0): client values pass through, zero stays default.
+	if got := timeoutOf(0, 0, 0); got != 0 {
+		t.Errorf("timeoutOf(0,0,0) = %v, want 0 (deadline-free)", got)
+	}
+	if got := timeoutOf(1_000, def, 0); got != time.Second {
+		t.Errorf("uncapped timeoutOf(1000) = %v, want 1s", got)
+	}
+}

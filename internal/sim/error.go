@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/oracle"
 	"repro/internal/pipeline"
 )
 
@@ -28,6 +29,9 @@ const (
 	// ErrConfig is a run that never started: unknown app, machine or
 	// predictor spec, invalid machine parameters.
 	ErrConfig ErrorKind = "config"
+	// ErrVerify is a run whose retirement stream diverged from the in-order
+	// architectural oracle (Config.Verify; see oracle.DivergenceError).
+	ErrVerify ErrorKind = "verify"
 	// ErrInternal is any other simulator failure.
 	ErrInternal ErrorKind = "internal"
 )
@@ -83,6 +87,10 @@ func wrapError(cfg Config, err error) *SimError {
 	var de *pipeline.DeadlockError
 	if errors.As(err, &de) {
 		return &SimError{Kind: ErrDeadlock, Config: cfg, Cycle: de.Cycle, Err: err}
+	}
+	var dv *oracle.DivergenceError
+	if errors.As(err, &dv) {
+		return &SimError{Kind: ErrVerify, Config: cfg, Cycle: dv.Cycle, Err: err}
 	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):

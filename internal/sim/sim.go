@@ -15,6 +15,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/mdp"
+	"repro/internal/oracle"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -43,6 +44,11 @@ type Config struct {
 	TrainAtDetect bool
 	// BranchPredictor overrides the direction predictor (default tagescl).
 	BranchPredictor string
+	// Verify runs the in-order architectural oracle (internal/oracle) in
+	// lockstep with retirement and fails the run on the first divergence.
+	// Verified runs bypass the core pool. The json tag omits the field when
+	// false so existing persistent run-cache keys stay valid.
+	Verify bool `json:"Verify,omitempty"`
 }
 
 // DefaultInstructions is the per-run stream length used when Config leaves
@@ -276,7 +282,7 @@ var corePool = struct {
 
 type coreKey struct {
 	machine config.Machine
-	opt     pipeline.Options
+	opt     pipeline.OptionsKey // Options carries a func field; pool by its comparable key
 }
 
 // corePoolCap bounds idle cores kept per key: enough for every worker of a
@@ -286,7 +292,7 @@ const corePoolCap = 32
 
 var coreReuses atomic.Uint64
 
-func getCore(key coreKey, pred mdp.Predictor) (*pipeline.Core, error) {
+func getCore(key coreKey, opt pipeline.Options, pred mdp.Predictor) (*pipeline.Core, error) {
 	corePool.Lock()
 	stack := corePool.m[key]
 	var c *pipeline.Core
@@ -296,7 +302,7 @@ func getCore(key coreKey, pred mdp.Predictor) (*pipeline.Core, error) {
 	}
 	corePool.Unlock()
 	if c == nil {
-		return pipeline.New(key.machine, pred, key.opt)
+		return pipeline.New(key.machine, pred, opt)
 	}
 	if err := c.Reset(pred); err != nil {
 		return nil, err
@@ -372,8 +378,17 @@ func RunContext(ctx context.Context, cfg Config) (run *stats.Run, err error) {
 	if err != nil {
 		return nil, &SimError{Kind: ErrConfig, Config: cfg, Err: err}
 	}
-	key := coreKey{machine: machine, opt: pipelineOptions(cfg)}
-	c, err := getCore(key, pred)
+	opt := pipelineOptions(cfg)
+	if cfg.Verify {
+		run, rerr := runVerified(ctx, machine, pred, opt, tr)
+		if rerr != nil {
+			return nil, wrapError(cfg, rerr)
+		}
+		run.Predictor = cfg.Predictor
+		return run, nil
+	}
+	key := coreKey{machine: machine, opt: opt.Key()}
+	c, err := getCore(key, opt, pred)
 	if err != nil {
 		return nil, &SimError{Kind: ErrConfig, Config: cfg, Err: err}
 	}
@@ -384,6 +399,27 @@ func RunContext(ctx context.Context, cfg Config) (run *stats.Run, err error) {
 	}
 	putCore(key, c)
 	run.Predictor = cfg.Predictor
+	return run, nil
+}
+
+// runVerified executes one simulation with the architectural oracle checking
+// the retirement stream. The core is always fresh and never pooled: its
+// Verify callback closes over run-local checker state.
+func runVerified(ctx context.Context, machine config.Machine, pred mdp.Predictor, opt pipeline.Options, tr *trace.Trace) (*stats.Run, error) {
+	ck := oracle.NewChecker(tr)
+	opt.Verify = ck.Check
+	c, err := pipeline.New(machine, pred, opt)
+	if err != nil {
+		return nil, err
+	}
+	run, err := c.RunContext(ctx, tr)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := ck.Committed(), tr.Len(); got != want {
+		return nil, &oracle.DivergenceError{Cycle: run.Cycles, TraceIdx: got,
+			Reason: fmt.Sprintf("run finished but only %d of %d micro-ops were verified", got, want)}
+	}
 	return run, nil
 }
 
@@ -402,7 +438,13 @@ func RunCore(cfg Config) (run *stats.Run, core *pipeline.Core, err error) {
 	if err != nil {
 		return nil, nil, &SimError{Kind: ErrConfig, Config: cfg, Err: err}
 	}
-	c, err := pipeline.New(machine, pred, pipelineOptions(cfg))
+	opt := pipelineOptions(cfg)
+	var ck *oracle.Checker
+	if cfg.Verify {
+		ck = oracle.NewChecker(tr)
+		opt.Verify = ck.Check
+	}
+	c, err := pipeline.New(machine, pred, opt)
 	if err != nil {
 		return nil, nil, &SimError{Kind: ErrConfig, Config: cfg, Err: err}
 	}
