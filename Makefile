@@ -73,12 +73,19 @@ bench-smoke:
 # Re-measure simulator throughput and gate it against the committed
 # BENCH.json (>10% uops/s regression fails).
 benchdiff:
-	go test -run '^$$' -bench=SimulatorThroughput -benchtime=5x -benchmem . \
+	go test -run '^$$' -bench='SimulatorThroughput|IntervalParallel|SharedTraceSweep' \
+		-benchtime=5x -benchmem . \
 		| go run ./cmd/benchreg -o $(or $(TMPDIR),/tmp)/bench_head.json \
 			-sha $(BENCH_SHA) -date $(BENCH_DATE)
 	go run ./cmd/benchreg -compare -old BENCH.json \
 		-new $(or $(TMPDIR),/tmp)/bench_head.json \
 		-bench SimulatorThroughput -max-regress 0.10
+	go run ./cmd/benchreg -compare -old BENCH.json \
+		-new $(or $(TMPDIR),/tmp)/bench_head.json \
+		-bench IntervalParallel -max-regress 0.25
+	go run ./cmd/benchreg -compare -old BENCH.json \
+		-new $(or $(TMPDIR),/tmp)/bench_head.json \
+		-bench SharedTraceSweep -max-regress 0.25
 
 # Regenerate every figure and table into results/ (~30-45 min on one core).
 figures:

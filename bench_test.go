@@ -18,9 +18,11 @@ import (
 	"flag"
 	"io"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -100,6 +102,65 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.SetBytes(int64(res.Committed)) // "bytes" = committed micro-ops
+	}
+}
+
+// BenchmarkIntervalParallel measures interval-parallel simulation speed on
+// the same workload as BenchmarkSimulatorThroughput: the stream is cut into
+// min(8, NumCPU) oracle-gated intervals (at least 2) simulated concurrently
+// and stitched (internal/parsim). On a host with 4+ cores the uops/s row
+// should reach an integer factor of the sequential SimulatorThroughput row;
+// on one core it prices the checkpoint-pass and warm-up overhead instead.
+func BenchmarkIntervalParallel(b *testing.B) {
+	intervals := runtime.NumCPU()
+	if intervals > 8 {
+		intervals = 8
+	}
+	if intervals < 2 {
+		intervals = 2
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(Config{
+			App: "511.povray", Predictor: "phast", Instructions: *benchInstrs,
+			Intervals: intervals,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(res.Committed)) // "bytes" = committed micro-ops
+	}
+}
+
+// BenchmarkSharedTraceSweep measures multi-config batch throughput over one
+// workload: eight predictor configs driven from one shared interned trace
+// (decoded once, prefix structures prebuilt — see Runner.prewarmTraces).
+// Throughput is total committed micro-ops per second across the batch.
+func BenchmarkSharedTraceSweep(b *testing.B) {
+	preds := []string{
+		"phast", "storesets", "nosq", "mdptage",
+		"mdptage-s", "storevector", "cht", "none",
+	}
+	cfgs := make([]sim.Config, len(preds))
+	for i, p := range preds {
+		cfgs[i] = sim.Config{App: "511.povray", Predictor: p, Instructions: *benchInstrs}
+	}
+	for i := 0; i < b.N; i++ {
+		// A fresh runner per iteration: the run cache must not memoise
+		// across iterations (the shared trace intern is the point, and it
+		// is process-wide by design).
+		r := experiments.NewRunner(experiments.Options{
+			Apps: []string{"511.povray"}, Instructions: *benchInstrs,
+		})
+		runs, err := r.RunConfigs(cfgs)
+		r.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total uint64
+		for _, run := range runs {
+			total += run.Committed
+		}
+		b.SetBytes(int64(total))
 	}
 }
 

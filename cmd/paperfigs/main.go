@@ -39,18 +39,19 @@ func fatal(v ...any) {
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "experiment to run (fig1..fig16, table1, table2, mix, all)")
-		n          = flag.Int("n", sim.DefaultInstructions, "instructions per run")
-		apps       = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
-		workers    = flag.Int("workers", 0, "parallel runs (default: min(8, NumCPU))")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		cacheDir   = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
-		metrics    = flag.Bool("metrics", false, "print cache, simulation, trace-intern and core-pool metrics to stderr at exit")
-		timeout    = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = none); a run past it fails with a timeout error")
-		keepGoing  = flag.Bool("keep-going", false, "keep running after failures: failed runs become failure-log rows instead of aborting the batch")
-		faults     = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.01,diskwrite=0.1,seed=7\" (default $PHAST_FAULTS)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		fig          = flag.String("fig", "all", "experiment to run (fig1..fig16, table1, table2, mix, all)")
+		n            = flag.Int("n", sim.DefaultInstructions, "instructions per run")
+		apps         = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
+		workers      = flag.Int("workers", 0, "parallel runs (default: min(8, NumCPU))")
+		parIntervals = flag.Int("parallel-intervals", 0, "split each simulation into this many concurrently-simulated, oracle-gated intervals (<=1 = sequential; see EXPERIMENTS.md)")
+		list         = flag.Bool("list", false, "list experiments and exit")
+		cacheDir     = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
+		metrics      = flag.Bool("metrics", false, "print cache, simulation, trace-intern and core-pool metrics to stderr at exit")
+		timeout      = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = none); a run past it fails with a timeout error")
+		keepGoing    = flag.Bool("keep-going", false, "keep running after failures: failed runs become failure-log rows instead of aborting the batch")
+		faults       = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.01,diskwrite=0.1,seed=7\" (default $PHAST_FAULTS)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -80,7 +81,7 @@ func main() {
 
 	opt := experiments.Options{
 		Instructions: *n, Out: os.Stdout, Workers: *workers, CacheDir: *cacheDir,
-		Context: ctx, RunTimeout: *timeout, KeepGoing: *keepGoing,
+		Context: ctx, RunTimeout: *timeout, KeepGoing: *keepGoing, Intervals: *parIntervals,
 	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")

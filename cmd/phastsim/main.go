@@ -37,26 +37,28 @@ func fatal(v ...any) {
 
 func main() {
 	var (
-		app        = flag.String("app", "511.povray", "workload name (see -list)")
-		predictor  = flag.String("predictor", "phast", "predictor spec (phast, storesets, nosq, mdptage, mdptage-s, ideal, none, unlimited-phast, ...)")
-		machine    = flag.String("machine", "alderlake", "machine configuration")
-		n          = flag.Int("n", sim.DefaultInstructions, "instructions to simulate")
-		seed       = flag.Int64("seed", 0, "stream seed override (0 = app default)")
-		noFwd      = flag.Bool("no-fwd-filter", false, "disable the §IV-A1 forwarding filter")
-		verify     = flag.Bool("verify", false, "check retirement against the in-order architectural oracle (slower; fails on first divergence)")
-		bp         = flag.String("bp", "tagescl", "branch predictor (bimodal, gshare, perceptron, tage, tagescl)")
-		list       = flag.Bool("list", false, "list apps, machines and predictors, then exit")
-		vsIdeal    = flag.Bool("vs-ideal", false, "also run the ideal predictor and report the gap")
-		saveTrace  = flag.String("save-trace", "", "write the generated stream to this file and exit")
-		loadTrace  = flag.String("load-trace", "", "replay a stream saved with -save-trace instead of generating one")
-		simpoints  = flag.Int("simpoints", 0, "simulate k representative intervals instead of the whole stream (SimPoint-style)")
-		interval   = flag.Int("interval", 50000, "interval length for -simpoints")
-		cacheDir   = flag.String("cache", "", "persistent run-cache directory (empty = always simulate)")
-		metrics    = flag.Bool("metrics", false, "print cache/simulation metrics to stderr at exit")
-		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the simulation (0 = none)")
-		faults     = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.1,seed=7\" (default $PHAST_FAULTS)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		app          = flag.String("app", "511.povray", "workload name (see -list)")
+		predictor    = flag.String("predictor", "phast", "predictor spec (phast, storesets, nosq, mdptage, mdptage-s, ideal, none, unlimited-phast, ...)")
+		machine      = flag.String("machine", "alderlake", "machine configuration")
+		n            = flag.Int("n", sim.DefaultInstructions, "instructions to simulate")
+		seed         = flag.Int64("seed", 0, "stream seed override (0 = app default)")
+		noFwd        = flag.Bool("no-fwd-filter", false, "disable the §IV-A1 forwarding filter")
+		verify       = flag.Bool("verify", false, "check retirement against the in-order architectural oracle (slower; fails on first divergence)")
+		bp           = flag.String("bp", "tagescl", "branch predictor (bimodal, gshare, perceptron, tage, tagescl)")
+		list         = flag.Bool("list", false, "list apps, machines and predictors, then exit")
+		vsIdeal      = flag.Bool("vs-ideal", false, "also run the ideal predictor and report the gap")
+		saveTrace    = flag.String("save-trace", "", "write the generated stream to this file and exit")
+		loadTrace    = flag.String("load-trace", "", "replay a stream saved with -save-trace instead of generating one")
+		simpoints    = flag.Int("simpoints", 0, "simulate k representative intervals instead of the whole stream (SimPoint-style)")
+		interval     = flag.Int("interval", 50000, "interval length for -simpoints")
+		parIntervals = flag.Int("parallel-intervals", 0, "split the run into this many concurrently-simulated intervals, warmed from oracle checkpoints and stitched under the oracle digest gate (<=1 = sequential)")
+		parWarmup    = flag.Int("interval-warmup", 0, "functional warm-up micro-ops per interval for -parallel-intervals (0 = default, negative = none)")
+		cacheDir     = flag.String("cache", "", "persistent run-cache directory (empty = always simulate)")
+		metrics      = flag.Bool("metrics", false, "print cache/simulation metrics to stderr at exit")
+		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the simulation (0 = none)")
+		faults       = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.1,seed=7\" (default $PHAST_FAULTS)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -115,7 +117,7 @@ func main() {
 	cfg := sim.Config{
 		App: *app, Machine: *machine, Predictor: *predictor,
 		Instructions: *n, Seed: *seed, FwdFilterOff: *noFwd, BranchPredictor: *bp,
-		Verify: *verify,
+		Verify: *verify, Intervals: *parIntervals, IntervalWarmup: *parWarmup,
 	}
 
 	if *saveTrace != "" {
@@ -155,6 +157,10 @@ func main() {
 		fatal(err)
 	}
 	printRun(run)
+	if run.OracleDigest != 0 {
+		fmt.Printf("stitched %d intervals: oracle digest %#016x matches the sequential in-order execution\n",
+			cfg.Normalized().Intervals, run.OracleDigest)
+	}
 	if *verify {
 		fmt.Printf("verified: %d micro-ops retired with oracle-identical architectural results\n", run.Committed)
 	}

@@ -36,17 +36,18 @@ func fatal(v ...any) {
 
 func main() {
 	var (
-		kind       = flag.String("kind", "budget", "sweep kind: budget, history, machine, window")
-		n          = flag.Int("n", sim.DefaultInstructions, "instructions per run")
-		apps       = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
-		predictor  = flag.String("predictor", "phast", "predictor for the machine sweep")
-		workers    = flag.Int("workers", 0, "parallel runs")
-		cacheDir   = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
-		metrics    = flag.Bool("metrics", false, "print cache, simulation, trace-intern and core-pool metrics to stderr at exit")
-		timeout    = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = none)")
-		faults     = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing (default $PHAST_FAULTS)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		kind         = flag.String("kind", "budget", "sweep kind: budget, history, machine, window")
+		n            = flag.Int("n", sim.DefaultInstructions, "instructions per run")
+		apps         = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
+		predictor    = flag.String("predictor", "phast", "predictor for the machine sweep")
+		workers      = flag.Int("workers", 0, "parallel runs")
+		parIntervals = flag.Int("parallel-intervals", 0, "split each simulation into this many concurrently-simulated, oracle-gated intervals (<=1 = sequential; see EXPERIMENTS.md)")
+		cacheDir     = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
+		metrics      = flag.Bool("metrics", false, "print cache, simulation, trace-intern and core-pool metrics to stderr at exit")
+		timeout      = flag.Duration("timeout", 0, "wall-clock budget per simulation (0 = none)")
+		faults       = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing (default $PHAST_FAULTS)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -69,7 +70,7 @@ func main() {
 
 	opt := experiments.Options{
 		Instructions: *n, Out: os.Stdout, Workers: *workers, CacheDir: *cacheDir,
-		Context: ctx, RunTimeout: *timeout,
+		Context: ctx, RunTimeout: *timeout, Intervals: *parIntervals,
 	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")

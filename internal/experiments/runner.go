@@ -47,6 +47,12 @@ type Options struct {
 	// to completion and failures are reported per config instead of the
 	// first error cancelling its still-queued siblings.
 	KeepGoing bool
+	// Intervals applies sim.Config.Intervals to every run whose config
+	// leaves it zero: each simulation is split into this many concurrently-
+	// simulated, oracle-gated intervals (see internal/parsim). Note the
+	// semantic change interval counters carry; results cache under distinct
+	// keys from sequential runs.
+	Intervals int
 }
 
 func (o Options) norm() Options {
@@ -165,6 +171,9 @@ func (r *Runner) RunConfigContext(ctx context.Context, cfg sim.Config) (run *sta
 	if cfg.Instructions == 0 {
 		cfg.Instructions = r.opt.Instructions
 	}
+	if cfg.Intervals == 0 {
+		cfg.Intervals = r.opt.Intervals
+	}
 	cfg = cfg.Normalized() // failure rows and cache keys see resolved names
 	defer func() {
 		if v := recover(); v != nil {
@@ -225,6 +234,7 @@ func (r *Runner) RunConfigsDetailed(cfgs []sim.Config) []Result {
 func (r *Runner) RunConfigsDetailedContext(ctx context.Context, cfgs []sim.Config) []Result {
 	ctx, cancel := r.batchContextFrom(ctx)
 	defer cancel()
+	r.prewarmTraces(ctx, cfgs)
 	results := make([]Result, len(cfgs))
 	var wg sync.WaitGroup
 	for i, cfg := range cfgs {
@@ -245,6 +255,50 @@ func (r *Runner) RunConfigsDetailedContext(ctx context.Context, cfgs []sim.Confi
 	}
 	wg.Wait()
 	return results
+}
+
+// prewarmTraces decodes and interns, in parallel on the worker pool, every
+// workload stream that more than one config of the batch will run. A
+// multi-config sweep over one workload then drives all its cores from the
+// one shared interned trace (with its prefix structures prebuilt) instead
+// of the first-scheduled run paying the decode on its critical path while
+// its siblings queue behind sim's single-flight. Single-config workloads
+// are left to their run — prewarming them would do the same work with an
+// extra pool round-trip. Errors are deliberately dropped: the runs
+// themselves surface them per config, with proper failure accounting.
+func (r *Runner) prewarmTraces(ctx context.Context, cfgs []sim.Config) {
+	type key struct {
+		app  string
+		n    int
+		seed int64
+	}
+	counts := make(map[key]int, len(cfgs))
+	for _, cfg := range cfgs {
+		n := cfg.Instructions
+		if n == 0 {
+			n = r.opt.Instructions
+		}
+		counts[key{cfg.App, n, cfg.Seed}]++
+	}
+	var wg sync.WaitGroup
+	for k, n := range counts {
+		if n < 2 {
+			continue
+		}
+		k := k
+		wg.Add(1)
+		err := r.sched.submit(func() {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			_ = sim.PrewarmTrace(k.app, k.n, k.seed)
+		})
+		if err != nil {
+			wg.Done()
+		}
+	}
+	wg.Wait()
 }
 
 // batchContext derives one batch's context from the runner's base: with

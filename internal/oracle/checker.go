@@ -30,7 +30,12 @@ type storeRec struct {
 // A Checker is single-run, single-goroutine state: build one per simulation
 // over the same *trace.Trace the pipeline runs.
 type Checker struct {
-	x      *Exec
+	x *Exec
+	// base is the absolute trace index of the pipeline's index 0: zero for
+	// a full-trace run, the interval's start for an interval checker (the
+	// pipeline runs a slice, so its trace indices and captured providers
+	// are slice-relative; the reference state is absolute).
+	base   int
 	recent []storeRec
 	rpos   int
 	err    error // first divergence, sticky
@@ -41,8 +46,22 @@ func NewChecker(tr *trace.Trace) *Checker {
 	return &Checker{x: New(tr), recent: make([]storeRec, 0, recentStores)}
 }
 
-// Committed returns the number of micro-ops verified so far.
-func (c *Checker) Committed() int { return c.x.Pos() }
+// NewIntervalChecker builds a checker for a pipeline run over one interval
+// of tr, resumed from a checkpoint of a CheckpointPass over tr. The
+// pipeline simulates the slice starting at ck.Idx, so the events it reports
+// are slice-relative; the checker translates them onto the absolute
+// in-order state. Bytes last written before the interval are expected to
+// read as initial memory on the pipeline side: an interval core starts with
+// empty queues and an empty drain map (warm-up capture is discarded at the
+// boundary — see pipeline.WarmContext), so pre-interval state is
+// architecturally indistinguishable from initial memory to it.
+func NewIntervalChecker(tr *trace.Trace, ck *Checkpoint) *Checker {
+	return &Checker{x: Resume(tr, ck), base: ck.Idx, recent: make([]storeRec, 0, recentStores)}
+}
+
+// Committed returns the number of micro-ops verified so far (for an
+// interval checker: within the interval).
+func (c *Checker) Committed() int { return c.x.Pos() - c.base }
 
 // Digest returns the architectural fingerprint accumulated over the
 // verified retirement stream (see Exec.Digest).
@@ -66,9 +85,11 @@ func (c *Checker) Check(ev *pipeline.CommitEvent) error {
 		return c.err
 	}
 	in := &c.x.tr.Insts[idx]
-	if ev.TraceIdx != idx {
+	// The pipeline reports slice-relative indices; the reference state is
+	// absolute (base = 0 for a full-trace checker).
+	if ev.TraceIdx != idx-c.base {
 		c.err = &DivergenceError{Cycle: ev.Cycle, TraceIdx: ev.TraceIdx, PC: in.PC,
-			Reason: fmt.Sprintf("retirement out of order: retired micro-op #%d, in-order oracle expects #%d", ev.TraceIdx, idx)}
+			Reason: fmt.Sprintf("retirement out of order: retired micro-op #%d, in-order oracle expects #%d", ev.TraceIdx, idx-c.base)}
 		return c.err
 	}
 	if in.Kind == isa.Load && in.Size > 0 {
@@ -92,12 +113,25 @@ func (c *Checker) Check(ev *pipeline.CommitEvent) error {
 	return nil
 }
 
+// relWriter returns the provider the pipeline is expected to report for one
+// byte: the oracle's absolute writer translated into the pipeline's slice-
+// relative space. A byte last written before the interval (or never) reads
+// as initial memory on the pipeline side — its core started past those
+// stores with empty queues and an empty drain map.
+func (c *Checker) relWriter(addr uint64) int32 {
+	w := c.x.WriterOf(addr)
+	if w < int32(c.base) { // includes NoWriter
+		return NoWriter
+	}
+	return w - int32(c.base)
+}
+
 // checkLoad compares the pipeline's per-byte provenance capture against the
 // oracle's ground truth for the load about to retire.
 func (c *Checker) checkLoad(ev *pipeline.CommitEvent, in *isa.Inst, idx int) error {
 	mismatch := -1
 	for i := 0; i < int(in.Size); i++ {
-		if ev.Providers[i] != c.x.WriterOf(in.Addr+uint64(i)) {
+		if ev.Providers[i] != c.relWriter(in.Addr+uint64(i)) {
 			mismatch = i
 			break
 		}
@@ -113,7 +147,7 @@ func (c *Checker) checkLoad(ev *pipeline.CommitEvent, in *isa.Inst, idx int) err
 		PC:       in.PC,
 		Op:       in.String(),
 		Byte:     mismatch,
-		Expected: c.x.WriterOf(in.Addr + uint64(mismatch)),
+		Expected: c.relWriter(in.Addr + uint64(mismatch)),
 		Actual:   ev.Providers[mismatch],
 		ExpVal:   expVal,
 		ActVal:   actVal,
@@ -122,7 +156,7 @@ func (c *Checker) checkLoad(ev *pipeline.CommitEvent, in *isa.Inst, idx int) err
 	var b strings.Builder
 	for i := 0; i < int(in.Size); i++ {
 		a := in.Addr + uint64(i)
-		exp, act := c.x.WriterOf(a), ev.Providers[i]
+		exp, act := c.relWriter(a), ev.Providers[i]
 		marker := "  "
 		if exp != act {
 			marker = "!!"
@@ -134,15 +168,19 @@ func (c *Checker) checkLoad(ev *pipeline.CommitEvent, in *isa.Inst, idx int) err
 	return d
 }
 
-// describe renders one provider for the divergence report.
+// describe renders one slice-relative provider for the divergence report.
 func (c *Checker) describe(p int32) string {
 	if p == NoWriter {
+		if c.base > 0 {
+			return "initial memory (or pre-interval state)"
+		}
 		return "initial memory"
 	}
-	if int(p) < c.x.tr.Len() {
-		return fmt.Sprintf("store #%d (pc %#x)", p, c.x.tr.Insts[p].PC)
+	abs := int(p) + c.base
+	if abs < c.x.tr.Len() {
+		return fmt.Sprintf("store #%d (pc %#x)", abs, c.x.tr.Insts[abs].PC)
 	}
-	return fmt.Sprintf("store #%d (out of trace!)", p)
+	return fmt.Sprintf("store #%d (out of trace!)", abs)
 }
 
 // actualValue reconstructs the value the pipeline actually retired from its
@@ -157,12 +195,15 @@ func (c *Checker) actualValue(prov []int32, in *isa.Inst) (uint64, bool) {
 		a := in.Addr + uint64(i)
 		var b byte
 		switch p := prov[i]; {
-		case p == c.x.WriterOf(a):
+		case p == c.relWriter(a):
 			b = c.x.MemByte(a)
 		case p == NoWriter:
-			b = InitByte(a)
+			// The pipeline saw "initial memory" — for an interval checker
+			// that is the pre-interval image (checkpoint history or the
+			// deterministic pattern), for a full-trace one the pattern.
+			b = c.baseByte(a)
 		default:
-			rb, found := c.recentByte(p, a)
+			rb, found := c.recentByte(int32(int(p)+c.base), a)
 			if !found {
 				ok = false
 				continue
@@ -172,6 +213,17 @@ func (c *Checker) actualValue(prov []int32, in *isa.Inst) (uint64, bool) {
 		v ^= uint64(b) << (8 * (i % 8))
 	}
 	return v, ok
+}
+
+// baseByte is the architectural content of addr just before the checker's
+// interval began (initial memory for a full-trace checker).
+func (c *Checker) baseByte(addr uint64) byte {
+	if c.x.hist != nil {
+		if w, ok := c.x.hist.at(addr, c.base); ok {
+			return w.val
+		}
+	}
+	return InitByte(addr)
 }
 
 // recentByte finds the byte a recent store wrote at addr.

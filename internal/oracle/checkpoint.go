@@ -1,0 +1,118 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Architectural checkpoints for interval-parallel simulation (DESIGN.md
+// §14). One in-order pass over the trace records every memory write in a
+// shared, immutable history and captures a lightweight Checkpoint at each
+// requested boundary; each interval of the trace can then be replayed by an
+// Exec resumed from its boundary checkpoint, concurrently with the others.
+//
+// The design constraint is cost: a full memory-image copy per boundary
+// would be O(boundaries × touched bytes) — for default-length runs that
+// rivals the simulation itself and would erase the parallel speedup.
+// Instead the pass appends each stored byte to a per-address write log
+// (memHistory); a Checkpoint is then just the register file, the position
+// counters and the running digest, plus a view of the shared log cut at its
+// boundary index. Capturing any number of checkpoints costs one O(trace)
+// pass and one log entry per stored byte, total.
+
+// memWrite is one byte stored during the checkpoint pass: which dynamic
+// store wrote it and the value. Entries for one address are in ascending
+// idx order (stores execute in order during the pass).
+type memWrite struct {
+	idx int32
+	val byte
+}
+
+// memHistory is the byte-granular write log of one in-order execution.
+// Immutable once the pass finishes; resumed Execs of every interval share
+// it read-only, which is what makes concurrent interval replay safe.
+type memHistory struct {
+	writes map[uint64][]memWrite
+}
+
+// at returns the youngest write to addr strictly before trace index cut,
+// or ok=false when the byte still held initial memory there.
+func (h *memHistory) at(addr uint64, cut int) (memWrite, bool) {
+	log := h.writes[addr]
+	// First entry with idx >= cut; its predecessor is the youngest earlier.
+	i := sort.Search(len(log), func(i int) bool { return int(log[i].idx) >= cut })
+	if i == 0 {
+		return memWrite{}, false
+	}
+	return log[i-1], true
+}
+
+// Checkpoint is the complete architectural state of an in-order execution
+// at a trace boundary: registers, position, load count, the running load-
+// value digest, and a cut view of the pass's memory-write history. Resume
+// rebuilds an equivalent executor from it; checkpoints from one
+// CheckpointPass share the history and are safe to resume concurrently.
+type Checkpoint struct {
+	Idx    int // boundary position: micro-ops [0, Idx) have executed
+	Regs   [isa.NumRegs]uint64
+	Loads  uint64
+	Digest uint64
+
+	hist *memHistory
+}
+
+// CheckpointPass executes tr in order once and captures a checkpoint at
+// each boundary. Boundaries must be non-decreasing values in [0, Len] —
+// anything else is a caller bug and panics. The returned checkpoints are in
+// boundary order; the second result is the digest of the complete run (the
+// sequential ground truth interval stitching must reproduce).
+func CheckpointPass(tr *trace.Trace, boundaries []int) ([]*Checkpoint, uint64) {
+	n := tr.Len()
+	prev := 0
+	for _, b := range boundaries {
+		if b < prev || b > n {
+			panic(fmt.Sprintf("oracle: checkpoint boundary %d out of order or outside [0,%d]", b, n))
+		}
+		prev = b
+	}
+	rec := &memHistory{writes: map[uint64][]memWrite{}}
+	x := New(tr)
+	x.rec = rec
+	cks := make([]*Checkpoint, 0, len(boundaries))
+	bi := 0
+	for {
+		for bi < len(boundaries) && boundaries[bi] == x.idx {
+			cks = append(cks, &Checkpoint{
+				Idx: x.idx, Regs: x.regs, Loads: x.loads, Digest: x.digest,
+				hist: rec,
+			})
+			bi++
+		}
+		if x.Done() {
+			break
+		}
+		x.Step()
+	}
+	return cks, x.Digest()
+}
+
+// Resume builds an executor positioned at ck.Idx of tr (the same full trace
+// the checkpoint pass ran). Its register file and digest are the boundary
+// state; memory reads check the executor's own writes first and fall
+// through to the shared pre-boundary history, so the resumed execution is
+// architecturally indistinguishable from one that ran from index 0 —
+// verified by the stitching gate (a resumed interval must land exactly on
+// the next boundary's digest).
+func Resume(tr *trace.Trace, ck *Checkpoint) *Exec {
+	x := New(tr)
+	x.regs = ck.Regs
+	x.idx = ck.Idx
+	x.loads = ck.Loads
+	x.digest = ck.Digest
+	x.hist = ck.hist
+	x.cut = ck.Idx
+	return x
+}

@@ -1,0 +1,114 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func checkpointTrace(t *testing.T, app string, n int) *trace.Trace {
+	t.Helper()
+	p, err := workload.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Generate(p, n, 0)
+}
+
+// TestCheckpointChain is the core resumption invariant: executing each
+// interval from its boundary checkpoint must land exactly on the next
+// boundary's state — registers, load count and digest — and the last
+// interval on the sequential run's final digest.
+func TestCheckpointChain(t *testing.T) {
+	for _, app := range []string{"511.povray", "519.lbm", "502.gcc_1"} {
+		t.Run(app, func(t *testing.T) {
+			tr := checkpointTrace(t, app, 20000)
+			bounds := []int{0, 3000, 7500, 7500, 16000, tr.Len()}
+			cks, seqDigest := CheckpointPass(tr, bounds)
+			if len(cks) != len(bounds) {
+				t.Fatalf("got %d checkpoints, want %d", len(cks), len(bounds))
+			}
+			if want := Run(tr).Digest(); seqDigest != want {
+				t.Fatalf("pass digest %#x differs from a plain run's %#x", seqDigest, want)
+			}
+			if last := cks[len(cks)-1]; last.Digest != seqDigest {
+				t.Fatalf("final checkpoint digest %#x, want %#x", last.Digest, seqDigest)
+			}
+			for i := 0; i+1 < len(cks); i++ {
+				x := Resume(tr, cks[i])
+				if x.Pos() != cks[i].Idx {
+					t.Fatalf("resumed at %d, want %d", x.Pos(), cks[i].Idx)
+				}
+				for x.Pos() < cks[i+1].Idx {
+					x.Step()
+				}
+				next := cks[i+1]
+				if x.Digest() != next.Digest {
+					t.Errorf("interval [%d,%d): digest %#x, want %#x",
+						cks[i].Idx, next.Idx, x.Digest(), next.Digest)
+				}
+				if x.Loads() != next.Loads {
+					t.Errorf("interval [%d,%d): %d loads, want %d",
+						cks[i].Idx, next.Idx, x.Loads(), next.Loads)
+				}
+				if x.regs != next.Regs {
+					t.Errorf("interval [%d,%d): register file diverged", cks[i].Idx, next.Idx)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeMemoryView verifies the layered memory view of a resumed
+// executor: pre-boundary bytes resolve through the shared history with the
+// correct writer, and the executor's own stores shadow it.
+func TestResumeMemoryView(t *testing.T) {
+	tr := checkpointTrace(t, "511.povray", 10000)
+	mid := 5000
+	cks, _ := CheckpointPass(tr, []int{mid})
+	ref := New(tr)
+	for ref.Pos() < mid {
+		ref.Step()
+	}
+	x := Resume(tr, cks[0])
+	// Sample the footprints of the trace's own memory ops around the
+	// boundary: the resumed view must agree with a from-scratch execution.
+	for i := 0; i < mid; i++ {
+		in := &tr.Insts[i]
+		if in.Size == 0 {
+			continue
+		}
+		for a := in.Addr; a < in.Addr+uint64(in.Size); a++ {
+			if got, want := x.MemByte(a), ref.MemByte(a); got != want {
+				t.Fatalf("byte %#x: resumed %#x, reference %#x", a, got, want)
+			}
+			if got, want := x.WriterOf(a), ref.WriterOf(a); got != want {
+				t.Fatalf("byte %#x: resumed writer %d, reference %d", a, got, want)
+			}
+		}
+	}
+	// Advance both past the boundary; own writes must shadow the history.
+	for x.Pos() < tr.Len() {
+		x.Step()
+		ref.Step()
+	}
+	if x.Digest() != ref.Digest() {
+		t.Fatalf("post-boundary digest %#x, reference %#x", x.Digest(), ref.Digest())
+	}
+}
+
+// TestCheckpointPassRejectsBadBoundaries pins the caller contract.
+func TestCheckpointPassRejectsBadBoundaries(t *testing.T) {
+	tr := checkpointTrace(t, "519.lbm", 100)
+	for _, bad := range [][]int{{-1}, {5, 3}, {101}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("boundaries %v: expected a panic", bad)
+				}
+			}()
+			CheckpointPass(tr, bad)
+		}()
+	}
+}

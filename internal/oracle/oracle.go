@@ -91,6 +91,14 @@ type Exec struct {
 	idx     int              // next micro-op to execute
 	loads   uint64
 	digest  uint64 // FNV-1a fold over (trace index, value) of every load
+
+	// Checkpoint plumbing (checkpoint.go). hist/cut make a resumed executor
+	// read pre-boundary memory through the shared immutable write history of
+	// its checkpoint pass; rec, when non-nil, makes a pass record every
+	// stored byte into the history it is building.
+	hist *memHistory // read-through base for bytes missing from mem
+	cut  int         // history cut: only writes with idx < cut are visible
+	rec  *memHistory // write recorder (checkpoint passes only)
 }
 
 // New builds an executor positioned before the first micro-op.
@@ -123,18 +131,31 @@ func (x *Exec) Done() bool { return x.idx >= x.tr.Len() }
 func (x *Exec) Reg(r isa.Reg) uint64 { return x.regs[r] }
 
 // MemByte returns the current architectural content of one memory byte.
+// For a resumed executor, bytes it has not itself written fall through to
+// the pre-boundary write history (own writes are younger and shadow it).
 func (x *Exec) MemByte(addr uint64) byte {
 	if b, ok := x.mem[addr]; ok {
 		return b
+	}
+	if x.hist != nil {
+		if w, ok := x.hist.at(addr, x.cut); ok {
+			return w.val
+		}
 	}
 	return InitByte(addr)
 }
 
 // WriterOf returns the trace index of the youngest store so far to have
-// written addr, or NoWriter for initial memory.
+// written addr, or NoWriter for initial memory. Resumed executors resolve
+// pre-boundary writers through their checkpoint's history, like MemByte.
 func (x *Exec) WriterOf(addr uint64) int32 {
 	if w, ok := x.writers[addr]; ok {
 		return w
+	}
+	if x.hist != nil {
+		if w, ok := x.hist.at(addr, x.cut); ok {
+			return w.idx
+		}
 	}
 	return NoWriter
 }
@@ -173,8 +194,12 @@ func (x *Exec) Step() {
 		w := StoreWord(x.regs[in.SrcB], in.PC, idx)
 		for i := 0; i < int(in.Size); i++ {
 			a := in.Addr + uint64(i)
-			x.mem[a] = StoreByte(w, i)
+			b := StoreByte(w, i)
+			x.mem[a] = b
 			x.writers[a] = int32(idx)
+			if x.rec != nil {
+				x.rec.writes[a] = append(x.rec.writes[a], memWrite{idx: int32(idx), val: b})
+			}
 		}
 	default:
 		// Any other op with a destination (ALU results, branch link

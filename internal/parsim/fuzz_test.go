@@ -1,0 +1,93 @@
+package parsim_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/parsim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// fuzzN keeps each fuzz execution to a few milliseconds of simulation.
+const fuzzN = 3000
+
+var fuzzApps = []string{"511.povray", "519.lbm", "502.gcc_1", "541.leela"}
+
+// fuzzBounds derives an explicit boundary list from the fuzz bits: cuts
+// interior points spread by a deterministic xorshift walk. bits==0 selects
+// the equal SplitN cut instead (so the corpus covers the default path,
+// including the degenerate 1-interval and interval-per-1k-µop shapes).
+func fuzzBounds(cuts int, bits uint64) []int {
+	if bits == 0 {
+		return nil
+	}
+	seen := map[int]bool{0: true}
+	out := []int{0}
+	x := bits
+	for len(out) < cuts+1 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p := int(x % uint64(fuzzN))
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	// Boundaries must be strictly increasing.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 1 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// FuzzIntervalStitch is the metamorphic stitching property under randomized
+// interval boundaries: any legal cut of the trace — equal splits, skewed
+// explicit cuts, a single interval, one interval per 1k µops — must (a)
+// chain every interval onto the sequential oracle digest and (b) produce
+// byte-identical stitched counters with Workers=1 and Workers=4.
+func FuzzIntervalStitch(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0))        // 1 interval, no warm-up
+	f.Add(uint64(0), uint64(2), uint64(1000), uint64(0))     // interval per 1k µops
+	f.Add(uint64(1), uint64(3), uint64(500), uint64(0xbeef)) // skewed explicit cut
+	f.Add(uint64(2), uint64(7), uint64(5000), uint64(1))     // many cuts, deep warm-up
+	f.Add(uint64(3), uint64(1), uint64(0), uint64(1<<40))    // cold two-interval split
+	f.Fuzz(func(t *testing.T, appSel, cuts, warmup, bits uint64) {
+		app := fuzzApps[appSel%uint64(len(fuzzApps))]
+		p, err := workload.ByName(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.Generate(p, fuzzN, 0)
+		want := oracle.Run(tr).Digest()
+		plan := parsim.Plan{
+			Intervals:  int(cuts%8) + 1,
+			Warmup:     int(warmup % 8000),
+			Boundaries: fuzzBounds(int(cuts%8), bits),
+			Workers:    1,
+		}
+		serial, err := parsim.Run(context.Background(), tr, phastJob(), plan)
+		if err != nil {
+			t.Fatalf("plan %+v: %v", plan, err)
+		}
+		plan.Workers = 4
+		par, err := parsim.Run(context.Background(), tr, phastJob(), plan)
+		if err != nil {
+			t.Fatalf("plan %+v: %v", plan, err)
+		}
+		if serial.Digest != want || par.Digest != want {
+			t.Errorf("digest serial %#x / parallel %#x, want %#x", serial.Digest, par.Digest, want)
+		}
+		if !reflect.DeepEqual(serial.Run, par.Run) {
+			t.Errorf("plan %+v: stitched counters differ between Workers=1 and Workers=4", plan)
+		}
+		if serial.Run.Committed != fuzzN {
+			t.Errorf("stitched Committed %d, want %d", serial.Run.Committed, fuzzN)
+		}
+	})
+}

@@ -1,0 +1,341 @@
+// Package parsim simulates one trace as a set of concurrently-executed
+// intervals and stitches the per-interval counters into one result, gated
+// by the architectural oracle.
+//
+// The timing counters of an uninterrupted sequential out-of-order run
+// cannot be reproduced by independently-started intervals — a mid-stream
+// core has warmed predictors, caches and in-flight state no restart can
+// replay exactly. Interval-parallel execution is therefore a *semantic*
+// simulation mode (like gem5's checkpoint restore), with two hard
+// guarantees instead:
+//
+//  1. Determinism: executing the same Plan with Workers=1 and Workers=N
+//     produces byte-identical stitched and per-interval counters. The
+//     parallelism never leaks into the measurement.
+//  2. Architectural exactness: the stitched run's oracle digest — the fold
+//     over every load's committed value, chained interval-to-interval
+//     through checkpoints — equals the digest of a sequential in-order
+//     execution of the full trace. A checkpoint-resume bug cannot produce
+//     a silently-wrong result; it produces a *StitchError.
+//
+// Each interval is warmed functionally (pipeline.WarmContext) on the
+// micro-ops preceding its boundary, so its predictors and caches start
+// heated; its architectural start state comes from an oracle checkpoint
+// (oracle.CheckpointPass), whose shared write-history makes resumption
+// O(trace) overall rather than O(intervals × touched memory).
+//
+// parsim deliberately knows nothing about the sim facade (sim imports
+// parsim, not the reverse): callers describe a run with a Job — machine,
+// options, a predictor factory, and optional core-pool hooks.
+package parsim
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/mdp"
+	"repro/internal/oracle"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Job describes how to build the cores an interval plan runs on. Machine,
+// Options and NewPredictor are required; the pool hooks are optional and
+// used only for unverified runs (a verified core's Verify callback closes
+// over run-local checker state and must never be pooled).
+type Job struct {
+	Machine config.Machine
+	Options pipeline.Options
+	// NewPredictor builds one predictor instance. Called once per interval:
+	// concurrent cores must not share predictor state.
+	NewPredictor func() (mdp.Predictor, error)
+	// GetCore, when non-nil, obtains a (possibly recycled) core already
+	// Reset for pred; PutCore returns a cleanly-finished core. Intervals
+	// that fail keep their core out of the pool.
+	GetCore func(pred mdp.Predictor) (*pipeline.Core, error)
+	PutCore func(c *pipeline.Core)
+}
+
+// Plan describes how to cut the trace.
+type Plan struct {
+	// Intervals is the number of equal-length intervals to cut the trace
+	// into (values < 1 mean 1). Ignored when Boundaries is set.
+	Intervals int
+	// Warmup is how many micro-ops before each interval's boundary are
+	// simulated to heat the core before measurement begins (clamped to the
+	// available prefix; the first interval starts cold like a plain run).
+	Warmup int
+	// Workers bounds concurrent interval simulations (default: min of
+	// interval count and GOMAXPROCS). Workers=1 is the determinism
+	// reference: parallel execution must match it byte for byte.
+	Workers int
+	// Boundaries, when non-nil, lists the interval start indices explicitly:
+	// strictly increasing, first element 0, all < trace length. Overrides
+	// Intervals.
+	Boundaries []int
+	// Verify runs every interval under an oracle interval checker
+	// (per-retirement provenance checking) instead of the digest-only gate.
+	Verify bool
+}
+
+// Result is one stitched interval-parallel run.
+type Result struct {
+	// Run is the stitched counter set: every counter summed over the
+	// intervals (PathsTracked included — interval predictors are distinct
+	// instances, so the sum is the total across them).
+	Run stats.Run
+	// Intervals are the per-interval counter sets, in trace order.
+	Intervals []stats.Run
+	// Bounds are the interval start indices plus the trace length:
+	// interval i ran [Bounds[i], Bounds[i+1]).
+	Bounds []int
+	// Digest is the architectural digest at the end of the last interval,
+	// chained through every checkpoint; SeqDigest is the one-pass
+	// sequential digest. Run only returns a Result when they are equal.
+	Digest    uint64
+	SeqDigest uint64
+}
+
+// StitchError reports an interval whose resumed execution failed the oracle
+// gate — its digest (or verified commit count) does not chain onto the next
+// checkpoint. It means checkpoint resumption broke, not that the simulated
+// microarchitecture mis-speculated.
+type StitchError struct {
+	Interval   int
+	Start, End int
+	Got, Want  uint64
+	What       string // "digest" or "verified micro-op count"
+}
+
+func (e *StitchError) Error() string {
+	return fmt.Sprintf("parsim: interval %d [%d,%d): stitched %s %#x does not chain onto checkpoint value %#x",
+		e.Interval, e.Start, e.End, e.What, e.Got, e.Want)
+}
+
+// bounds resolves the plan's interval start indices for an n-op trace.
+func (p Plan) bounds(tr *trace.Trace) ([]int, error) {
+	n := tr.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("parsim: empty trace %q", tr.Name)
+	}
+	if p.Boundaries != nil {
+		b := p.Boundaries
+		if len(b) == 0 || b[0] != 0 {
+			return nil, fmt.Errorf("parsim: boundaries must start at 0, got %v", b)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] || b[i] >= n {
+				return nil, fmt.Errorf("parsim: boundaries must be strictly increasing and < %d, got %v", n, b)
+			}
+		}
+		return b, nil
+	}
+	ivs := tr.SplitN(p.Intervals)
+	starts := make([]int, len(ivs))
+	for i, iv := range ivs {
+		starts[i] = iv.Start
+	}
+	return starts, nil
+}
+
+// Run executes tr as plan's intervals on cores described by job and
+// stitches the results. The context aborts in-flight intervals; the first
+// failure cancels the rest (fail-fast) and is returned.
+func Run(ctx context.Context, tr *trace.Trace, job Job, plan Plan) (*Result, error) {
+	starts, err := plan.bounds(tr)
+	if err != nil {
+		return nil, err
+	}
+	k := len(starts)
+	// One in-order pass produces every interval's architectural start state
+	// and the sequential reference digest the stitch is gated on. The
+	// checkpoint at index 0 is trivial but keeps interval 0 uniform.
+	cks, seqDigest := oracle.CheckpointPass(tr, starts)
+	bounds := append(append(make([]int, 0, k+1), starts...), tr.Len())
+
+	workers := plan.Workers
+	if workers <= 0 || workers > k {
+		workers = k
+	}
+	if max := runtime.GOMAXPROCS(0); plan.Workers <= 0 && workers > max {
+		workers = max
+	}
+
+	runs := make([]stats.Run, k)
+	digests := make([]uint64, k)
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err; cancel() })
+	}
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if ictx.Err() != nil {
+					continue // fail-fast: drain remaining indices
+				}
+				if err := runInterval(ictx, tr, job, plan, cks, bounds, i, seqDigest, &runs[i], &digests[i]); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < k; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Run:       stitch(runs),
+		Intervals: runs,
+		Bounds:    bounds,
+		Digest:    digests[k-1],
+		SeqDigest: seqDigest,
+	}
+	res.Run.OracleDigest = res.Digest
+	return res, nil
+}
+
+// runInterval simulates interval i — functional warm-up, measured slice,
+// oracle gate — and writes its counters and chained digest in place. A
+// panic inside the pipeline is contained to this interval's error.
+func runInterval(ctx context.Context, tr *trace.Trace, job Job, plan Plan,
+	cks []*oracle.Checkpoint, bounds []int, i int, seqDigest uint64,
+	out *stats.Run, digest *uint64) (err error) {
+	start, end := bounds[i], bounds[i+1]
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("parsim: interval %d [%d,%d) panicked: %v\n%s",
+				i, start, end, v, debug.Stack())
+		}
+	}()
+	// The digest each interval must chain onto: the next interval's
+	// checkpoint, or the sequential pass's final digest for the last one.
+	want := seqDigest
+	if i+1 < len(cks) {
+		want = cks[i+1].Digest
+	}
+
+	warmStart := start - plan.Warmup
+	if warmStart < 0 {
+		warmStart = 0
+	}
+	warm := tr.Slice(trace.Interval{Start: warmStart, End: start})
+	slice := tr.Slice(trace.Interval{Start: start, End: end})
+
+	pred, err := job.NewPredictor()
+	if err != nil {
+		return fmt.Errorf("parsim: interval %d: %w", i, err)
+	}
+
+	if plan.Verify {
+		// The interval checker's resumed executor doubles as the digest
+		// replay: verifying every retirement advances it across the slice.
+		ck := oracle.NewIntervalChecker(tr, cks[i])
+		opt := job.Options
+		opt.Verify = ck.Check
+		c, err := pipeline.New(job.Machine, pred, opt)
+		if err != nil {
+			return fmt.Errorf("parsim: interval %d: %w", i, err)
+		}
+		if err := c.WarmContext(ctx, warm); err != nil {
+			return fmt.Errorf("parsim: interval %d [%d,%d) warm-up: %w", i, start, end, err)
+		}
+		run, err := c.RunContext(ctx, slice)
+		if err != nil {
+			return fmt.Errorf("parsim: interval %d [%d,%d): %w", i, start, end, err)
+		}
+		if got := ck.Committed(); got != slice.Len() {
+			return &StitchError{Interval: i, Start: start, End: end,
+				Got: uint64(got), Want: uint64(slice.Len()), What: "verified micro-op count"}
+		}
+		if got := ck.Digest(); got != want {
+			return &StitchError{Interval: i, Start: start, End: end,
+				Got: got, Want: want, What: "digest"}
+		}
+		*out, *digest = *run, ck.Digest()
+		return nil
+	}
+
+	// Unverified mode: gate on the digest alone. The resumed replay is pure
+	// in-order oracle work — cheap next to the pipeline — and exercises the
+	// exact checkpoint state the production result depends on.
+	x := oracle.Resume(tr, cks[i])
+	for x.Pos() < end {
+		x.Step()
+	}
+	if got := x.Digest(); got != want {
+		return &StitchError{Interval: i, Start: start, End: end,
+			Got: got, Want: want, What: "digest"}
+	}
+
+	var c *pipeline.Core
+	if job.GetCore != nil {
+		c, err = job.GetCore(pred)
+	} else {
+		c, err = pipeline.New(job.Machine, pred, job.Options)
+	}
+	if err != nil {
+		return fmt.Errorf("parsim: interval %d: %w", i, err)
+	}
+	if err := c.WarmContext(ctx, warm); err != nil {
+		return fmt.Errorf("parsim: interval %d [%d,%d) warm-up: %w", i, start, end, err)
+	}
+	run, err := c.RunContext(ctx, slice)
+	if err != nil {
+		// Mid-run core: never pooled.
+		return fmt.Errorf("parsim: interval %d [%d,%d): %w", i, start, end, err)
+	}
+	if job.PutCore != nil {
+		job.PutCore(c)
+	}
+	*out, *digest = *run, x.Digest()
+	return nil
+}
+
+// stitchSkip lists stats.Run counter fields the stitch must not sum.
+var stitchSkip = map[string]bool{
+	"OracleDigest": true, // set from the chained digest, not additive
+}
+
+// stitch sums the per-interval counters into one run. Every uint64 field of
+// stats.Run is summed (except stitchSkip); string labels come from the
+// first interval. Reflection keeps future counters from being silently
+// dropped — TestStitchCoversEveryField pins the exemption list.
+func stitch(runs []stats.Run) stats.Run {
+	out := runs[0]
+	ov := reflect.ValueOf(&out).Elem()
+	for r := 1; r < len(runs); r++ {
+		rv := reflect.ValueOf(&runs[r]).Elem()
+		for f := 0; f < ov.NumField(); f++ {
+			fld := ov.Field(f)
+			if fld.Kind() != reflect.Uint64 || stitchSkip[ov.Type().Field(f).Name] {
+				continue
+			}
+			fld.SetUint(fld.Uint() + rv.Field(f).Uint())
+		}
+	}
+	out.OracleDigest = 0
+	return out
+}

@@ -1,0 +1,173 @@
+package parsim_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mdp"
+	"repro/internal/oracle"
+	"repro/internal/parsim"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testTrace(t *testing.T, app string, n int) *trace.Trace {
+	t.Helper()
+	p, err := workload.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Generate(p, n, 0)
+}
+
+func phastJob() parsim.Job {
+	return parsim.Job{
+		Machine:      config.AlderLake(),
+		Options:      pipeline.DefaultOptions(),
+		NewPredictor: func() (mdp.Predictor, error) { return core.NewDefault(), nil },
+	}
+}
+
+// TestParallelMatchesSerial is guarantee 1: the same plan run with
+// Workers=1 and Workers=N produces byte-identical stitched and per-interval
+// counters, and the chained digest equals the sequential oracle's.
+func TestParallelMatchesSerial(t *testing.T) {
+	tr := testTrace(t, "511.povray", 24000)
+	want := oracle.Run(tr).Digest()
+	plan := parsim.Plan{Intervals: 4, Warmup: 2000}
+
+	plan.Workers = 1
+	serial, err := parsim.Run(context.Background(), tr, phastJob(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Workers = 4
+	par, err := parsim.Run(context.Background(), tr, phastJob(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Run, par.Run) {
+		t.Errorf("stitched runs differ:\nserial:   %+v\nparallel: %+v", serial.Run, par.Run)
+	}
+	if !reflect.DeepEqual(serial.Intervals, par.Intervals) {
+		t.Errorf("per-interval runs differ")
+	}
+	if par.Digest != want || par.SeqDigest != want {
+		t.Errorf("digest %#x / seq %#x, want %#x", par.Digest, par.SeqDigest, want)
+	}
+	if par.Run.OracleDigest != want {
+		t.Errorf("stitched OracleDigest %#x, want %#x", par.Run.OracleDigest, want)
+	}
+	if got := par.Run.Committed; got != 24000 {
+		t.Errorf("stitched Committed %d, want 24000", got)
+	}
+}
+
+// TestVerifyModeMatchesUnverified: the oracle checker is pure observation —
+// running every interval under per-retirement verification must not change
+// a single counter, and both modes chain to the sequential digest.
+func TestVerifyModeMatchesUnverified(t *testing.T) {
+	tr := testTrace(t, "502.gcc_1", 20000)
+	plan := parsim.Plan{Intervals: 3, Warmup: 1500, Workers: 3}
+	plain, err := parsim.Run(context.Background(), tr, phastJob(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Verify = true
+	verified, err := parsim.Run(context.Background(), tr, phastJob(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Run, verified.Run) {
+		t.Errorf("verification changed the counters:\nplain:    %+v\nverified: %+v", plain.Run, verified.Run)
+	}
+	if plain.Digest != verified.Digest {
+		t.Errorf("digest %#x (plain) vs %#x (verified)", plain.Digest, verified.Digest)
+	}
+}
+
+// TestExplicitBoundaries: an uneven explicit cut — including a 1-µop first
+// interval — still chains to the sequential digest.
+func TestExplicitBoundaries(t *testing.T) {
+	tr := testTrace(t, "541.leela", 10000)
+	want := oracle.Run(tr).Digest()
+	plan := parsim.Plan{Warmup: 500, Workers: 4, Boundaries: []int{0, 1, 17, 5000, 9999}}
+	res, err := parsim.Run(context.Background(), tr, phastJob(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != want {
+		t.Errorf("digest %#x, want %#x", res.Digest, want)
+	}
+	if len(res.Intervals) != 5 {
+		t.Errorf("got %d intervals, want 5", len(res.Intervals))
+	}
+	var committed uint64
+	for _, r := range res.Intervals {
+		committed += r.Committed
+	}
+	if committed != 10000 {
+		t.Errorf("intervals committed %d, want 10000", committed)
+	}
+}
+
+// TestBadBoundariesRejected pins the Plan.Boundaries contract.
+func TestBadBoundariesRejected(t *testing.T) {
+	tr := testTrace(t, "519.lbm", 1000)
+	for _, bad := range [][]int{{}, {5}, {0, 5, 5}, {0, 9, 3}, {0, 1000}, {0, -1}} {
+		plan := parsim.Plan{Boundaries: bad}
+		if _, err := parsim.Run(context.Background(), tr, phastJob(), plan); err == nil {
+			t.Errorf("boundaries %v: expected an error", bad)
+		}
+	}
+}
+
+// TestSingleInterval: the degenerate 1-interval plan is an ordinary run —
+// same counters as a fresh sequential core, plus the digest.
+func TestSingleInterval(t *testing.T) {
+	tr := testTrace(t, "519.lbm", 8000)
+	res, err := parsim.Run(context.Background(), tr, phastJob(), parsim.Plan{Intervals: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pipeline.New(config.AlderLake(), core.NewDefault(), pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Run
+	got.OracleDigest = 0
+	if !reflect.DeepEqual(got, *ref) {
+		t.Errorf("1-interval run differs from a plain run:\nparsim: %+v\nplain:  %+v", got, *ref)
+	}
+	if res.Digest != oracle.Run(tr).Digest() {
+		t.Errorf("digest mismatch")
+	}
+}
+
+// TestCorePoolHooks: the pool hooks see exactly one get per interval and
+// one put per successful interval.
+func TestCorePoolHooks(t *testing.T) {
+	tr := testTrace(t, "511.povray", 12000)
+	var gets, puts int
+	job := phastJob()
+	job.GetCore = func(pred mdp.Predictor) (*pipeline.Core, error) {
+		gets++
+		return pipeline.New(config.AlderLake(), pred, pipeline.DefaultOptions())
+	}
+	job.PutCore = func(c *pipeline.Core) { puts++ }
+	plan := parsim.Plan{Intervals: 3, Warmup: 1000, Workers: 1}
+	if _, err := parsim.Run(context.Background(), tr, job, plan); err != nil {
+		t.Fatal(err)
+	}
+	if gets != 3 || puts != 3 {
+		t.Errorf("gets=%d puts=%d, want 3/3", gets, puts)
+	}
+}

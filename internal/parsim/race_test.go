@@ -1,0 +1,127 @@
+package parsim_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/parsim"
+	"repro/internal/sim"
+)
+
+// These tests target the concurrency properties of interval-parallel
+// simulation; run them under -race (make check does). They live in the
+// external test package so they can drive parsim through sim's interned
+// trace store — the exact sharing shape production uses — without an
+// import cycle (sim imports parsim).
+
+// TestSharedInternedTrace: many concurrent interval plans over one interned
+// trace. The stream is read-only — any write to shared state is a -race
+// failure — and every plan must agree on the digest and the counters.
+func TestSharedInternedTrace(t *testing.T) {
+	tr, err := sim.TraceFor("511.povray", 16000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const plans = 4
+	results := make([]*parsim.Result, plans)
+	var wg sync.WaitGroup
+	for p := 0; p < plans; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			res, err := parsim.Run(context.Background(), tr, phastJob(),
+				parsim.Plan{Intervals: 4, Warmup: 1000, Workers: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[p] = res
+		}(p)
+	}
+	wg.Wait()
+	for p := 1; p < plans; p++ {
+		if results[0] == nil || results[p] == nil {
+			t.Fatal("missing result")
+		}
+		if !reflect.DeepEqual(results[0].Run, results[p].Run) {
+			t.Errorf("plan %d stitched differently over the shared trace", p)
+		}
+	}
+}
+
+// TestCancelNoGoroutineLeak: cancelling mid-run aborts every in-flight
+// interval promptly and leaves no worker goroutine behind.
+func TestCancelNoGoroutineLeak(t *testing.T) {
+	tr, err := sim.TraceFor("511.povray", 60000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := parsim.Run(ctx, tr, phastJob(), parsim.Plan{Intervals: 8, Workers: 4})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			// The run can legitimately win the race and finish clean.
+			t.Log("run completed before the cancel landed")
+		} else if !errors.Is(err, context.Canceled) {
+			t.Errorf("got %v, want a context.Canceled chain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, got)
+	}
+}
+
+// TestFaultPanicContained: an injected panic inside one interval's cycle
+// loop must surface as that plan's error — process alive, no goroutine
+// leaked, no partial result.
+func TestFaultPanicContained(t *testing.T) {
+	tr, err := sim.TraceFor("511.povray", 16000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := faultinject.Parse("panic=1,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Activate(p))
+	before := runtime.NumGoroutine()
+	res, rerr := parsim.Run(context.Background(), tr, phastJob(),
+		parsim.Plan{Intervals: 4, Warmup: 1000, Workers: 4})
+	if rerr == nil {
+		t.Fatal("expected the injected panic to fail the run")
+	}
+	if res != nil {
+		t.Errorf("failed run returned a result")
+	}
+	if !strings.Contains(rerr.Error(), "panicked") {
+		t.Errorf("error does not identify the contained panic: %v", rerr)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, got)
+	}
+}

@@ -1,0 +1,51 @@
+package parsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestStitchCoversEveryField pins the completeness of the reflective stitch:
+// every field of stats.Run must be either a summed uint64 counter, a string
+// label, or explicitly listed in stitchSkip. A new field of any other kind
+// must fail here and force a stitching decision.
+func TestStitchCoversEveryField(t *testing.T) {
+	typ := reflect.TypeOf(stats.Run{})
+	var a, b stats.Run
+	av, bv := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	for f := 0; f < typ.NumField(); f++ {
+		switch typ.Field(f).Type.Kind() {
+		case reflect.String:
+		case reflect.Uint64:
+			// Distinct per-field values so a swapped or dropped field is
+			// visible in the sum.
+			av.Field(f).SetUint(uint64(f + 1))
+			bv.Field(f).SetUint(uint64(100 * (f + 1)))
+		default:
+			t.Errorf("stats.Run.%s: kind %s not handled by stitch",
+				typ.Field(f).Name, typ.Field(f).Type.Kind())
+		}
+	}
+	out := stitch([]stats.Run{a, b})
+	ov := reflect.ValueOf(&out).Elem()
+	for f := 0; f < typ.NumField(); f++ {
+		name := typ.Field(f).Name
+		switch {
+		case typ.Field(f).Type.Kind() == reflect.String:
+			if ov.Field(f).String() != av.Field(f).String() {
+				t.Errorf("%s: label not taken from the first interval", name)
+			}
+		case stitchSkip[name]:
+			if ov.Field(f).Uint() != 0 {
+				t.Errorf("%s: skipped field must stitch to zero, got %d", name, ov.Field(f).Uint())
+			}
+		default:
+			want := av.Field(f).Uint() + bv.Field(f).Uint()
+			if got := ov.Field(f).Uint(); got != want {
+				t.Errorf("%s: stitched %d, want %d", name, got, want)
+			}
+		}
+	}
+}

@@ -292,6 +292,12 @@ type Core struct {
 	vev       CommitEvent
 	verifyErr error
 
+	// base snapshots the cumulative component counters (clock, branch
+	// predictor, MDP traffic, cache hierarchy) at a warm-up/measure
+	// boundary; finalizeStats subtracts it so a warm-started run reports
+	// the measured slice alone. Zero for ordinary runs (see WarmContext).
+	base warmBase
+
 	// fiFwdFlip is the per-run fault-injection decision for
 	// faultinject.FaultFwdFlip: the §IV-A1 forwarding-filter condition is
 	// flipped so every conflicting load is wrongly deemed already-correct
@@ -439,6 +445,7 @@ func (c *Core) Reset(pred mdp.Predictor) error {
 	c.nextFetch, c.maxFetched = 0, 0
 	c.fetchBlockedTil, c.fetchStallSeq = 0, 0
 	c.nextCommitIdx = 0
+	c.base = warmBase{}
 	c.run = stats.Run{}
 	return nil
 }
@@ -626,14 +633,22 @@ func (c *Core) RunContext(ctx context.Context, tr *trace.Trace) (*stats.Run, err
 }
 
 func (c *Core) finalizeStats() {
-	c.run.Cycles = c.cycle
-	c.run.Branches = c.bp.Branches
-	c.run.BranchMispredicts = c.bp.Mispredicts
-	c.run.PredictorReads, c.run.PredictorWrites = c.pred.Accesses()
+	// Component counters are cumulative over the core's life; subtracting
+	// the warm-up baseline (zero for ordinary runs) scopes them to the
+	// measured run. PathsTracked is a gauge, not a counter — report as is.
+	c.run.Cycles = c.cycle - c.base.cycles
+	c.run.Branches = c.bp.Branches - c.base.branches
+	c.run.BranchMispredicts = c.bp.Mispredicts - c.base.mispredicts
+	reads, writes := c.pred.Accesses()
+	c.run.PredictorReads = reads - c.base.predReads
+	c.run.PredictorWrites = writes - c.base.predWrites
 	c.run.PathsTracked = uint64(c.pred.Paths())
-	c.run.L1DHits, c.run.L1DMisses = c.mem.L1D.Hits, c.mem.L1D.Misses
-	c.run.L2Hits, c.run.L2Misses = c.mem.L2.Hits, c.mem.L2.Misses
-	c.run.L3Hits, c.run.L3Misses = c.mem.L3.Hits, c.mem.L3.Misses
+	c.run.L1DHits = c.mem.L1D.Hits - c.base.l1dHits
+	c.run.L1DMisses = c.mem.L1D.Misses - c.base.l1dMisses
+	c.run.L2Hits = c.mem.L2.Hits - c.base.l2Hits
+	c.run.L2Misses = c.mem.L2.Misses - c.base.l2Misses
+	c.run.L3Hits = c.mem.L3.Hits - c.base.l3Hits
+	c.run.L3Misses = c.mem.L3.Misses - c.base.l3Misses
 }
 
 // Predictor exposes the bound predictor (for experiment post-processing,

@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mdp"
+	"repro/internal/trace"
+)
+
+// warmRun warms a fresh core on warm and measures slice on it.
+func warmRun(t *testing.T, warm, slice *trace.Trace, pred mdp.Predictor, opt Options) *statsRun {
+	t.Helper()
+	c, err := New(config.AlderLake(), pred, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WarmContext(context.Background(), warm); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWarmStartDeterministic: warming the same window and measuring the same
+// slice must produce byte-identical counters run over run — the property the
+// interval-parallel stitcher relies on for Workers=1 vs Workers=N equality.
+func TestWarmStartDeterministic(t *testing.T) {
+	tr := appTrace(t, "511.povray", 24000)
+	warm := tr.Slice(trace.Interval{Start: 4000, End: 12000})
+	slice := tr.Slice(trace.Interval{Start: 12000, End: 24000})
+	a := warmRun(t, warm, slice, core.NewDefault(), DefaultOptions())
+	b := warmRun(t, warm, slice, core.NewDefault(), DefaultOptions())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("warm-started runs differ:\n%+v\n%+v", a, b)
+	}
+	if a.Committed != uint64(slice.Len()) {
+		t.Fatalf("measured slice committed %d, want %d", a.Committed, slice.Len())
+	}
+}
+
+// TestWarmStartReportsSliceOnly: the measured run's counters must be scoped
+// to the slice — no warm-up cycles, branches or cache traffic leak in.
+func TestWarmStartReportsSliceOnly(t *testing.T) {
+	tr := appTrace(t, "502.gcc_1", 24000)
+	warm := tr.Slice(trace.Interval{Start: 0, End: 12000})
+	slice := tr.Slice(trace.Interval{Start: 12000, End: 24000})
+	warmed := warmRun(t, warm, slice, core.NewDefault(), DefaultOptions())
+	// Reference scale: the same slice on a cold core. Counters won't match
+	// (that is the point of warming), but they must be the same order of
+	// magnitude — a leaked baseline would roughly double cycles/branches.
+	cold := run(t, slice, core.NewDefault(), DefaultOptions()).res
+	if warmed.Cycles == 0 || warmed.Cycles > 2*cold.Cycles {
+		t.Fatalf("warm-started cycles %d out of range (cold slice: %d)", warmed.Cycles, cold.Cycles)
+	}
+	if warmed.Branches > cold.Branches {
+		t.Fatalf("warm-started branches %d > cold %d: warm-up window leaked into the measured run",
+			warmed.Branches, cold.Branches)
+	}
+	if warmed.Committed != cold.Committed {
+		t.Fatalf("committed %d, want %d", warmed.Committed, cold.Committed)
+	}
+}
+
+// TestWarmEmptyIsFresh: warming with a zero-length window must leave the
+// core bit-identical to a fresh one.
+func TestWarmEmptyIsFresh(t *testing.T) {
+	tr := appTrace(t, "541.leela", 16000)
+	empty := tr.Slice(trace.Interval{Start: 0, End: 0})
+	warmed := warmRun(t, empty, tr, core.NewDefault(), DefaultOptions())
+	fresh := run(t, tr, core.NewDefault(), DefaultOptions()).res
+	if !reflect.DeepEqual(warmed, fresh) {
+		t.Fatalf("empty warm-up changed the run:\n%+v\n%+v", warmed, fresh)
+	}
+}
+
+// TestWarmStartReusableCore: a pooled core that ran a warm-started interval
+// must Reset back to bit-identical fresh behavior.
+func TestWarmStartReusableCore(t *testing.T) {
+	tr := appTrace(t, "519.lbm", 16000)
+	warm := tr.Slice(trace.Interval{Start: 0, End: 8000})
+	slice := tr.Slice(trace.Interval{Start: 8000, End: 16000})
+	c, err := New(config.AlderLake(), core.NewDefault(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WarmContext(context.Background(), warm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(slice); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reset(core.NewDefault()); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := run(t, tr, core.NewDefault(), DefaultOptions()).res
+	if !reflect.DeepEqual(after, fresh) {
+		t.Fatalf("reset after a warm-started run is not fresh:\n%+v\n%+v", after, fresh)
+	}
+}

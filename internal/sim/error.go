@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/oracle"
+	"repro/internal/parsim"
 	"repro/internal/pipeline"
 )
 
@@ -91,6 +92,12 @@ func wrapError(cfg Config, err error) *SimError {
 	var dv *oracle.DivergenceError
 	if errors.As(err, &dv) {
 		return &SimError{Kind: ErrVerify, Config: cfg, Cycle: dv.Cycle, Err: err}
+	}
+	var st *parsim.StitchError
+	if errors.As(err, &st) {
+		// A failed interval-stitch gate is an architectural-correctness
+		// failure, like an oracle divergence.
+		return &SimError{Kind: ErrVerify, Config: cfg, Err: err}
 	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mdp"
 	"repro/internal/oracle"
+	"repro/internal/parsim"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -49,12 +50,31 @@ type Config struct {
 	// Verified runs bypass the core pool. The json tag omits the field when
 	// false so existing persistent run-cache keys stay valid.
 	Verify bool `json:"Verify,omitempty"`
+	// Intervals splits the run into this many concurrently-simulated
+	// intervals, warmed from architectural oracle checkpoints and stitched
+	// under the oracle digest gate (see internal/parsim for the exact
+	// semantics — counters are the sum of independently-started interval
+	// runs, not a replay of the sequential timing). Values <= 1 mean an
+	// ordinary sequential run; the json tags omit both fields then, so
+	// persistent run-cache keys of sequential runs are untouched.
+	Intervals int `json:"Intervals,omitempty"`
+	// IntervalWarmup is the functional warm-up window: how many micro-ops
+	// before each interval boundary are simulated (unmeasured) to heat
+	// predictors and caches. 0 means DefaultIntervalWarmup, negative means
+	// no warm-up. Meaningful only when Intervals > 1.
+	IntervalWarmup int `json:"IntervalWarmup,omitempty"`
 }
 
 // DefaultInstructions is the per-run stream length used when Config leaves
 // it zero. The paper simulates 100M-instruction SimPoints; synthetic streams
 // reach steady state much sooner, and every experiment scales with a flag.
 const DefaultInstructions = 300_000
+
+// DefaultIntervalWarmup is the per-interval functional warm-up window used
+// when Config.Intervals > 1 and IntervalWarmup is zero. 10k µops covers the
+// training horizon of every finite predictor in the suite at a few percent
+// of the default interval length.
+const DefaultIntervalWarmup = 10_000
 
 // BehaviorVersion stamps persisted simulation results (internal/runcache).
 // Bump it whenever a change alters the output of a simulation for an
@@ -87,6 +107,19 @@ func (cfg Config) Normalized() Config {
 	}
 	if cfg.SVWFilter {
 		cfg.FwdFilterOff = false
+	}
+	if cfg.Intervals <= 1 {
+		// A 1-interval "parallel" run is exactly a sequential run: fold it
+		// onto the sequential cache key.
+		cfg.Intervals = 0
+		cfg.IntervalWarmup = 0
+	} else {
+		switch {
+		case cfg.IntervalWarmup == 0:
+			cfg.IntervalWarmup = DefaultIntervalWarmup
+		case cfg.IntervalWarmup < 0:
+			cfg.IntervalWarmup = 0
+		}
 	}
 	return cfg
 }
@@ -215,9 +248,19 @@ func PredictorNames() []string {
 // count with headroom for mixed lengths.
 var traceCache = struct {
 	sync.Mutex
-	entries map[string]*trace.Trace
+	entries map[string]*traceEntry
 	order   []string
-}{entries: map[string]*trace.Trace{}}
+}{entries: map[string]*traceEntry{}}
+
+// traceEntry single-flights one stream's generation: the cache lock only
+// covers the map, and the first caller of a key generates outside it while
+// concurrent callers of the same key block on the Once (not on each other's
+// unrelated generations — a parallel sweep's first wave used to serialise
+// every distinct workload behind one mutex hold).
+type traceEntry struct {
+	once sync.Once
+	t    *trace.Trace
+}
 
 const traceCacheCap = 32
 
@@ -235,20 +278,35 @@ func TraceFor(app string, n int, seed int64) (*trace.Trace, error) {
 	}
 	key := fmt.Sprintf("%s/%d/%d", app, n, seed)
 	traceCache.Lock()
-	defer traceCache.Unlock()
-	if t, ok := traceCache.entries[key]; ok {
+	e, ok := traceCache.entries[key]
+	if ok {
 		traceInternHits.Add(1)
-		return t, nil
+	} else {
+		traceInternMisses.Add(1)
+		e = &traceEntry{}
+		if len(traceCache.order) >= traceCacheCap {
+			delete(traceCache.entries, traceCache.order[0])
+			traceCache.order = traceCache.order[1:]
+		}
+		traceCache.entries[key] = e
+		traceCache.order = append(traceCache.order, key)
 	}
-	traceInternMisses.Add(1)
-	t := trace.Generate(prog, n, seed)
-	if len(traceCache.order) >= traceCacheCap {
-		delete(traceCache.entries, traceCache.order[0])
-		traceCache.order = traceCache.order[1:]
+	traceCache.Unlock()
+	e.once.Do(func() { e.t = trace.Generate(prog, n, seed) })
+	return e.t, nil
+}
+
+// PrewarmTrace interns the (app, n, seed) stream and precomputes its prefix
+// structures (trace.Prefixes), so a following batch of runs over the same
+// workload starts from a fully warm shared trace instead of racing to build
+// it on the first run's critical path.
+func PrewarmTrace(app string, n int, seed int64) error {
+	tr, err := TraceFor(app, n, seed)
+	if err != nil {
+		return err
 	}
-	traceCache.entries[key] = t
-	traceCache.order = append(traceCache.order, key)
-	return t, nil
+	tr.Pre()
+	return nil
 }
 
 // Counter names published by PublishMetrics.
@@ -379,6 +437,14 @@ func RunContext(ctx context.Context, cfg Config) (run *stats.Run, err error) {
 		return nil, &SimError{Kind: ErrConfig, Config: cfg, Err: err}
 	}
 	opt := pipelineOptions(cfg)
+	if cfg.Intervals > 1 {
+		run, rerr := runIntervals(ctx, cfg, machine, opt, tr)
+		if rerr != nil {
+			return nil, wrapError(cfg, rerr)
+		}
+		run.Predictor = cfg.Predictor
+		return run, nil
+	}
 	if cfg.Verify {
 		run, rerr := runVerified(ctx, machine, pred, opt, tr)
 		if rerr != nil {
@@ -400,6 +466,39 @@ func RunContext(ctx context.Context, cfg Config) (run *stats.Run, err error) {
 	putCore(key, c)
 	run.Predictor = cfg.Predictor
 	return run, nil
+}
+
+// runIntervals executes one simulation as Config.Intervals concurrent
+// intervals (see internal/parsim). Unverified interval runs draw their
+// cores from the shared pool; verified ones build fresh cores (their Verify
+// callbacks close over per-interval checker state). The stitched result
+// carries the run's oracle digest — parsim only returns when it equals the
+// sequential in-order digest.
+func runIntervals(ctx context.Context, cfg Config, machine config.Machine, opt pipeline.Options, tr *trace.Trace) (*stats.Run, error) {
+	job := parsim.Job{
+		Machine: machine,
+		Options: opt,
+		NewPredictor: func() (mdp.Predictor, error) {
+			return NewPredictor(cfg.Predictor)
+		},
+	}
+	if !cfg.Verify {
+		key := coreKey{machine: machine, opt: opt.Key()}
+		job.GetCore = func(pred mdp.Predictor) (*pipeline.Core, error) {
+			return getCore(key, opt, pred)
+		}
+		job.PutCore = func(c *pipeline.Core) { putCore(key, c) }
+	}
+	res, err := parsim.Run(ctx, tr, job, parsim.Plan{
+		Intervals: cfg.Intervals,
+		Warmup:    cfg.IntervalWarmup,
+		Verify:    cfg.Verify,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := res.Run
+	return &run, nil
 }
 
 // runVerified executes one simulation with the architectural oracle checking

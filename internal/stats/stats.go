@@ -53,6 +53,13 @@ type Run struct {
 	ROBOccupancySum uint64 // sum of in-flight micro-ops per cycle
 	SQOccupancySum  uint64 // sum of in-flight stores per cycle
 	IssuedUops      uint64 // micro-ops issued (≥ committed with squashes)
+
+	// OracleDigest is the architectural load-value fingerprint of the run's
+	// trace (oracle.Exec.Digest). Set only by interval-parallel runs, where
+	// the stitcher proves it equal to the sequential in-order digest; plain
+	// runs leave it zero (omitted from JSON), so cached results from either
+	// mode remain comparable counter-for-counter.
+	OracleDigest uint64 `json:"OracleDigest,omitempty"`
 }
 
 // AvgROBOccupancy returns the mean reorder-buffer occupancy.

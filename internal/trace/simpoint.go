@@ -56,16 +56,24 @@ func manhattan(a, b bbVector) float64 {
 // and returns up to k representative intervals with weights summing to 1.
 // Deterministic: medoid initialisation is by farthest-point traversal from
 // interval 0.
+//
+// Degenerate geometries return well-formed results rather than leaving edge
+// handling to callers: an empty stream selects nothing; a non-positive
+// intervalLen or one longer than the stream makes the whole stream the only
+// interval (weight 1); k is clamped to [1, available intervals].
 func (t *Trace) SelectIntervals(intervalLen, k int) []Interval {
-	if intervalLen <= 0 || len(t.Insts) == 0 {
+	if len(t.Insts) == 0 {
 		return nil
 	}
-	n := len(t.Insts) / intervalLen
-	if n == 0 {
+	if intervalLen <= 0 || intervalLen > len(t.Insts) {
 		return []Interval{{Start: 0, End: len(t.Insts), Weight: 1}}
 	}
+	n := len(t.Insts) / intervalLen
 	if k > n {
 		k = n
+	}
+	if k < 1 {
+		k = 1
 	}
 	sigs := make([]bbVector, n)
 	for i := 0; i < n; i++ {
@@ -125,4 +133,39 @@ func (t *Trace) SelectIntervals(intervalLen, k int) []Interval {
 // Slice returns a sub-trace covering the interval.
 func (t *Trace) Slice(iv Interval) *Trace {
 	return &Trace{Name: t.Name, Insts: t.Insts[iv.Start:iv.End]}
+}
+
+// SplitN cuts the stream into n contiguous intervals covering it exactly,
+// with lengths as equal as possible (the first Len%n intervals are one
+// micro-op longer) and weights proportional to length. n is clamped to
+// [1, Len]; an empty stream yields nil. Unlike SelectIntervals, every
+// micro-op lands in exactly one interval — this is the decomposition
+// interval-parallel simulation uses (internal/parsim).
+func (t *Trace) SplitN(n int) []Interval {
+	total := len(t.Insts)
+	if total == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	out := make([]Interval, 0, n)
+	base, rem := total/n, total%n
+	start := 0
+	for i := 0; i < n; i++ {
+		l := base
+		if i < rem {
+			l++
+		}
+		out = append(out, Interval{
+			Start:  start,
+			End:    start + l,
+			Weight: float64(l) / float64(total),
+		})
+		start += l
+	}
+	return out
 }

@@ -185,14 +185,108 @@ func TestSelectIntervals(t *testing.T) {
 	}
 }
 
+// TestSelectIntervalsDegenerate pins the edge-case contract: every
+// geometry yields a well-formed selection (intervals inside the stream,
+// weights summing to 1) instead of relying on callers to special-case.
 func TestSelectIntervalsDegenerate(t *testing.T) {
-	tr := &Trace{Insts: make([]isa.Inst, 100)}
-	ivs := tr.SelectIntervals(1000, 4) // fewer insts than one interval
-	if len(ivs) != 1 || ivs[0].Weight != 1 {
-		t.Errorf("degenerate selection = %+v", ivs)
+	cases := []struct {
+		name        string
+		len         int // stream length
+		intervalLen int
+		k           int
+		want        int  // expected interval count (-1 = only check bounds)
+		wholeStream bool // single interval covering the whole stream
+	}{
+		{"empty stream", 0, 1000, 4, 0, false},
+		{"shorter than one interval", 100, 1000, 4, 1, true},
+		{"zero interval length", 100, 0, 4, 1, true},
+		{"negative interval length", 100, -5, 4, 1, true},
+		{"zero k", 100, 10, 0, 1, false},
+		{"negative k", 100, 10, -3, 1, false},
+		{"k beyond available intervals", 100, 10, 99, -1, false},
+		{"interval length equals stream", 100, 100, 4, 1, true},
+		{"one micro-op", 1, 1, 1, 1, true},
 	}
-	if got := tr.SelectIntervals(0, 4); got != nil {
-		t.Error("zero interval length should return nil")
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := &Trace{Insts: make([]isa.Inst, c.len)}
+			ivs := tr.SelectIntervals(c.intervalLen, c.k)
+			if c.want >= 0 && len(ivs) != c.want {
+				t.Fatalf("got %d intervals %+v, want %d", len(ivs), ivs, c.want)
+			}
+			sum := 0.0
+			for _, iv := range ivs {
+				if iv.Start < 0 || iv.End > c.len || iv.Start >= iv.End {
+					t.Errorf("malformed interval [%d,%d) for stream of %d", iv.Start, iv.End, c.len)
+				}
+				sum += iv.Weight
+			}
+			if len(ivs) > 0 && (sum < 0.999 || sum > 1.001) {
+				t.Errorf("weights sum to %f, want 1", sum)
+			}
+			if c.wholeStream && (len(ivs) != 1 || ivs[0].Start != 0 || ivs[0].End != c.len || ivs[0].Weight != 1) {
+				t.Errorf("want one whole-stream interval, got %+v", ivs)
+			}
+		})
+	}
+}
+
+// TestSplitN pins the contiguous-split contract parsim builds on: exact
+// cover, near-equal lengths, clamped n.
+func TestSplitN(t *testing.T) {
+	cases := []struct {
+		name string
+		len  int
+		n    int
+		want int
+	}{
+		{"empty stream", 0, 4, 0},
+		{"even split", 100, 4, 4},
+		{"uneven split", 103, 4, 4},
+		{"n of one", 50, 1, 1},
+		{"zero n", 50, 0, 1},
+		{"negative n", 50, -2, 1},
+		{"n beyond length", 3, 10, 3},
+		{"interval per micro-op", 5, 5, 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := &Trace{Insts: make([]isa.Inst, c.len)}
+			ivs := tr.SplitN(c.n)
+			if len(ivs) != c.want {
+				t.Fatalf("got %d intervals, want %d", len(ivs), c.want)
+			}
+			next, sum := 0, 0.0
+			minLen, maxLen := c.len, 0
+			for _, iv := range ivs {
+				if iv.Start != next {
+					t.Fatalf("gap: interval starts at %d, want %d", iv.Start, next)
+				}
+				if l := iv.End - iv.Start; l > 0 {
+					if l < minLen {
+						minLen = l
+					}
+					if l > maxLen {
+						maxLen = l
+					}
+				} else {
+					t.Fatalf("empty interval [%d,%d)", iv.Start, iv.End)
+				}
+				next = iv.End
+				sum += iv.Weight
+			}
+			if c.want > 0 {
+				if next != c.len {
+					t.Errorf("cover ends at %d, want %d", next, c.len)
+				}
+				if maxLen-minLen > 1 {
+					t.Errorf("lengths vary by more than 1: min %d max %d", minLen, maxLen)
+				}
+				if sum < 0.999 || sum > 1.001 {
+					t.Errorf("weights sum to %f, want 1", sum)
+				}
+			}
+		})
 	}
 }
 

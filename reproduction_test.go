@@ -1,6 +1,17 @@
 package repro
 
-import "testing"
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/mdp"
+	"repro/internal/oracle"
+	"repro/internal/parsim"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
 
 // TestHeadlineOrdering is the repository's reproduction invariant: on a
 // subset chosen to exercise each predictor's characteristic weakness, PHAST
@@ -42,5 +53,94 @@ func TestHeadlineOrdering(t *testing.T) {
 	}
 	if phast < nosq-0.01 {
 		t.Errorf("PHAST (%.4f) must stay at or above NoSQ (%.4f)", phast, nosq)
+	}
+}
+
+// TestIntervalParallelBitExact extends the metamorphic matrix (see
+// internal/oracle/metamorphic_test.go) to interval-parallel execution:
+// for every predictor family × app cell, the 4-interval plan run with
+// Workers=4 must reproduce, byte for byte, the stitched stats and
+// per-interval counters of the same plan run with Workers=1 — and both
+// must chain onto the sequential in-order oracle digest. Each interval
+// runs under full per-retirement oracle verification.
+func TestIntervalParallelBitExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the full matrix is long; interval properties are covered by internal/parsim in -short")
+	}
+	const n = 20000
+	preds := []string{"phast", "storesets", "storevector", "perceptron-mdp", "none", "unlimited-phast"}
+	apps := []string{"511.povray", "519.lbm", "502.gcc_1", "541.leela"}
+	for _, app := range apps {
+		tr, err := sim.TraceFor(app, n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracle.Run(tr).Digest()
+		for _, pred := range preds {
+			pred := pred
+			t.Run(app+"/"+pred, func(t *testing.T) {
+				job := parsim.Job{
+					Machine:      config.AlderLake(),
+					Options:      pipeline.DefaultOptions(),
+					NewPredictor: func() (mdp.Predictor, error) { return sim.NewPredictor(pred) },
+				}
+				plan := parsim.Plan{Intervals: 4, Warmup: 2000, Workers: 1, Verify: true}
+				serial, err := parsim.Run(context.Background(), tr, job, plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plan.Workers = 4
+				parallel, err := parsim.Run(context.Background(), tr, job, plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial.Run, parallel.Run) {
+					t.Errorf("stitched stats differ between Workers=1 and Workers=4:\n%+v\n%+v",
+						serial.Run, parallel.Run)
+				}
+				if !reflect.DeepEqual(serial.Intervals, parallel.Intervals) {
+					t.Errorf("per-interval stats differ between Workers=1 and Workers=4")
+				}
+				if serial.Digest != want || parallel.Digest != want {
+					t.Errorf("digest serial %#x / parallel %#x, want sequential %#x",
+						serial.Digest, parallel.Digest, want)
+				}
+			})
+		}
+	}
+}
+
+// TestIntervalParallelFacade covers the same property through the public
+// facade on a pair of matrix cells: an interval-parallel Simulate call is
+// deterministic, oracle-stamped, and architecturally identical (committed
+// micro-ops, loads, stores) to the sequential run.
+func TestIntervalParallelFacade(t *testing.T) {
+	for _, cell := range []Config{
+		{App: "511.povray", Predictor: "phast"},
+		{App: "502.gcc_1", Predictor: "storesets"},
+	} {
+		cell.Instructions = 20000
+		seq, err := Simulate(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell.Intervals = 4
+		a, err := Simulate(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Simulate(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s/%s: interval runs differ across invocations", cell.App, cell.Predictor)
+		}
+		if a.OracleDigest == 0 {
+			t.Errorf("%s/%s: missing oracle digest", cell.App, cell.Predictor)
+		}
+		if a.Committed != seq.Committed || a.Loads != seq.Loads || a.Stores != seq.Stores {
+			t.Errorf("%s/%s: architectural stream differs from the sequential run", cell.App, cell.Predictor)
+		}
 	}
 }
