@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke chaos api-smoke fuzz cover
+.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke fleet-smoke chaos api-smoke fuzz cover
 
 all: build test
 
@@ -18,6 +18,7 @@ check:
 	$(MAKE) examples
 	$(MAKE) api-smoke
 	$(MAKE) cache-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) benchdiff
 
@@ -45,6 +46,13 @@ cache-smoke:
 	cmp $(SMOKEDIR)/first.txt $(SMOKEDIR)/second.txt
 	grep -Eq '^runs.simulated +0 *$$' $(SMOKEDIR)/second.err
 	@echo "cache smoke ok: byte-identical tables, zero re-simulations"
+
+# Cluster smoke: a 3-node loopback fleet plus a 1-node baseline under a
+# duplicate-heavy zipfian phastload scenario; asserts cluster-wide coalescing
+# (fleet-wide simulations executed == unique configs) and leaves the
+# 1-vs-3-node results.csv comparison table behind for inspection.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 build:
 	go build ./...

@@ -13,7 +13,16 @@
 //	curl -s -X POST localhost:8091/v1/runs -d '{"config":{"App":"511.povray","Predictor":"phast"}}'
 //	curl -s localhost:8091/metrics
 //
-// Benchmark it with cmd/phastload.
+// With -peers/-self the daemon becomes one member of a consistent-hash
+// fleet: any member accepts any request, the ring owner of each config
+// executes it exactly once cluster-wide, and local cache misses fetch from
+// peer caches before simulating (DESIGN.md §15):
+//
+//	phastd -addr :8091 -self http://10.0.0.1:8091 \
+//	       -peers http://10.0.0.1:8091,http://10.0.0.2:8091,http://10.0.0.3:8091 \
+//	       -cache /var/cache/phast
+//
+// Benchmark a node or a fleet with cmd/phastload.
 package main
 
 import (
@@ -26,9 +35,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
 	"repro/internal/server"
@@ -54,6 +65,9 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-supplied deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight runs on shutdown")
 		maxBatch     = flag.Int("max-batch", 1024, "max configs per /v1/batch request")
+		peers        = flag.String("peers", "", "comma-separated base URLs of every fleet member including this one (empty = standalone)")
+		self         = flag.String("self", "", "this member's base URL exactly as it appears in -peers (required with -peers)")
+		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the consistent-hash ring")
 		faults       = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.1,seed=7\" (default $PHAST_FAULTS)")
 		metrics      = flag.Bool("metrics", true, "print the metrics table to stderr on exit")
 	)
@@ -78,6 +92,14 @@ func main() {
 		// not cancel its siblings.
 		KeepGoing: true,
 	})
+	var fleet *cluster.Fleet
+	if *peers != "" {
+		fleet, err = cluster.NewFleet(*self, strings.Split(*peers, ","), *vnodes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "phastd: fleet member", fleet)
+	}
 	srv := server.New(runner, server.Options{
 		MaxInflight:         *maxInflight,
 		QueueDepth:          *queueDepth,
@@ -86,7 +108,13 @@ func main() {
 		MaxRunTimeout:       *maxTimeout,
 		MaxBatch:            *maxBatch,
 		Metrics:             reg,
+		Fleet:               fleet,
 	})
+	if fleet != nil {
+		// Two-tier cache: a local miss asks the ring's other candidates for
+		// their cached entry before paying for a simulation.
+		runner.SetPeerFetch(srv.PeerFetch)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,24 +1,44 @@
-// phastload is the load generator for phastd (ReqBench-style): it drives
-// POST /v1/runs with a configurable mixture of unique and duplicate
-// simulation configs in either closed-loop (fixed concurrency, next request
-// on completion) or open-loop (fixed arrival rate, latency includes queueing)
-// mode, and reports client-side latency percentiles next to the server's own
-// counter deltas — so admission control, queueing and coalescing are
-// measurable from day one.
+// phastload is the load generator and scenario benchmark harness for phastd
+// (ReqBench-style): declarative workload files in, machine-readable
+// throughput/latency tables out.
 //
-// Usage:
+// A scenario describes one traffic experiment — target node(s), arrival
+// process, and request mix — and the harness reports client-side latency
+// percentiles next to the servers' own counter deltas (admission control,
+// coalescing, cache tiers, fleet peer traffic), so a 1-node-vs-3-node
+// scaling curve is a one-command, reproducible artifact:
+//
+//	phastload -scenario scenarios/fleet.json -out results.csv
+//
+// where fleet.json holds one or more scenarios:
+//
+//	{"scenarios": [{
+//	  "name": "fleet-3n",
+//	  "targets": ["http://10.0.0.1:8091", "http://10.0.0.2:8091", "http://10.0.0.3:8091"],
+//	  "mode": "closed", "concurrency": 16, "requests": 500,
+//	  "dup": 0.6, "pool": 8, "zipf_s": 1.2,
+//	  "config": {"App": "511.povray", "Predictor": "phast", "Instructions": 20000},
+//	  "seed": 1
+//	}]}
+//
+// Requests round-robin across targets (any fleet member accepts any
+// config); metrics deltas are summed across all targets. The mix knobs:
+// dup is the probability a request re-asks one of pool known configs
+// (duplicates in flight exercise coalescing, duplicates after exercise the
+// caches); zipf_s > 1 skews which pool config is re-asked (a Zipfian
+// popularity curve — a few configs go viral); burst modulates open-loop
+// arrivals ({"period_ms": 2000, "width_ms": 250, "factor": 8} fires an
+// 8x arrival spike for the first 250ms of every 2s).
+//
+// Without -scenario the flags describe a single anonymous scenario:
 //
 //	phastload -url http://localhost:8091 -mode closed -c 16 -duration 10s -dup 0.5
 //	phastload -url http://localhost:8091 -mode open -qps 50 -duration 30s
-//
-// The -dup knob sets the probability a request re-asks one of -pool known
-// configs instead of a fresh unique one: duplicates that arrive while their
-// twin is in flight exercise server-side coalescing; duplicates after it
-// exercise the run cache.
 package main
 
 import (
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,10 +47,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/runcache"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -41,9 +63,142 @@ func fatal(v ...any) {
 	os.Exit(1)
 }
 
+// Burst modulates an open-loop arrival process: for the first WidthMS of
+// every PeriodMS window, the arrival rate is multiplied by Factor.
+type Burst struct {
+	PeriodMS int64   `json:"period_ms"`
+	WidthMS  int64   `json:"width_ms"`
+	Factor   float64 `json:"factor"`
+}
+
+// Scenario is one declarative traffic experiment. Zero-valued fields take
+// the defaults documented on the flags.
+type Scenario struct {
+	Name    string   `json:"name"`
+	Targets []string `json:"targets"`
+	// Mode is the arrival process: "closed" (Concurrency workers, next
+	// request on completion) or "open" (fixed QPS; latency then includes
+	// server-side queueing under overload).
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency"`
+	QPS         float64 `json:"qps"`
+	// Requests stops the run after this many requests (0 = duration-bound).
+	Requests   int   `json:"requests"`
+	DurationMS int64 `json:"duration_ms"`
+	// Dup is the probability a request re-asks one of Pool known configs.
+	Dup  float64 `json:"dup"`
+	Pool int     `json:"pool"`
+	// ZipfS skews duplicate popularity within the pool (values > 1; 0 or 1
+	// means uniform): higher = fewer configs take more of the traffic.
+	ZipfS float64 `json:"zipf_s"`
+	Burst *Burst  `json:"burst,omitempty"`
+	// Config is the base simulation config; each request stamps a Seed from
+	// the mix, so distinct seeds are distinct cache keys.
+	Config    sim.Config `json:"config"`
+	TimeoutMS int64      `json:"timeout_ms"`
+	Seed      int64      `json:"seed"`
+}
+
+// norm fills a scenario's defaults and validates the knobs.
+func (sc Scenario) norm() (Scenario, error) {
+	if sc.Name == "" {
+		sc.Name = "adhoc"
+	}
+	if len(sc.Targets) == 0 {
+		return sc, fmt.Errorf("scenario %q has no targets", sc.Name)
+	}
+	for i, t := range sc.Targets {
+		sc.Targets[i] = strings.TrimRight(strings.TrimSpace(t), "/")
+	}
+	if sc.Mode == "" {
+		sc.Mode = "closed"
+	}
+	if sc.Mode != "closed" && sc.Mode != "open" {
+		return sc, fmt.Errorf("scenario %q: unknown mode %q", sc.Name, sc.Mode)
+	}
+	if sc.Concurrency <= 0 {
+		sc.Concurrency = 16
+	}
+	if sc.QPS <= 0 {
+		sc.QPS = 50
+	}
+	if sc.DurationMS <= 0 {
+		sc.DurationMS = 10_000
+	}
+	if sc.Dup < 0 || sc.Dup > 1 {
+		return sc, fmt.Errorf("scenario %q: dup %g out of [0,1]", sc.Name, sc.Dup)
+	}
+	if sc.Pool <= 0 {
+		sc.Pool = 4
+	}
+	if sc.ZipfS != 0 && sc.ZipfS <= 1 {
+		return sc, fmt.Errorf("scenario %q: zipf_s must be > 1 (or 0 for uniform)", sc.Name)
+	}
+	if b := sc.Burst; b != nil && (b.PeriodMS <= 0 || b.WidthMS <= 0 || b.WidthMS > b.PeriodMS || b.Factor <= 0) {
+		return sc, fmt.Errorf("scenario %q: bad burst %+v (want 0 < width_ms <= period_ms, factor > 0)", sc.Name, *b)
+	}
+	if sc.Config.App == "" {
+		sc.Config.App = "511.povray"
+	}
+	if sc.Config.Predictor == "" {
+		sc.Config.Predictor = "phast"
+	}
+	if sc.Config.Machine == "" {
+		sc.Config.Machine = "alderlake"
+	}
+	if sc.Config.Instructions == 0 {
+		sc.Config.Instructions = 20_000
+	}
+	if sc.TimeoutMS == 0 {
+		sc.TimeoutMS = 60_000
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	return sc, nil
+}
+
+// scenarioFile is the top-level shape of a -scenario JSON document.
+type scenarioFile struct {
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+func loadScenarios(path string) ([]Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f scenarioFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		// Also accept a bare single scenario object.
+		var one Scenario
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err2 := dec.Decode(&one); err2 != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		f.Scenarios = []Scenario{one}
+	}
+	if len(f.Scenarios) == 0 {
+		return nil, fmt.Errorf("%s: no scenarios", path)
+	}
+	for i := range f.Scenarios {
+		if f.Scenarios[i], err = f.Scenarios[i].norm(); err != nil {
+			return nil, err
+		}
+	}
+	return f.Scenarios, nil
+}
+
 func main() {
 	var (
-		url       = flag.String("url", "http://localhost:8091", "phastd base URL")
+		scenario = flag.String("scenario", "", "scenario JSON file (overrides the mix flags below)")
+		out      = flag.String("out", "", "append machine-readable result rows to this CSV file")
+		wait     = flag.Duration("wait", 0, "poll every target's /healthz for up to this long before starting")
+
+		url       = flag.String("url", "http://localhost:8091", "phastd base URL (flag mode; scenario files carry their own targets)")
 		mode      = flag.String("mode", "closed", "arrival mode: closed (fixed concurrency) or open (fixed rate)")
 		c         = flag.Int("c", 16, "closed-loop concurrency (workers)")
 		qps       = flag.Float64("qps", 50, "open-loop target arrival rate (requests/second)")
@@ -51,6 +206,7 @@ func main() {
 		total     = flag.Int("requests", 0, "stop after this many requests (0 = duration-bound)")
 		dup       = flag.Float64("dup", 0.5, "probability a request duplicates one of -pool configs (0..1)")
 		pool      = flag.Int("pool", 4, "distinct configs in the duplicate pool")
+		zipfS     = flag.Float64("zipf", 0, "zipfian skew over the duplicate pool (> 1; 0 = uniform)")
 		app       = flag.String("app", "511.povray", "workload name")
 		predictor = flag.String("predictor", "phast", "predictor spec")
 		machine   = flag.String("machine", "alderlake", "machine configuration")
@@ -59,77 +215,156 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload-mix random seed")
 	)
 	flag.Parse()
-	if *dup < 0 || *dup > 1 {
-		fatal("-dup out of [0,1]:", *dup)
-	}
-	if *pool < 1 {
-		fatal("-pool must be >= 1")
+
+	var (
+		scenarios []Scenario
+		err       error
+	)
+	if *scenario != "" {
+		scenarios, err = loadScenarios(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		sc, err := Scenario{
+			Targets: []string{*url}, Mode: *mode, Concurrency: *c, QPS: *qps,
+			Requests: *total, DurationMS: duration.Milliseconds(),
+			Dup: *dup, Pool: *pool, ZipfS: *zipfS,
+			Config: sim.Config{
+				App: *app, Machine: *machine, Predictor: *predictor, Instructions: *n,
+			},
+			TimeoutMS: *timeoutMS, Seed: *seed,
+		}.norm()
+		if err != nil {
+			fatal(err)
+		}
+		scenarios = []Scenario{sc}
 	}
 
-	before, err := fetchMetrics(*url)
+	if *wait > 0 {
+		targets := map[string]bool{}
+		for _, sc := range scenarios {
+			for _, t := range sc.Targets {
+				targets[t] = true
+			}
+		}
+		for t := range targets {
+			if err := waitHealthy(t, *wait); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	rows := make([]resultRow, 0, len(scenarios))
+	for _, sc := range scenarios {
+		rows = append(rows, runScenario(sc))
+	}
+	if *out != "" {
+		if err := writeCSV(*out, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "phastload: %d result row(s) appended to %s\n", len(rows), *out)
+	}
+}
+
+// waitHealthy polls target/healthz until it answers 200 or the budget runs
+// out — so scripts can start a fleet and the harness back to back.
+func waitHealthy(target string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(target + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("target %s not healthy after %s", target, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// runScenario executes one scenario, prints the human tables, and returns
+// the machine-readable row.
+func runScenario(sc Scenario) resultRow {
+	fmt.Printf("== scenario %s: %s over %d target(s), dup=%g pool=%d zipf=%g ==\n",
+		sc.Name, sc.Mode, len(sc.Targets), sc.Dup, sc.Pool, sc.ZipfS)
+
+	before, err := fetchMetricsAll(sc.Targets)
 	if err != nil {
 		fatal("server unreachable:", err)
 	}
 
-	// Pre-plan the request mix so the workload is reproducible under -seed
-	// and the hot loop does no locking around the RNG. Duplicate-pool seeds
-	// are 1..pool; unique requests get seeds far above the pool.
-	planned := *total
+	// Pre-plan the request mix so the workload is reproducible under the
+	// scenario seed. Duplicate-pool seeds are 1..pool (zipf-skewed when
+	// configured); unique requests get seeds far above the pool.
+	rng := rand.New(rand.NewSource(sc.Seed))
+	var zipf *rand.Zipf
+	if sc.ZipfS > 1 && sc.Pool > 1 {
+		zipf = rand.NewZipf(rng, sc.ZipfS, 1, uint64(sc.Pool-1))
+	}
+	seedOf := func(i int) int64 {
+		_ = i
+		if rng.Float64() < sc.Dup {
+			if zipf != nil {
+				return int64(1 + zipf.Uint64())
+			}
+			return int64(1 + rng.Intn(sc.Pool))
+		}
+		return 1_000_000 + rng.Int63n(1<<40)
+	}
+
+	planned := sc.Requests
 	if planned == 0 {
 		planned = 1 << 20 // effectively duration-bound
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	seedOf := func(i int) int64 {
-		_ = i
-		if rng.Float64() < *dup {
-			return int64(1 + rng.Intn(*pool))
-		}
-		return int64(1_000_000 + rng.Int63n(1<<40))
-	}
-
 	lg := &loadgen{
-		url:    *url,
-		client: &http.Client{},
-		cfg: sim.Config{
-			App: *app, Machine: *machine, Predictor: *predictor, Instructions: *n,
-		},
-		timeoutMS: *timeoutMS,
+		targets:   sc.Targets,
+		client:    &http.Client{},
+		cfg:       sc.Config,
+		timeoutMS: sc.TimeoutMS,
+		unique:    map[int64]bool{},
 	}
 
-	deadline := time.Now().Add(*duration)
+	deadline := time.Now().Add(time.Duration(sc.DurationMS) * time.Millisecond)
 	start := time.Now()
-	switch *mode {
+	switch sc.Mode {
 	case "closed":
-		lg.closedLoop(*c, planned, deadline, seedOf)
+		lg.closedLoop(sc.Concurrency, planned, deadline, seedOf)
 	case "open":
-		lg.openLoop(*qps, planned, deadline, seedOf)
-	default:
-		fatal("unknown -mode:", *mode)
+		lg.openLoop(sc.QPS, sc.Burst, planned, deadline, seedOf)
 	}
 	elapsed := time.Since(start)
 
-	after, err := fetchMetrics(*url)
+	after, err := fetchMetricsAll(sc.Targets)
 	if err != nil {
 		fatal("server metrics after the run:", err)
 	}
-	lg.report(os.Stdout, elapsed, before, after)
+	lg.report(os.Stdout, sc.Name, elapsed, before, after)
+	return lg.row(sc, elapsed, before, after)
 }
 
 // loadgen issues requests and accumulates client-side outcomes.
 type loadgen struct {
-	url       string
+	targets   []string
+	rr        atomic.Int64 // round-robin cursor over targets
 	client    *http.Client
 	cfg       sim.Config
 	timeoutMS int64
 
 	mu        sync.Mutex
 	latencies []time.Duration
+	unique    map[int64]bool // distinct config seeds actually sent
 	ok        int
 	rejected  int // HTTP 429: admission-control backpressure
 	failed    int // anything else
 }
 
 // next sends request i with the given stream seed and records its outcome.
+// Targets are round-robined: any fleet member accepts any config.
 func (l *loadgen) next(seed int64) {
 	cfg := l.cfg
 	cfg.Seed = seed
@@ -137,12 +372,14 @@ func (l *loadgen) next(seed int64) {
 	if err != nil {
 		fatal(err)
 	}
+	target := l.targets[int(l.rr.Add(1)-1)%len(l.targets)]
 	start := time.Now()
-	resp, err := l.client.Post(l.url+"/v1/runs", "application/json", bytes.NewReader(body))
+	resp, err := l.client.Post(target+"/v1/runs", "application/json", bytes.NewReader(body))
 	lat := time.Since(start)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.latencies = append(l.latencies, lat)
+	l.unique[seed] = true
 	if err != nil {
 		l.failed++
 		return
@@ -187,19 +424,27 @@ func (l *loadgen) closedLoop(c, total int, deadline time.Time, seedOf func(int) 
 
 // openLoop fires requests at a fixed rate regardless of completions — the
 // latency distribution then includes server-side queueing under overload.
-// In-flight requests are capped at 4096 as an OOM backstop; arrivals past
-// the cap count as client-side drops (reported as failed).
-func (l *loadgen) openLoop(qps float64, total int, deadline time.Time, seedOf func(int) int64) {
-	if qps <= 0 {
-		fatal("-qps must be > 0 in open mode")
-	}
-	interval := time.Duration(float64(time.Second) / qps)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+// A burst spec modulates the rate (factor× for the first width of every
+// period). In-flight requests are capped at 4096 as an OOM backstop;
+// arrivals past the cap count as client-side drops (reported as failed).
+func (l *loadgen) openLoop(qps float64, burst *Burst, total int, deadline time.Time, seedOf func(int) int64) {
+	start := time.Now()
+	next := start
 	var inflight atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < total && time.Now().Before(deadline); i++ {
-		<-ticker.C
+		rate := qps
+		if burst != nil {
+			period := time.Duration(burst.PeriodMS) * time.Millisecond
+			width := time.Duration(burst.WidthMS) * time.Millisecond
+			if time.Since(start)%period < width {
+				rate *= burst.Factor
+			}
+		}
+		next = next.Add(time.Duration(float64(time.Second) / rate))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
 		if inflight.Load() >= 4096 {
 			l.mu.Lock()
 			l.failed++
@@ -218,7 +463,7 @@ func (l *loadgen) openLoop(qps float64, total int, deadline time.Time, seedOf fu
 	wg.Wait()
 }
 
-// fetchMetrics pulls the server's counter snapshot.
+// fetchMetrics pulls one server's counter snapshot.
 func fetchMetrics(url string) (server.MetricsResponse, error) {
 	var m server.MetricsResponse
 	resp, err := http.Get(url + "/metrics?format=json")
@@ -227,28 +472,57 @@ func fetchMetrics(url string) (server.MetricsResponse, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return m, fmt.Errorf("GET /metrics: %s", resp.Status)
+		return m, fmt.Errorf("GET %s/metrics: %s", url, resp.Status)
 	}
 	return m, json.NewDecoder(resp.Body).Decode(&m)
 }
 
+// fetchMetricsAll sums counter snapshots across every target — the fleet's
+// aggregate view, so "total simulations executed" means cluster-wide.
+func fetchMetricsAll(targets []string) (map[string]uint64, error) {
+	sum := map[string]uint64{}
+	for _, t := range targets {
+		m, err := fetchMetrics(t)
+		if err != nil {
+			return nil, err
+		}
+		for name, v := range m.Counters {
+			sum[name] += v
+		}
+	}
+	return sum, nil
+}
+
+// serverCounters are the counter deltas reported per scenario, in table and
+// CSV column order.
+var serverCounters = []string{
+	server.CounterRequests, server.CounterAccepted, server.CounterQueued,
+	server.CounterRejected, server.CounterCoalesced,
+	server.CounterProxied, server.CounterProxyErrors, server.CounterPeerRuns,
+	runcache.CounterPeerHits, runcache.CounterPeerErrors, server.CounterPeerCacheServed,
+	runcache.CounterMemHits, runcache.CounterDiskHits, runcache.CounterMisses,
+	runcache.CounterRunsSimulated,
+}
+
+func (l *loadgen) pct(q float64) time.Duration {
+	if len(l.latencies) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(l.latencies)-1))
+	return l.latencies[i]
+}
+
 // report renders the client-side latency distribution and the server-side
-// counter deltas for the run.
-func (l *loadgen) report(w io.Writer, elapsed time.Duration, before, after server.MetricsResponse) {
+// counter deltas for the run. Callers hold no lock; latencies are final.
+func (l *loadgen) report(w io.Writer, name string, elapsed time.Duration, before, after map[string]uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	sort.Slice(l.latencies, func(i, j int) bool { return l.latencies[i] < l.latencies[j] })
-	pct := func(q float64) time.Duration {
-		if len(l.latencies) == 0 {
-			return 0
-		}
-		i := int(q * float64(len(l.latencies)-1))
-		return l.latencies[i]
-	}
 	n := len(l.latencies)
 
-	t := stats.NewTable("phastload — client side", "metric", "value")
+	t := stats.NewTable(fmt.Sprintf("%s — client side", name), "metric", "value")
 	t.AddRowf("requests", n)
+	t.AddRowf("unique configs", len(l.unique))
 	t.AddRowf("ok", l.ok)
 	t.AddRowf("rejected (429)", l.rejected)
 	t.AddRowf("failed", l.failed)
@@ -258,17 +532,113 @@ func (l *loadgen) report(w io.Writer, elapsed time.Duration, before, after serve
 		name string
 		q    float64
 	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"max", 1.0}} {
-		t.AddRow("latency "+p.name, pct(p.q).Round(time.Microsecond).String())
+		t.AddRow("latency "+p.name, l.pct(p.q).Round(time.Microsecond).String())
 	}
 	fmt.Fprint(w, t)
 
-	st := stats.NewTable("phastd — server side (delta over the run)", "counter", "delta")
-	for _, name := range []string{
-		server.CounterRequests, server.CounterAccepted, server.CounterQueued,
-		server.CounterRejected, server.CounterCoalesced,
-		"cache.hits.mem", "cache.hits.disk", "cache.misses", "runs.simulated",
-	} {
-		st.AddRowf(name, after.Counters[name]-before.Counters[name])
+	st := stats.NewTable(fmt.Sprintf("%s — server side (delta over the run, summed across %d target(s))",
+		name, len(l.targets)), "counter", "delta")
+	for _, cname := range serverCounters {
+		st.AddRowf(cname, after[cname]-before[cname])
 	}
 	fmt.Fprint(w, st)
+}
+
+// resultRow is one scenario's machine-readable outcome: the CSV schema of
+// the harness. Column order is csvHeader's.
+type resultRow struct {
+	scenario string
+	targets  int
+	mode     string
+	requests int
+	unique   int
+	ok       int
+	rejected int
+	failed   int
+	elapsedS float64
+	rps      float64
+	latMS    [4]float64 // p50, p90, p99, max
+	deltas   map[string]uint64
+}
+
+func (l *loadgen) row(sc Scenario, elapsed time.Duration, before, after map[string]uint64) resultRow {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := resultRow{
+		scenario: sc.Name,
+		targets:  len(sc.Targets),
+		mode:     sc.Mode,
+		requests: len(l.latencies),
+		unique:   len(l.unique),
+		ok:       l.ok,
+		rejected: l.rejected,
+		failed:   l.failed,
+		elapsedS: elapsed.Seconds(),
+		rps:      float64(len(l.latencies)) / elapsed.Seconds(),
+		deltas:   map[string]uint64{},
+	}
+	for i, q := range []float64{0.50, 0.90, 0.99, 1.0} {
+		r.latMS[i] = float64(l.pct(q)) / float64(time.Millisecond)
+	}
+	for _, name := range serverCounters {
+		r.deltas[name] = after[name] - before[name]
+	}
+	return r
+}
+
+func csvHeader() []string {
+	h := []string{
+		"scenario", "targets", "mode", "requests", "unique", "ok", "rejected",
+		"failed", "elapsed_s", "rps", "p50_ms", "p90_ms", "p99_ms", "max_ms",
+	}
+	for _, name := range serverCounters {
+		h = append(h, strings.NewReplacer(".", "_").Replace(name))
+	}
+	return h
+}
+
+// writeCSV appends rows to path, writing the header only when the file is
+// new or empty — successive harness invocations build one results table.
+func writeCSV(path string, rows []resultRow) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if st.Size() == 0 {
+		if err := w.Write(csvHeader()); err != nil {
+			return err
+		}
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.scenario,
+			fmt.Sprint(r.targets),
+			r.mode,
+			fmt.Sprint(r.requests),
+			fmt.Sprint(r.unique),
+			fmt.Sprint(r.ok),
+			fmt.Sprint(r.rejected),
+			fmt.Sprint(r.failed),
+			fmt.Sprintf("%.3f", r.elapsedS),
+			fmt.Sprintf("%.1f", r.rps),
+			fmt.Sprintf("%.3f", r.latMS[0]),
+			fmt.Sprintf("%.3f", r.latMS[1]),
+			fmt.Sprintf("%.3f", r.latMS[2]),
+			fmt.Sprintf("%.3f", r.latMS[3]),
+		}
+		for _, name := range serverCounters {
+			rec = append(rec, fmt.Sprint(r.deltas[name]))
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
 }

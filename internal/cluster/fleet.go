@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Fleet is one member's view of a phastd cluster: the full member set on a
+// consistent-hash ring plus this node's own identity. Members are base URLs
+// ("http://host:port", no path); Self must be one of them, spelled exactly
+// as the other members will spell it in their own -peers lists — ownership
+// is decided by string identity on the ring, so every member must hash the
+// same member strings.
+//
+// The fleet is static for the life of the process (membership comes from
+// the -peers flag); rolling a membership change means restarting members
+// with the new list, and the ring's minimal-remapping property bounds how
+// much of the key space moves owners when that happens.
+type Fleet struct {
+	self string
+	ring *Ring
+}
+
+// NewFleet builds a fleet from this node's base URL and the full peer list
+// (which must include self). URLs are normalised only by trimming trailing
+// slashes and surrounding space — no DNS resolution, so "localhost" and
+// "127.0.0.1" are different members.
+func NewFleet(self string, peers []string, vnodes int) (*Fleet, error) {
+	self = normURL(self)
+	if self == "" {
+		return nil, fmt.Errorf("cluster: -self is required when -peers is set")
+	}
+	members := make([]string, 0, len(peers))
+	for _, p := range peers {
+		p = normURL(p)
+		if p == "" {
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not a base URL (want scheme://host[:port])", p)
+		}
+		if u.Path != "" || u.RawQuery != "" || u.Fragment != "" {
+			return nil, fmt.Errorf("cluster: peer %q must be a bare base URL (no path/query)", p)
+		}
+		members = append(members, p)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	ring := NewRing(members, vnodes)
+	found := false
+	for _, m := range ring.Members() {
+		if m == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", self, ring.Members())
+	}
+	return &Fleet{self: self, ring: ring}, nil
+}
+
+func normURL(s string) string {
+	return strings.TrimRight(strings.TrimSpace(s), "/")
+}
+
+// Self returns this node's member identity (its base URL).
+func (f *Fleet) Self() string { return f.self }
+
+// Members returns the full member set, self included.
+func (f *Fleet) Members() []string { return f.ring.Members() }
+
+// Size returns the member count.
+func (f *Fleet) Size() int { return f.ring.Size() }
+
+// Owner returns the member owning key.
+func (f *Fleet) Owner(key string) string { return f.ring.Owner(key) }
+
+// IsOwner reports whether this node owns key.
+func (f *Fleet) IsOwner(key string) bool { return f.ring.Owner(key) == f.self }
+
+// FetchCandidates returns up to n members worth asking for a cached copy of
+// key, in ring order and never including self: the key's owner first (when
+// self is not the owner), then the successors that owned it under smaller
+// memberships. On the owner itself this yields the members the key most
+// recently lived on before this node joined the ring.
+func (f *Fleet) FetchCandidates(key string, n int) []string {
+	owners := f.ring.Owners(key, n+1)
+	out := make([]string, 0, n)
+	for _, m := range owners {
+		if m != f.self && len(out) < n {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String renders the fleet for logs: self plus the member count.
+func (f *Fleet) String() string {
+	return fmt.Sprintf("%s in %d-member fleet", f.self, f.ring.Size())
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewFleetValidation(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	for _, tc := range []struct {
+		name, self string
+		peers      []string
+		wantErr    string
+	}{
+		{"ok", "http://a:1", peers, ""},
+		{"ok trailing slash", "http://a:1/", []string{"http://a:1/", "http://b:2"}, ""},
+		{"self missing", "http://z:9", peers, "not in the peer list"},
+		{"empty self", "", peers, "-self is required"},
+		{"empty peers", "http://a:1", nil, "empty peer list"},
+		{"peer with path", "http://a:1", []string{"http://a:1", "http://b:2/v1"}, "bare base URL"},
+		{"peer without scheme", "http://a:1", []string{"http://a:1", "b:2"}, "not a base URL"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := NewFleet(tc.self, tc.peers, 0)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("NewFleet: %v", err)
+				}
+				if f.Self() != normURL(tc.self) {
+					t.Fatalf("Self = %q", f.Self())
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestFleetAgreement: every member of a fleet computes the same owner for
+// every key — the property that lets any node accept a request and forward
+// it to one deterministic executor.
+func TestFleetAgreement(t *testing.T) {
+	peers := members(4)
+	fleets := make([]*Fleet, len(peers))
+	for i, p := range peers {
+		f, err := NewFleet(p, peers, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleets[i] = f
+	}
+	owned := 0
+	for _, k := range keys(4000) {
+		owner := fleets[0].Owner(k)
+		for _, f := range fleets[1:] {
+			if f.Owner(k) != owner {
+				t.Fatalf("fleet views disagree on %q: %q vs %q", k, owner, f.Owner(k))
+			}
+		}
+		if fleets[0].IsOwner(k) {
+			owned++
+		}
+		// Exactly one member may claim ownership.
+		claims := 0
+		for _, f := range fleets {
+			if f.IsOwner(k) {
+				claims++
+			}
+		}
+		if claims != 1 {
+			t.Fatalf("%d members claim key %q", claims, k)
+		}
+	}
+	if owned == 0 || owned == 4000 {
+		t.Fatalf("member 0 owns %d/4000 keys — routing degenerate", owned)
+	}
+}
+
+// TestFetchCandidates: candidates never include self, are distinct, and on
+// the key's owner they start with the member that owned the key before this
+// node joined (the place a two-tier fetch should look first).
+func TestFetchCandidates(t *testing.T) {
+	peers := members(4)
+	newcomer := peers[3]
+	old := NewRing(peers[:3], 0)
+	f, err := NewFleet(newcomer, peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, k := range keys(4000) {
+		cands := f.FetchCandidates(k, 2)
+		if len(cands) > 2 {
+			t.Fatalf("FetchCandidates returned %d members", len(cands))
+		}
+		for _, c := range cands {
+			if c == newcomer {
+				t.Fatalf("FetchCandidates includes self for %q", k)
+			}
+		}
+		if !f.IsOwner(k) {
+			continue
+		}
+		// Keys the newcomer took over: the pre-join owner must be the first
+		// candidate, because that is where the cached entry lives.
+		checked++
+		if len(cands) == 0 || cands[0] != old.Owner(k) {
+			t.Fatalf("key %q moved to newcomer; first candidate %v, want pre-join owner %q",
+				k, cands, old.Owner(k))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("newcomer owns no keys — test vacuous")
+	}
+}

@@ -1,0 +1,153 @@
+// Package cluster is the fleet-membership layer of the serving stack: a
+// consistent-hash ring that assigns every run-cache key (runcache.Key) an
+// owning phastd member, so any node of a fleet can accept a request while
+// exactly one node executes and caches it. The ring uses virtual nodes for
+// balance, and consistent hashing keeps remapping minimal when the member
+// set changes: adding or removing one of N members moves only ~1/N of the
+// key space (the ring tests pin a ≤2/N bound).
+//
+// The package is pure data — hashing, ordering, membership validation. The
+// HTTP peer protocol built on top of it (proxied runs, peer cache fetches)
+// lives in internal/server, which owns the wire format.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per member used when a caller
+// leaves it zero. 128 points per member keeps the expected per-member load
+// imbalance under ~10% (stddev of a member's share is roughly
+// share/sqrt(vnodes)) while ring construction stays microseconds-cheap.
+const DefaultVNodes = 128
+
+// point is one virtual node: a position on the 64-bit hash circle and the
+// member it maps to.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over a set of members. Build
+// with NewRing; derive changed memberships with With/Without. Immutability
+// is what makes lookups lock-free: a membership change builds a new ring
+// and swaps the pointer at the caller's level.
+type Ring struct {
+	vnodes  int
+	members []string // deduplicated, sorted
+	points  []point  // sorted by (hash, member)
+}
+
+// hash64 maps a label onto the ring circle. SHA-256 (truncated to 64 bits)
+// rather than a cheap multiplicative hash: vnode labels are highly regular
+// ("member#i"), and key strings are already hex SHA-256 digests, so a
+// cryptographic mix guarantees the uniformity the balance bounds assume.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over members (empty strings and duplicates are
+// dropped) with the given virtual-node count (<=0 means DefaultVNodes).
+// A ring over zero members is valid and owns nothing.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	ms := make([]string, 0, len(members))
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			ms = append(ms, m)
+		}
+	}
+	sort.Strings(ms)
+	r := &Ring{vnodes: vnodes, members: ms, points: make([]point, 0, len(ms)*vnodes)}
+	for _, m := range ms {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash64(fmt.Sprintf("%s#%d", m, i)), m})
+		}
+	}
+	// Ties (64-bit collisions between vnode labels) are broken by member
+	// name so construction order never leaks into ownership.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the deduplicated, sorted member set.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// VNodes returns the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// succ returns the index of the first ring point at or after key's hash,
+// wrapping past the top of the circle.
+func (r *Ring) succ(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the member owning key: the member of the first virtual node
+// clockwise from the key's position. Empty rings own nothing ("").
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.succ(key)].member
+}
+
+// Owners returns up to n distinct members in ring order starting from key's
+// owner — the owner first, then the members that would own the key if their
+// predecessors left. This is the natural fetch-candidate order for a
+// two-tier cache: after a membership change, the previous owner of a key is
+// (with high probability) among the next distinct successors.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.succ(key); len(out) < n && i < len(r.points); i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// With returns a new ring with member added (a no-op copy if present).
+func (r *Ring) With(member string) *Ring {
+	return NewRing(append(r.Members(), member), r.vnodes)
+}
+
+// Without returns a new ring with member removed (a no-op copy if absent).
+func (r *Ring) Without(member string) *Ring {
+	ms := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m != member {
+			ms = append(ms, m)
+		}
+	}
+	return NewRing(ms, r.vnodes)
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys returns n synthetic keys shaped like runcache keys (distinct strings;
+// the ring hashes them itself, so plain labels are as good as hex digests).
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://127.0.0.1:%d", 9000+i)
+	}
+	return out
+}
+
+// TestRingBalance pins key-distribution balance: across 3/5/9 members with
+// DefaultVNodes virtual nodes, every member's share of a large key set must
+// stay near fair, both per member (max relative deviation) and in aggregate
+// (a chi-square-style statistic over the observed counts).
+func TestRingBalance(t *testing.T) {
+	const nkeys = 30_000
+	ks := keys(nkeys)
+	for _, n := range []int{3, 5, 9} {
+		t.Run(fmt.Sprintf("%dnodes", n), func(t *testing.T) {
+			r := NewRing(members(n), 0)
+			counts := map[string]int{}
+			for _, k := range ks {
+				owner := r.Owner(k)
+				if owner == "" {
+					t.Fatalf("Owner(%q) = empty on a %d-member ring", k, n)
+				}
+				counts[owner]++
+			}
+			if len(counts) != n {
+				t.Fatalf("only %d of %d members own keys: %v", len(counts), n, counts)
+			}
+			fair := float64(nkeys) / float64(n)
+			chi2 := 0.0
+			for m, c := range counts {
+				dev := (float64(c) - fair) / fair
+				if dev < -0.35 || dev > 0.35 {
+					t.Errorf("member %s owns %d keys, %+.1f%% from fair share %.0f",
+						m, c, 100*dev, fair)
+				}
+				chi2 += (float64(c) - fair) * (float64(c) - fair) / fair
+			}
+			// With 128 vnodes the per-member share variance is ~fair²/vnodes,
+			// so E[chi2] ≈ nkeys·(n-1)/vnodes... in practice well under 10·n
+			// for a uniform hash; 60·n is a loose multiple that still fails
+			// hard on a broken hash (which lands in the thousands).
+			if limit := 60.0 * float64(n); chi2 > limit {
+				t.Errorf("chi-square statistic %.1f over %d members exceeds %.1f (imbalanced ring)",
+					chi2, n, limit)
+			}
+		})
+	}
+}
+
+// TestRingMinimalRemapping pins the consistent-hashing contract: adding or
+// removing one member of an N-member ring moves at most 2/N of the keys
+// (expected 1/N for a join to N+1 members, 1/N for a leave from N).
+func TestRingMinimalRemapping(t *testing.T) {
+	const nkeys = 20_000
+	ks := keys(nkeys)
+	for _, n := range []int{3, 5, 9} {
+		base := NewRing(members(n), 0)
+		joined := base.With("http://127.0.0.1:9999")
+		left := base.Without(members(n)[0])
+
+		moved := func(a, b *Ring) int {
+			m := 0
+			for _, k := range ks {
+				if a.Owner(k) != b.Owner(k) {
+					m++
+				}
+			}
+			return m
+		}
+
+		if got, limit := moved(base, joined), nkeys*2/(n+1); got > limit {
+			t.Errorf("join to %d members moved %d/%d keys, want <= %d (2/N)",
+				n+1, got, nkeys, limit)
+		}
+		if got, limit := moved(base, left), nkeys*2/n; got > limit {
+			t.Errorf("leave from %d members moved %d/%d keys, want <= %d (2/N)",
+				n, got, nkeys, limit)
+		}
+		// A key that did not move owners on a join must still be owned by a
+		// surviving member after a leave (sanity: leave only reassigns the
+		// departed member's keys).
+		for _, k := range ks[:1000] {
+			if base.Owner(k) != members(n)[0] && left.Owner(k) != base.Owner(k) {
+				t.Fatalf("leave moved key %q owned by surviving member %s", k, base.Owner(k))
+			}
+		}
+	}
+}
+
+// TestRingDeterminism: ownership is a pure function of (members, vnodes),
+// independent of member order, and every member can compute it identically.
+func TestRingDeterminism(t *testing.T) {
+	ms := members(5)
+	r1 := NewRing(ms, 64)
+	r2 := NewRing([]string{ms[3], ms[1], ms[4], ms[0], ms[2], ms[1]}, 64)
+	for _, k := range keys(2000) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner of %q differs across member orderings: %q vs %q",
+				k, r1.Owner(k), r2.Owner(k))
+		}
+	}
+}
+
+// TestRingOwners: the candidate list is distinct, starts at the owner, and
+// never exceeds the member count.
+func TestRingOwners(t *testing.T) {
+	r := NewRing(members(3), 0)
+	for _, k := range keys(500) {
+		owners := r.Owners(k, 5)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 5) on 3 members = %v", k, owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners(%q)[0] = %q, want the owner %q", k, owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range owners {
+			if seen[m] {
+				t.Fatalf("Owners(%q) repeats %q: %v", k, m, owners)
+			}
+			seen[m] = true
+		}
+	}
+	if got := NewRing(nil, 0).Owner("k"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want empty", got)
+	}
+	if got := NewRing(nil, 0).Owners("k", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+}

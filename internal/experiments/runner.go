@@ -127,6 +127,17 @@ func (r *Runner) Opt() Options { return r.opt }
 // Metrics returns the runner's counter registry.
 func (r *Runner) Metrics() *stats.Metrics { return r.opt.Metrics }
 
+// SetPeerFetch installs f as the run cache's peer tier (memory → disk →
+// peer → simulate; see runcache.Cache.SetPeerFetch). The serving layer
+// wires this to the fleet's peer cache-fetch client so a local miss asks
+// the ring's other owners before paying for a simulation.
+func (r *Runner) SetPeerFetch(f runcache.PeerFetchFunc) { r.cache.SetPeerFetch(f) }
+
+// CachedRun reports the locally cached result under key (memory, then
+// disk) without ever simulating — the lookup behind the fleet's
+// GET /v1/peer/cache/{key} endpoint.
+func (r *Runner) CachedRun(key string) (*stats.Run, bool) { return r.cache.Cached(key) }
+
 // Close stops the worker pool. It is safe to call more than once; batch
 // APIs called after Close fail with a per-config error.
 func (r *Runner) Close() { r.sched.close() }

@@ -46,6 +46,13 @@ const (
 	// admission-control queueing) rather than failure paths: a slow disk
 	// must cost time, never correctness.
 	FaultSlowDisk Fault = "slowdisk"
+	// FaultPeerFetch fails fleet peer HTTP operations — owner-proxied runs
+	// and peer cache fetches — before any bytes reach the network, keyed by
+	// the run-cache key. It exercises the cluster degradation contract: a
+	// member that cannot reach its peers must fall back to executing and
+	// caching locally (counting runcache.peer.errors / server.proxy.errors),
+	// never fail the request.
+	FaultPeerFetch Fault = "peerfetch"
 	// FaultFwdFlip flips the pipeline's §IV-A1 forwarding-filter condition
 	// for a whole run: every conflicting load is wrongly deemed already-
 	// correct, so memory-order violations go undetected and stale values
@@ -60,7 +67,7 @@ const SlowDiskDelay = 25 * time.Millisecond
 
 // Faults lists every injectable fault.
 func Faults() []Fault {
-	return []Fault{FaultPanic, FaultStall, FaultDiskWrite, FaultCorrupt, FaultSlowDisk, FaultFwdFlip}
+	return []Fault{FaultPanic, FaultStall, FaultDiskWrite, FaultCorrupt, FaultSlowDisk, FaultPeerFetch, FaultFwdFlip}
 }
 
 // Plan maps faults to firing probabilities under one seed. A nil *Plan is

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime/metrics"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -31,6 +32,19 @@ const (
 	// (unparseable JSON, key mismatch, empty payload) — each reads as a
 	// miss and the run is re-simulated.
 	CounterDiskCorrupt = "runcache.disk.corrupt"
+	// CounterPeerHits counts requests answered by fetching another fleet
+	// member's cached entry (the peer tier, between disk and simulate).
+	CounterPeerHits = "runcache.peer.hits"
+	// CounterPeerMisses counts peer-tier lookups that found no copy
+	// anywhere in the fleet and fell through to simulating.
+	CounterPeerMisses = "runcache.peer.misses"
+	// CounterPeerErrors counts failed peer fetch attempts (unreachable
+	// member, bad response). Errors degrade to simulating locally — they
+	// are counted by the fetcher, never surfaced to the run.
+	CounterPeerErrors = "runcache.peer.errors"
+	// HistPeerFetch is the per-attempt peer fetch latency histogram
+	// (seconds), observed by the fetcher for hits and misses alike.
+	HistPeerFetch = "runcache.peer.fetch.seconds"
 	// CounterRunsSimulated counts simulations actually executed.
 	CounterRunsSimulated = "runs.simulated"
 	// CounterSimNanos accumulates wall-time spent inside the simulator.
@@ -56,14 +70,25 @@ func heapAllocObjects() uint64 {
 	return s[0].Value.Uint64()
 }
 
+// PeerFetchFunc is the peer tier of a clustered cache: given a key it asks
+// other fleet members for their cached copy, returning (run, true) on a hit
+// and (nil, false) on a miss. Implementations own their failure handling —
+// an unreachable peer is reported as a miss (and counted under
+// CounterPeerErrors by the fetcher), never as an error, so the run always
+// degrades to simulating locally. The context bounds the fetch; a fetch
+// must cost strictly less than a simulation or it has no business existing.
+type PeerFetchFunc func(ctx context.Context, key string) (*stats.Run, bool)
+
 // Cache layers an in-process memoisation map over an optional persistent
 // Store, with single-flight de-duplication so concurrent requests for the
-// same key simulate once. Lookup order: memory → disk → simulate. All
-// methods are safe for concurrent use.
+// same key simulate once. Lookup order: memory → disk → peer (when a
+// PeerFetchFunc is installed) → simulate. All methods are safe for
+// concurrent use.
 type Cache struct {
 	mu      sync.Mutex
 	mem     map[string]*stats.Run
 	disk    *Store // nil = in-memory only
+	peer    atomic.Pointer[PeerFetchFunc]
 	group   Group
 	metrics *stats.Metrics
 }
@@ -86,6 +111,35 @@ func (c *Cache) Metrics() *stats.Metrics { return c.metrics }
 
 // Disk returns the persistent layer (nil if in-memory only).
 func (c *Cache) Disk() *Store { return c.disk }
+
+// SetPeerFetch installs (or, with nil, removes) the peer tier consulted
+// between the disk layer and simulating. Safe to call concurrently with
+// running lookups; in-flight lookups keep the fetcher they loaded.
+func (c *Cache) SetPeerFetch(f PeerFetchFunc) {
+	if f == nil {
+		c.peer.Store(nil)
+		return
+	}
+	c.peer.Store(&f)
+}
+
+// Cached returns the run stored under key in the local tiers only (memory,
+// then disk, promoting a disk hit to memory), never simulating and never
+// asking peers — the lookup this node serves when it is the peer being
+// fetched from. Local-tier hit counters are untouched: a peer's traffic is
+// not this node's cache performance.
+func (c *Cache) Cached(key string) (*stats.Run, bool) {
+	if run, ok := c.memGet(key); ok {
+		return run, true
+	}
+	if c.disk != nil {
+		if run, ok := c.disk.Get(key); ok {
+			c.memPut(key, run)
+			return run, true
+		}
+	}
+	return nil, false
+}
 
 func (c *Cache) memGet(key string) (*stats.Run, bool) {
 	c.mu.Lock()
@@ -133,6 +187,19 @@ func (c *Cache) GetOrRun(ctx context.Context, cfg sim.Config, simulate func(cont
 				c.memPut(key, run)
 				return run, nil
 			}
+		}
+		if fp := c.peer.Load(); fp != nil {
+			if run, ok := (*fp)(ctx, key); ok {
+				c.metrics.Add(CounterPeerHits, 1)
+				// Promote the fetched entry through both local tiers so the
+				// next membership change finds it here without re-fetching.
+				c.memPut(key, run)
+				if c.disk != nil {
+					_ = c.disk.Put(key, cfg, run)
+				}
+				return run, nil
+			}
+			c.metrics.Add(CounterPeerMisses, 1)
 		}
 		c.metrics.Add(CounterMisses, 1)
 		start := time.Now()

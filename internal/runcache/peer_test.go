@@ -1,0 +1,180 @@
+package runcache
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestValidKey(t *testing.T) {
+	good := Key(sim.Config{App: "511.povray"})
+	cases := []struct {
+		key  string
+		want bool
+	}{
+		{good, true},
+		{strings.Repeat("0123456789abcdef", 4), true},
+		{"", false},
+		{good[:63], false},                                 // short
+		{good + "0", false},                                // long
+		{strings.ToUpper(good), false},                     // uppercase hex
+		{strings.Repeat("g", 64), false},                   // non-hex letters
+		{"../../../../etc/passwd", false},                  // traversal
+		{strings.Repeat("ab", 28) + "/../abcdefab", false}, // embedded traversal, right length
+		{good[:32] + " " + good[33:], false},               // interior whitespace
+	}
+	for _, tc := range cases {
+		if got := ValidKey(tc.key); got != tc.want {
+			t.Errorf("ValidKey(%q) = %v, want %v", tc.key, got, tc.want)
+		}
+	}
+}
+
+// TestCachePeerTier: the peer tier sits strictly between the local tiers and
+// the simulator — consulted only on a mem+disk miss, and a hit is promoted
+// into both local tiers so the next lookup never leaves the process.
+func TestCachePeerTier(t *testing.T) {
+	dir := t.TempDir()
+	m := stats.NewMetrics()
+	c := New(NewStore(dir), m)
+	cfg := sim.Config{App: "511.povray", Instructions: 1000}
+	want := fakeRun("511.povray", 123)
+
+	var sims, fetches atomic.Uint64
+	simulate := func(context.Context) (*stats.Run, error) {
+		sims.Add(1)
+		return fakeRun("511.povray", 999), nil
+	}
+	c.SetPeerFetch(func(ctx context.Context, key string) (*stats.Run, bool) {
+		fetches.Add(1)
+		return want, true
+	})
+
+	// Local miss → peer hit: no simulation, and the peer's row is the answer.
+	run, err := c.GetOrRun(context.Background(), cfg, simulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cycles != want.Cycles {
+		t.Errorf("got cycles %d, want the peer row's %d", run.Cycles, want.Cycles)
+	}
+	if sims.Load() != 0 {
+		t.Error("peer hit still simulated")
+	}
+	if fetches.Load() != 1 || m.Get(CounterPeerHits) != 1 {
+		t.Errorf("fetches=%d peer hits=%d, want 1/1", fetches.Load(), m.Get(CounterPeerHits))
+	}
+
+	// The hit was promoted to memory: the next lookup is local.
+	if _, err := c.GetOrRun(context.Background(), cfg, simulate); err != nil {
+		t.Fatal(err)
+	}
+	if fetches.Load() != 1 {
+		t.Error("mem hit consulted the peer tier")
+	}
+	if m.Get(CounterMemHits) != 1 {
+		t.Errorf("mem hits = %d, want 1", m.Get(CounterMemHits))
+	}
+
+	// ... and to disk: a cold cache over the same directory hits disk without
+	// simulating or fetching.
+	m2 := stats.NewMetrics()
+	c2 := New(NewStore(dir), m2)
+	c2.SetPeerFetch(func(ctx context.Context, key string) (*stats.Run, bool) {
+		t.Error("disk hit consulted the peer tier")
+		return nil, false
+	})
+	if _, err := c2.GetOrRun(context.Background(), cfg, simulate); err != nil {
+		t.Fatal(err)
+	}
+	if sims.Load() != 0 || m2.Get(CounterDiskHits) != 1 {
+		t.Errorf("sims=%d disk hits=%d, want 0/1", sims.Load(), m2.Get(CounterDiskHits))
+	}
+}
+
+// TestCachePeerMiss: a fleet-wide miss falls through to the simulator and is
+// counted as both a peer miss and a plain cache miss.
+func TestCachePeerMiss(t *testing.T) {
+	m := stats.NewMetrics()
+	c := New(nil, m)
+	cfg := sim.Config{App: "519.lbm", Instructions: 1000}
+
+	var sims atomic.Uint64
+	simulate := func(context.Context) (*stats.Run, error) {
+		sims.Add(1)
+		return fakeRun("519.lbm", 77), nil
+	}
+	c.SetPeerFetch(func(ctx context.Context, key string) (*stats.Run, bool) {
+		if !ValidKey(key) {
+			t.Errorf("peer tier asked for malformed key %q", key)
+		}
+		return nil, false
+	})
+
+	if _, err := c.GetOrRun(context.Background(), cfg, simulate); err != nil {
+		t.Fatal(err)
+	}
+	if sims.Load() != 1 {
+		t.Errorf("simulated %d times, want 1", sims.Load())
+	}
+	if m.Get(CounterPeerMisses) != 1 || m.Get(CounterMisses) != 1 {
+		t.Errorf("peer misses=%d misses=%d, want 1/1",
+			m.Get(CounterPeerMisses), m.Get(CounterMisses))
+	}
+
+	// Removing the peer tier reverts to purely local behaviour.
+	c.SetPeerFetch(nil)
+	cfg2 := sim.Config{App: "511.povray", Instructions: 1000}
+	if _, err := c.GetOrRun(context.Background(), cfg2, simulate); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(CounterPeerMisses) != 1 {
+		t.Error("removed peer tier was still consulted")
+	}
+}
+
+// TestCachedLocalOnly: Cached (the peer-serving lookup) reads the local
+// tiers only — it never simulates, never recurses into the peer tier, and
+// promotes disk hits to memory like any other read.
+func TestCachedLocalOnly(t *testing.T) {
+	dir := t.TempDir()
+	m := stats.NewMetrics()
+	c := New(NewStore(dir), m)
+	cfg := sim.Config{App: "511.povray", Instructions: 1000}
+	key := Key(cfg)
+
+	c.SetPeerFetch(func(ctx context.Context, key string) (*stats.Run, bool) {
+		t.Error("Cached recursed into the peer tier")
+		return nil, false
+	})
+	if _, ok := c.Cached(key); ok {
+		t.Fatal("empty cache claims a hit")
+	}
+
+	// Fill through the normal path (peer tier off: GetOrRun legitimately
+	// consults it on a miss, which is not what this test watches).
+	c.SetPeerFetch(nil)
+	want := fakeRun("511.povray", 55)
+	if _, err := c.GetOrRun(context.Background(), cfg,
+		func(context.Context) (*stats.Run, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.SetPeerFetch(func(ctx context.Context, key string) (*stats.Run, bool) {
+		t.Error("Cached recursed into the peer tier")
+		return nil, false
+	})
+	run, ok := c.Cached(key)
+	if !ok || run.Cycles != want.Cycles {
+		t.Fatalf("Cached(%s) = %v, %v; want the stored run", key, run, ok)
+	}
+
+	// Cold cache, same dir: Cached must find the disk entry.
+	c2 := New(NewStore(dir), stats.NewMetrics())
+	if run, ok := c2.Cached(key); !ok || run.Cycles != want.Cycles {
+		t.Fatal("Cached missed the disk tier")
+	}
+}

@@ -46,6 +46,28 @@ func Key(cfg sim.Config) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// keyHexLen is the length of a well-formed key: hex SHA-256.
+const keyHexLen = 2 * sha256.Size
+
+// ValidKey reports whether s has the exact shape Key produces: 64 lowercase
+// hex digits. Every surface that accepts keys from the network (the fleet's
+// GET /v1/peer/cache/{key} endpoint) must reject anything else before the
+// key gets near the filesystem — with only [0-9a-f]{64} accepted, a crafted
+// key cannot traverse paths, name dotfiles, or escape the store directory
+// by construction.
+func ValidKey(s string) bool {
+	if len(s) != keyHexLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Store is a content-addressed directory of simulation results. Layout:
 //
 //	<dir>/<key[0:2]>/<key>.json

@@ -1,0 +1,263 @@
+// Fleet mechanics: what turns one phastd into a member of a consistent-hash
+// cluster. Three pieces live here, all over the existing wire format:
+//
+//   - the proxy path: a node that receives /v1/runs for a key it does not
+//     own forwards the request to the ring owner's /v1/peer/run, so each
+//     unique config executes (and caches, and coalesces) on exactly one
+//     member. The owner's response — success or typed error — is replayed
+//     verbatim (peerStatusError), preserving the sim.SimError mapping
+//     end-to-end. A transport failure or a draining owner degrades to
+//     executing locally: availability beats dedup.
+//   - the peer cache-fetch path: the run cache's peer tier
+//     (runcache.PeerFetchFunc). On a local mem+disk miss the owner asks the
+//     ring's next candidates (the members that owned the key before a
+//     membership change) for their cached entry via GET /v1/peer/cache/{key}
+//     before paying for a simulation.
+//   - the serving side of both: POST /v1/peer/run (a run that never
+//     re-proxies — ownership was already decided by the caller, so
+//     inconsistent ring views can cost an extra hop but never a loop) and
+//     GET /v1/peer/cache/{key} (strictly validated key → local-tier lookup
+//     only, 404 on miss).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/runcache"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fleet-serving counters, next to the runcache.peer.* set the cache tier
+// maintains (see internal/runcache).
+const (
+	// CounterProxied counts requests forwarded to their ring owner.
+	CounterProxied = "server.proxied"
+	// CounterProxyErrors counts proxied requests that fell back to local
+	// execution (owner unreachable or draining).
+	CounterProxyErrors = "server.proxy.errors"
+	// CounterPeerRuns counts /v1/peer/run requests served for other members.
+	CounterPeerRuns = "server.peer.runs"
+	// CounterPeerCacheServed counts peer cache fetches answered with a hit.
+	CounterPeerCacheServed = "runcache.peer.served"
+)
+
+// peerFetchCandidates is how many ring successors a peer cache fetch tries
+// before conceding a fleet-wide miss. Two covers the common membership
+// churn (the previous owner, plus its own previous owner) without turning
+// a cold key into a fleet-wide broadcast.
+const peerFetchCandidates = 2
+
+// errInjectedPeer marks a fault-injected peer transport failure.
+var errInjectedPeer = errors.New("faultinject: injected peer fetch failure")
+
+// peerClient issues the fleet's internal HTTP calls.
+type peerClient struct {
+	s         *Server
+	http      *http.Client
+	fetchHist *stats.Histogram
+}
+
+func newPeerClient(s *Server) *peerClient {
+	return &peerClient{
+		s:    s,
+		http: &http.Client{}, // per-call contexts carry the deadlines
+		fetchHist: s.metrics.Histogram(runcache.HistPeerFetch,
+			stats.DefaultLatencyBuckets),
+	}
+}
+
+// proxyRun forwards one normalised config to its owner's /v1/peer/run and
+// returns the owner's result. Error taxonomy: a *peerStatusError wraps the
+// owner's own HTTP error response (replayed verbatim to the client); any
+// other error is transport-level — the owner never saw the request, and the
+// caller may fall back to executing locally.
+func (p *peerClient) proxyRun(ctx context.Context, owner, key string, cfg sim.Config) (*stats.Run, error) {
+	if plan := faultinject.Active(); plan.Should(faultinject.FaultPeerFetch, key) {
+		return nil, errInjectedPeer
+	}
+	// Forward the remaining request budget so the owner clocks the same
+	// deadline this node would have.
+	var timeoutMS int64
+	if d, ok := ctx.Deadline(); ok {
+		timeoutMS = int64(time.Until(d) / time.Millisecond)
+		if timeoutMS <= 0 {
+			return nil, ctx.Err()
+		}
+	}
+	body, err := json.Marshal(RunRequest{Config: cfg, TimeoutMS: timeoutMS})
+	if err != nil {
+		return nil, fmt.Errorf("server: marshal proxy request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		owner+"/v1/peer/run", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var er struct {
+			Error ErrorBody `json:"error"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&er); err != nil || er.Error.Kind == "" {
+			return nil, fmt.Errorf("server: owner %s replied %s with an unreadable error body", owner, resp.Status)
+		}
+		return nil, &peerStatusError{status: resp.StatusCode, body: er.Error}
+	}
+	var rr RunResult
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("server: decode owner %s response: %w", owner, err)
+	}
+	if rr.Run == nil {
+		return nil, fmt.Errorf("server: owner %s replied 200 without a run", owner)
+	}
+	return rr.Run, nil
+}
+
+// fetchCache asks one member for its cached entry under key. Returns
+// (run, true, nil) on a hit, (nil, false, nil) on a clean 404 miss, and an
+// error for anything else (unreachable member, malformed response).
+func (p *peerClient) fetchCache(ctx context.Context, from, key string) (*stats.Run, bool, error) {
+	if plan := faultinject.Active(); plan.Should(faultinject.FaultPeerFetch, key) {
+		return nil, false, errInjectedPeer
+	}
+	ctx, cancel := context.WithTimeout(ctx, p.s.opt.PeerFetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		from+"/v1/peer/cache/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := p.http.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var e PeerCacheEntry
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			return nil, false, fmt.Errorf("server: decode peer cache entry from %s: %w", from, err)
+		}
+		if e.Key != key || e.Run == nil {
+			return nil, false, fmt.Errorf("server: peer %s served entry for key %q, asked for %q", from, e.Key, key)
+		}
+		return e.Run, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("server: peer %s cache fetch: %s", from, resp.Status)
+	}
+}
+
+// PeerFetch is the run cache's peer tier (runcache.PeerFetchFunc): on a
+// local miss it asks the key's next ring candidates for their cached entry
+// before the cache simulates. Wire it at startup:
+//
+//	srv := server.New(runner, server.Options{Fleet: fleet, ...})
+//	runner.SetPeerFetch(srv.PeerFetch)
+//
+// Hit/miss accounting is the cache's (runcache.peer.hits / .misses); this
+// side counts failed attempts (runcache.peer.errors) and observes the
+// per-attempt latency histogram. Fetch failures are misses: the run always
+// degrades to simulating locally.
+func (s *Server) PeerFetch(ctx context.Context, key string) (*stats.Run, bool) {
+	if s.peers == nil {
+		return nil, false
+	}
+	for _, from := range s.fleet.FetchCandidates(key, peerFetchCandidates) {
+		start := time.Now()
+		run, ok, err := s.peers.fetchCache(ctx, from, key)
+		s.peers.fetchHist.ObserveDuration(time.Since(start))
+		if err != nil {
+			s.metrics.Add(runcache.CounterPeerErrors, 1)
+			if ctx.Err() != nil {
+				return nil, false
+			}
+			continue
+		}
+		if ok {
+			return run, true
+		}
+	}
+	return nil, false
+}
+
+// proxyFallback decides whether a failed proxy should degrade to local
+// execution. Yes for transport-level failures (the owner never saw the
+// request) and for a draining owner (it refused by policy, not capacity);
+// no when this request's own context already ended, and no for any other
+// owner-side response — a 429 must stay a 429, or proxying would quietly
+// defeat the fleet's admission control.
+func proxyFallback(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var pe *peerStatusError
+	if errors.As(err, &pe) {
+		return pe.body.Kind == KindDraining
+	}
+	return true
+}
+
+// handlePeerRun serves POST /v1/peer/run: a run executed on behalf of
+// another member. Identical to /v1/runs except it never re-proxies — the
+// caller already resolved ownership, so disagreeing ring views (mid-restart
+// membership skew) cost one extra hop at worst, never a forwarding loop.
+func (s *Server) handlePeerRun(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Add(CounterPeerRuns, 1)
+	s.handleRun(w, r, true)
+}
+
+// handlePeerCache serves GET /v1/peer/cache/{key}: this member's cached
+// entry for a content-addressed key, local tiers only (memory → disk, never
+// simulate, never re-fetch from peers). The key is validated to the exact
+// [0-9a-f]{64} shape runcache.Key produces before anything touches the
+// filesystem — path traversal is rejected by construction, not by cleaning.
+func (s *Server) handlePeerCache(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/v1/peer/cache/")
+	if !runcache.ValidKey(key) {
+		writeJSON(w, http.StatusBadRequest, struct {
+			Error ErrorBody `json:"error"`
+		}{ErrorBody{Kind: KindBadRequest, Message: "malformed cache key (want 64 lowercase hex digits)"}})
+		return
+	}
+	var (
+		run *stats.Run
+		ok  bool
+	)
+	if s.lookup != nil {
+		run, ok = s.lookup.CachedRun(key)
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, struct {
+			Error ErrorBody `json:"error"`
+		}{ErrorBody{Kind: KindNotFound, Message: "key not cached on this member"}})
+		return
+	}
+	s.metrics.Add(CounterPeerCacheServed, 1)
+	writeJSON(w, http.StatusOK, PeerCacheEntry{Key: key, Run: run})
+}

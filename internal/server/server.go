@@ -16,7 +16,14 @@
 //   - graceful drain: health flips unhealthy, new work is refused, in-flight
 //     runs finish (or are cancelled after the grace period via Abort).
 //
-// Endpoints: POST /v1/runs, POST /v1/batch, GET /healthz, GET /metrics.
+// With Options.Fleet set the server is additionally one member of a
+// consistent-hash phastd cluster: requests for keys owned elsewhere proxy to
+// their owner, local cache misses try peer caches before simulating, and the
+// internal peer surface (POST /v1/peer/run, GET /v1/peer/cache/{key}) serves
+// the other members — see peer.go and internal/cluster.
+//
+// Endpoints: POST /v1/runs, POST /v1/batch, POST /v1/peer/run,
+// GET /v1/peer/cache/{key}, GET /healthz, GET /metrics.
 // Results are the same stats.Run rows and sim.SimError taxonomy the library
 // returns, serialised — a server-side run is byte-identical to an in-process
 // one for the same config (the golden test and examples/predictorapi hold
@@ -34,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/runcache"
 	"repro/internal/sim"
@@ -74,6 +82,14 @@ type Backend interface {
 	RunConfigsDetailedContext(ctx context.Context, cfgs []sim.Config) []experiments.Result
 }
 
+// CacheLookup is the optional backend capability behind the fleet's
+// GET /v1/peer/cache/{key} endpoint: a local-tiers-only cache probe that
+// never simulates. *experiments.Runner implements it; a backend without it
+// simply answers every peer cache fetch with a 404 miss.
+type CacheLookup interface {
+	CachedRun(key string) (*stats.Run, bool)
+}
+
 // Options tune the serving layer. The zero value is usable: defaults are
 // filled by New.
 type Options struct {
@@ -98,6 +114,17 @@ type Options struct {
 	// Metrics is the registry serving /metrics — pass the runner's so cache,
 	// simulator and server counters land in one place (default private).
 	Metrics *stats.Metrics
+	// Fleet makes this server one member of a consistent-hash phastd
+	// cluster (nil = standalone). Any member accepts /v1/runs; the ring
+	// owner of the config's cache key executes it, non-owners proxy over
+	// /v1/peer/run, and local cache misses try the ring's other candidates
+	// via GET /v1/peer/cache/{key} before simulating (wire the latter with
+	// backend.SetPeerFetch(srv.PeerFetch) — see internal/cluster).
+	Fleet *cluster.Fleet
+	// PeerFetchTimeout bounds one peer cache-fetch attempt (default 2s):
+	// a slow peer must cost strictly less than the simulation it would
+	// save, or the fetch is abandoned as an error.
+	PeerFetchTimeout time.Duration
 }
 
 func (o Options) norm() Options {
@@ -127,6 +154,9 @@ func (o Options) norm() Options {
 	if o.Metrics == nil {
 		o.Metrics = stats.NewMetrics()
 	}
+	if o.PeerFetchTimeout == 0 {
+		o.PeerFetchTimeout = 2 * time.Second
+	}
 	return o
 }
 
@@ -137,6 +167,9 @@ type Server struct {
 	metrics *stats.Metrics
 	latency *stats.Histogram
 	adm     *admitter
+	fleet   *cluster.Fleet // nil = standalone
+	peers   *peerClient    // nil = standalone
+	lookup  CacheLookup    // nil when the backend has no local cache probe
 
 	// flights is the server-level single-flight map, keyed exactly like the
 	// run cache (runcache.Key) so "identical request" and "same cache entry"
@@ -163,9 +196,17 @@ func New(backend Backend, opt Options) *Server {
 		flights: map[string]*flight{},
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	s.lookup, _ = backend.(CacheLookup)
 	// Touch the headline counters so /metrics shows explicit zeros from the
 	// first scrape (same contract as the runner's cache counters).
-	for _, c := range []string{CounterRequests, CounterAccepted, CounterRejected, CounterCoalesced} {
+	zeros := []string{CounterRequests, CounterAccepted, CounterRejected, CounterCoalesced}
+	if opt.Fleet != nil {
+		s.fleet = opt.Fleet
+		s.peers = newPeerClient(s)
+		zeros = append(zeros, CounterProxied, CounterProxyErrors,
+			runcache.CounterPeerHits, runcache.CounterPeerMisses, runcache.CounterPeerErrors)
+	}
+	for _, c := range zeros {
 		opt.Metrics.Add(c, 0)
 	}
 	return s
@@ -179,6 +220,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/runs", s.instrumented(s.handleRuns))
 	mux.HandleFunc("/v1/batch", s.instrumented(s.handleBatch))
+	mux.HandleFunc("/v1/peer/run", s.instrumented(s.handlePeerRun))
+	mux.HandleFunc("/v1/peer/cache/", s.handlePeerCache)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -250,15 +293,23 @@ type flight struct {
 	err  error
 }
 
-// runOne executes one config through coalescing → admission → backend.
-// Identical in-flight configs share one execution: the first request leads
-// (and pays admission), duplicates wait for its result without consuming
-// slots — the single-flight keying is the run cache's, so "identical" means
-// "would hit the same cache entry". A waiter whose own deadline expires
-// unblocks with its context error while the flight continues for the others;
-// if the leader fails (including an admission rejection), every waiter
-// receives the leader's error.
-func (s *Server) runOne(ctx context.Context, cfg sim.Config) (*stats.Run, error) {
+// runOne executes one config through coalescing → routing → admission →
+// backend. Identical in-flight configs share one execution: the first
+// request leads (and pays admission), duplicates wait for its result without
+// consuming slots — the single-flight keying is the run cache's, so
+// "identical" means "would hit the same cache entry". A waiter whose own
+// deadline expires unblocks with its context error while the flight
+// continues for the others; if the leader fails (including an admission
+// rejection), every waiter receives the leader's error.
+//
+// In a fleet, a leader whose key belongs to another member proxies the run
+// to that owner instead of admitting it locally (local=false); the owner's
+// own flights map then coalesces duplicates arriving from every member, so
+// a viral config executes once per fleet. local=true (the /v1/peer/run
+// path, or a proxy fallback) always executes here. The proxying node holds
+// no admission slot while it waits — it is parked on network I/O; the
+// owner's admission control is the fleet's simulation bound for that key.
+func (s *Server) runOne(ctx context.Context, cfg sim.Config, local bool) (*stats.Run, error) {
 	key := runcache.Key(cfg)
 	s.fmu.Lock()
 	if f, ok := s.flights[key]; ok {
@@ -289,6 +340,22 @@ func (s *Server) runOne(ctx context.Context, cfg sim.Config) (*stats.Run, error)
 		s.fmu.Unlock()
 		close(f.done)
 	}()
+	if !local && s.fleet != nil {
+		if owner := s.fleet.Owner(key); owner != s.fleet.Self() {
+			s.metrics.Add(CounterProxied, 1)
+			run, err := s.peers.proxyRun(ctx, owner, key, cfg)
+			if err == nil || !proxyFallback(ctx, err) {
+				f.run, f.err = run, err
+				finished = true
+				return f.run, f.err
+			}
+			// The owner is unreachable (or draining): degrade to executing
+			// locally rather than failing the request. Fleet-wide dedup
+			// degrades with it, but the cache's peer tier still recovers
+			// anything the fleet has already simulated.
+			s.metrics.Add(CounterProxyErrors, 1)
+		}
+	}
 	release, aerr := s.adm.admit(ctx)
 	if aerr != nil {
 		f.run, f.err = nil, aerr
@@ -308,8 +375,14 @@ func (s *Server) refuse(w http.ResponseWriter) {
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s.handleRun(w, r, false)
+}
+
+// handleRun serves one run request; local=true (the /v1/peer/run surface)
+// pins execution to this member regardless of ring ownership.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, local bool) {
 	if r.Method != http.MethodPost {
-		methodNotAllowed(w)
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	if s.Draining() {
@@ -326,7 +399,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	cfg := s.normalize(req.Config)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	run, err := s.runOne(ctx, cfg)
+	run, err := s.runOne(ctx, cfg, local)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -336,7 +409,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		methodNotAllowed(w)
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	if s.Draining() {
@@ -408,11 +481,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, s.metrics.String())
 }
 
-func methodNotAllowed(w http.ResponseWriter) {
-	w.Header().Set("Allow", http.MethodPost)
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
 	writeJSON(w, http.StatusMethodNotAllowed, struct {
 		Error ErrorBody `json:"error"`
-	}{ErrorBody{Kind: KindBadRequest, Message: "use POST"}})
+	}{ErrorBody{Kind: KindBadRequest, Message: "use " + allow}})
 }
 
 // writeError maps a failed run onto its status + body; 429/503 carry a

@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -48,6 +49,15 @@ type ErrorBody struct {
 	Message string `json:"message"`
 }
 
+// PeerCacheEntry is the body of GET /v1/peer/cache/{key}: one member's
+// cached result for a content-addressed key, served to a fleet peer filling
+// its own cache (the two-tier fetch path). The key is echoed so the fetcher
+// can cross-check it against what it asked for.
+type PeerCacheEntry struct {
+	Key string     `json:"key"`
+	Run *stats.Run `json:"run"`
+}
+
 // MetricsResponse is the JSON form of GET /metrics?format=json.
 type MetricsResponse struct {
 	Counters   map[string]uint64                  `json:"counters"`
@@ -64,6 +74,10 @@ const (
 	KindDraining = "draining"
 	// KindBadRequest marks an unparseable or oversized request (HTTP 400).
 	KindBadRequest = "bad_request"
+	// KindNotFound marks a peer cache fetch for a key this member does not
+	// hold (HTTP 404). The fetcher falls through to its next candidate or
+	// simulates.
+	KindNotFound = "not_found"
 )
 
 // ErrRejected is the admission-control rejection: the running set and the
@@ -73,10 +87,28 @@ var ErrRejected = errors.New("server: at capacity, request rejected")
 // ErrDraining refuses new work during graceful shutdown (HTTP 503).
 var ErrDraining = errors.New("server: draining, not accepting new runs")
 
+// peerStatusError carries a fleet owner's HTTP error response verbatim.
+// When a proxied run fails on the owner, the proxying node replays the
+// owner's status and body bit-for-bit instead of re-deriving them — the
+// typed sim.SimError mapping the owner computed is preserved end-to-end
+// across the extra hop.
+type peerStatusError struct {
+	status int
+	body   ErrorBody
+}
+
+func (e *peerStatusError) Error() string {
+	return fmt.Sprintf("peer: %s (%d %s)", e.body.Message, e.status, e.body.Kind)
+}
+
 // errorBody maps a failed run to its HTTP status and wire form. The sim
 // taxonomy maps kind-for-kind; admission and drain rejections carry the
-// serving-layer kinds.
+// serving-layer kinds; an owner's error replays verbatim.
 func errorBody(err error) (int, ErrorBody) {
+	var pe *peerStatusError
+	if errors.As(err, &pe) {
+		return pe.status, pe.body
+	}
 	switch {
 	case errors.Is(err, ErrRejected):
 		return http.StatusTooManyRequests, ErrorBody{Kind: KindRejected, Message: err.Error()}
