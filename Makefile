@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke fleet-smoke chaos api-smoke fuzz cover
+.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke fleet-smoke fleet-chaos chaos api-smoke fuzz cover
 
 all: build test
 
@@ -19,6 +19,7 @@ check:
 	$(MAKE) api-smoke
 	$(MAKE) cache-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) fleet-chaos
 	$(MAKE) bench-smoke
 	$(MAKE) benchdiff
 
@@ -53,6 +54,13 @@ cache-smoke:
 # 1-vs-3-node results.csv comparison table behind for inspection.
 fleet-smoke:
 	sh scripts/fleet_smoke.sh
+
+# Self-healing smoke: kill -9 one member of a 3-node fleet mid-scenario and
+# restart it seconds later; asserts zero client-visible failures, per-seed
+# result digests byte-identical to a solo reference node, health/breaker
+# transitions recorded, and cluster-wide simulations bounded (DESIGN.md §16).
+fleet-chaos:
+	sh scripts/fleet_chaos.sh
 
 build:
 	go build ./...

@@ -22,7 +22,12 @@
 //	       -peers http://10.0.0.1:8091,http://10.0.0.2:8091,http://10.0.0.3:8091 \
 //	       -cache /var/cache/phast
 //
-// Benchmark a node or a fleet with cmd/phastload.
+// Fleet members self-heal (DESIGN.md §16): a per-peer health prober drives
+// Up/Suspect/Down state and remaps Down members' ring segments until they
+// recover; peer hops retry with budget-aware backoff behind per-peer
+// circuit breakers (-proxy-retries, -retry-backoff, -breaker-threshold,
+// -hedge-delay); GET /v1/cluster reports this member's view of fleet
+// health. Benchmark a node or a fleet with cmd/phastload.
 package main
 
 import (
@@ -60,6 +65,7 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrently admitted requests (0 = NumCPU)")
 		queueDepth   = flag.Int("queue", 0, "admission queue depth beyond max-inflight (0 = 4x max-inflight)")
 		cacheDir     = flag.String("cache", "", "persistent run-cache directory (empty = in-memory only)")
+		cacheMax     = flag.Int64("cache-max-bytes", 0, "cap on the persistent cache size; oldest entries evicted past it (0 = unbounded)")
 		n            = flag.Int("n", sim.DefaultInstructions, "default instructions when a request omits them")
 		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-request deadline (0 = none)")
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-supplied deadlines")
@@ -68,6 +74,15 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated base URLs of every fleet member including this one (empty = standalone)")
 		self         = flag.String("self", "", "this member's base URL exactly as it appears in -peers (required with -peers)")
 		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member on the consistent-hash ring")
+		probeEvery   = flag.Duration("probe-interval", time.Second, "fleet health-probe period per peer")
+		probeTimeout = flag.Duration("probe-timeout", 0, "single health-probe timeout (0 = half the interval)")
+		downAfter    = flag.Int("probe-down-after", 3, "consecutive probe failures marking a peer Down (ring remap)")
+		upAfter      = flag.Int("probe-up-after", 1, "consecutive probe successes restoring a Down peer")
+		proxyRetries = flag.Int("proxy-retries", 3, "total attempts per proxied run, first try included")
+		retryBackoff = flag.Duration("retry-backoff", 50*time.Millisecond, "first retry backoff (doubles per retry, jittered)")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive transport failures opening a peer's circuit breaker")
+		brkOpenFor   = flag.Duration("breaker-open-for", 2*time.Second, "open-breaker cooldown before half-opening")
+		hedgeDelay   = flag.Duration("hedge-delay", 0, "race the second peer-cache candidate after this delay (0 = off)")
 		faults       = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.1,seed=7\" (default $PHAST_FAULTS)")
 		metrics      = flag.Bool("metrics", true, "print the metrics table to stderr on exit")
 	)
@@ -84,10 +99,11 @@ func main() {
 
 	reg := stats.NewMetrics()
 	runner := experiments.NewRunner(experiments.Options{
-		Workers:      *workers,
-		Instructions: *n,
-		CacheDir:     *cacheDir,
-		Metrics:      reg,
+		Workers:       *workers,
+		Instructions:  *n,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		Metrics:       reg,
 		// A service reports per-row errors; one bad config in a batch must
 		// not cancel its siblings.
 		KeepGoing: true,
@@ -109,6 +125,15 @@ func main() {
 		MaxBatch:            *maxBatch,
 		Metrics:             reg,
 		Fleet:               fleet,
+		ProbeInterval:       *probeEvery,
+		ProbeTimeout:        *probeTimeout,
+		ProbeDownAfter:      *downAfter,
+		ProbeUpAfter:        *upAfter,
+		ProxyAttempts:       *proxyRetries,
+		RetryBackoff:        *retryBackoff,
+		BreakerThreshold:    *brkThreshold,
+		BreakerOpenFor:      *brkOpenFor,
+		HedgeDelay:          *hedgeDelay,
 	})
 	if fleet != nil {
 		// Two-tier cache: a local miss asks the ring's other candidates for
@@ -129,6 +154,9 @@ func main() {
 	// with each run, so once the last handler returns the cache is flushed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Fleet failure detector: per-peer heartbeats drive the health-filtered
+	// ring until shutdown (no-op standalone).
+	srv.StartHealth(ctx)
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)

@@ -22,7 +22,15 @@
 //	}]}
 //
 // Requests round-robin across targets (any fleet member accepts any
-// config); metrics deltas are summed across all targets. The mix knobs:
+// config); the CSV gets one target="all" row with summed metrics deltas
+// plus, for multi-target scenarios, one row per member with its own deltas
+// (restart-reset counters are clamped to their post-restart values). The
+// harness doubles as the fleet chaos driver: "chaos" schedules shell
+// commands mid-run (kill a node at +2s, restart it after 300 requests),
+// "failover": true makes the client retry transport/gateway failures
+// against the remaining targets, "think_ms" paces closed-loop workers, and
+// -digests records a sha256 per result row so two runs over the same mix
+// can be compared byte-for-byte. The mix knobs:
 // dup is the probability a request re-asks one of pool known configs
 // (duplicates in flight exercise coalescing, duplicates after exercise the
 // caches); zipf_s > 1 skews which pool config is re-asked (a Zipfian
@@ -38,7 +46,9 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/csv"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,12 +56,14 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/exec"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/runcache"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -69,6 +81,20 @@ type Burst struct {
 	PeriodMS int64   `json:"period_ms"`
 	WidthMS  int64   `json:"width_ms"`
 	Factor   float64 `json:"factor"`
+}
+
+// ChaosEvent schedules one shell command against the environment mid-run —
+// the fleet-chaos hook (kill a node, restart it, partition a link). The
+// trigger is either a wall-clock offset from load start (at_ms) or a
+// completed-request count (after_requests); exec runs via sh -c,
+// synchronously within its own event (so "kill X; sleep 1; restart X"
+// chains work), concurrently with the load. Events that have not fired by
+// the end of the load fire then — a scheduled recovery must happen even if
+// the load finishes early, or the harness would leave dead nodes behind.
+type ChaosEvent struct {
+	AtMS          int64  `json:"at_ms,omitempty"`
+	AfterRequests int64  `json:"after_requests,omitempty"`
+	Exec          string `json:"exec"`
 }
 
 // Scenario is one declarative traffic experiment. Zero-valued fields take
@@ -92,6 +118,16 @@ type Scenario struct {
 	// means uniform): higher = fewer configs take more of the traffic.
 	ZipfS float64 `json:"zipf_s"`
 	Burst *Burst  `json:"burst,omitempty"`
+	// ThinkMS pauses each closed-loop worker between requests (client think
+	// time), turning pure back-to-back load into a paced session mix.
+	ThinkMS int64 `json:"think_ms"`
+	// Failover retries a request that failed at the transport level or with
+	// a gateway-ish status (502/503/504) against the remaining targets, one
+	// pass — how a real client rides out a node restart. The total latency
+	// (all attempts) is what gets recorded.
+	Failover bool `json:"failover"`
+	// Chaos schedules shell commands against the environment mid-run.
+	Chaos []ChaosEvent `json:"chaos,omitempty"`
 	// Config is the base simulation config; each request stamps a Seed from
 	// the mix, so distinct seeds are distinct cache keys.
 	Config    sim.Config `json:"config"`
@@ -136,6 +172,17 @@ func (sc Scenario) norm() (Scenario, error) {
 	}
 	if b := sc.Burst; b != nil && (b.PeriodMS <= 0 || b.WidthMS <= 0 || b.WidthMS > b.PeriodMS || b.Factor <= 0) {
 		return sc, fmt.Errorf("scenario %q: bad burst %+v (want 0 < width_ms <= period_ms, factor > 0)", sc.Name, *b)
+	}
+	if sc.ThinkMS < 0 {
+		return sc, fmt.Errorf("scenario %q: negative think_ms", sc.Name)
+	}
+	for i, ev := range sc.Chaos {
+		if ev.Exec == "" {
+			return sc, fmt.Errorf("scenario %q: chaos[%d] has no exec", sc.Name, i)
+		}
+		if ev.AtMS < 0 || ev.AfterRequests < 0 {
+			return sc, fmt.Errorf("scenario %q: chaos[%d] has a negative trigger", sc.Name, i)
+		}
 	}
 	if sc.Config.App == "" {
 		sc.Config.App = "511.povray"
@@ -196,6 +243,7 @@ func main() {
 	var (
 		scenario = flag.String("scenario", "", "scenario JSON file (overrides the mix flags below)")
 		out      = flag.String("out", "", "append machine-readable result rows to this CSV file")
+		digests  = flag.String("digests", "", "append scenario,seed,sha256(run) rows to this file (bit-exactness artifact)")
 		wait     = flag.Duration("wait", 0, "poll every target's /healthz for up to this long before starting")
 
 		url       = flag.String("url", "http://localhost:8091", "phastd base URL (flag mode; scenario files carry their own targets)")
@@ -257,7 +305,7 @@ func main() {
 
 	rows := make([]resultRow, 0, len(scenarios))
 	for _, sc := range scenarios {
-		rows = append(rows, runScenario(sc))
+		rows = append(rows, runScenario(sc, *digests)...)
 	}
 	if *out != "" {
 		if err := writeCSV(*out, rows); err != nil {
@@ -288,12 +336,14 @@ func waitHealthy(target string, budget time.Duration) error {
 }
 
 // runScenario executes one scenario, prints the human tables, and returns
-// the machine-readable row.
-func runScenario(sc Scenario) resultRow {
+// the machine-readable rows: one summed "all" row, plus one row per target
+// when there are several (who actually did the work — essential when a
+// chaos event reshuffles ring ownership mid-run).
+func runScenario(sc Scenario, digestPath string) []resultRow {
 	fmt.Printf("== scenario %s: %s over %d target(s), dup=%g pool=%d zipf=%g ==\n",
 		sc.Name, sc.Mode, len(sc.Targets), sc.Dup, sc.Pool, sc.ZipfS)
 
-	before, err := fetchMetricsAll(sc.Targets)
+	before, err := fetchMetricsEach(sc.Targets)
 	if err != nil {
 		fatal("server unreachable:", err)
 	}
@@ -326,11 +376,26 @@ func runScenario(sc Scenario) resultRow {
 		client:    &http.Client{},
 		cfg:       sc.Config,
 		timeoutMS: sc.TimeoutMS,
+		thinkMS:   sc.ThinkMS,
+		failover:  sc.Failover,
+		digest:    digestPath != "",
 		unique:    map[int64]bool{},
+		digests:   map[int64]string{},
 	}
 
 	deadline := time.Now().Add(time.Duration(sc.DurationMS) * time.Millisecond)
 	start := time.Now()
+	chaosDone := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	for i, ev := range sc.Chaos {
+		chaosWG.Add(1)
+		go func(i int, ev ChaosEvent) {
+			defer chaosWG.Done()
+			waitChaosTrigger(ev, lg, chaosDone)
+			fireChaos(i, ev, start)
+		}(i, ev)
+	}
+
 	switch sc.Mode {
 	case "closed":
 		lg.closedLoop(sc.Concurrency, planned, deadline, seedOf)
@@ -338,33 +403,195 @@ func runScenario(sc Scenario) resultRow {
 		lg.openLoop(sc.QPS, sc.Burst, planned, deadline, seedOf)
 	}
 	elapsed := time.Since(start)
+	close(chaosDone) // unmet events fire now
+	chaosWG.Wait()
 
-	after, err := fetchMetricsAll(sc.Targets)
+	if len(sc.Chaos) > 0 {
+		// Chaos scripts kill and restart nodes; every target must be
+		// answering again before the "after" snapshot (and before the next
+		// scenario inherits the fleet).
+		for _, t := range sc.Targets {
+			if err := waitHealthy(t, 30*time.Second); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	after, err := fetchMetricsEach(sc.Targets)
 	if err != nil {
 		fatal("server metrics after the run:", err)
 	}
-	lg.report(os.Stdout, sc.Name, elapsed, before, after)
-	return lg.row(sc, elapsed, before, after)
+	perTarget := make(map[string]map[string]uint64, len(sc.Targets))
+	allDeltas := map[string]uint64{}
+	for _, t := range sc.Targets {
+		d := make(map[string]uint64, len(serverCounters))
+		for _, name := range serverCounters {
+			d[name] = counterDelta(before[t][name], after[t][name])
+			allDeltas[name] += d[name]
+		}
+		perTarget[t] = d
+	}
+
+	lg.report(os.Stdout, sc.Name, elapsed, allDeltas)
+	if digestPath != "" {
+		if err := writeDigests(digestPath, sc.Name, lg.digests); err != nil {
+			fatal(err)
+		}
+	}
+	rows := []resultRow{lg.row(sc, elapsed, allDeltas)}
+	if len(sc.Targets) > 1 {
+		for _, t := range sc.Targets {
+			rows = append(rows, targetRow(sc, t, perTarget[t]))
+		}
+	}
+	return rows
+}
+
+// waitChaosTrigger blocks until the event's trigger condition is met or the
+// load ends, whichever comes first — a scheduled recovery must still happen
+// even if the load finishes early, or the harness leaves dead nodes behind.
+func waitChaosTrigger(ev ChaosEvent, lg *loadgen, loadDone <-chan struct{}) {
+	if ev.AfterRequests > 0 {
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for lg.completed.Load() < ev.AfterRequests {
+			select {
+			case <-loadDone:
+				return
+			case <-tick.C:
+			}
+		}
+		return
+	}
+	select {
+	case <-time.After(time.Duration(ev.AtMS) * time.Millisecond):
+	case <-loadDone:
+	}
+}
+
+// fireChaos runs one event's command via sh -c, synchronously within the
+// event (so "kill X; sleep 1; restart X" chains work), with its output on
+// stderr next to the harness's own log lines.
+func fireChaos(i int, ev ChaosEvent, start time.Time) {
+	fmt.Fprintf(os.Stderr, "phastload: chaos[%d] firing at +%s: %s\n",
+		i, time.Since(start).Round(time.Millisecond), ev.Exec)
+	cmd := exec.Command("sh", "-c", ev.Exec)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "phastload: chaos[%d] failed: %v\n", i, err)
+	}
+}
+
+// counterDelta is after-before for one monotonic counter, tolerating a
+// mid-run restart: a counter that went backwards was reset to zero, so the
+// post-restart value is the tightest observable lower bound on the true
+// delta.
+func counterDelta(before, after uint64) uint64 {
+	if after < before {
+		return after
+	}
+	return after - before
+}
+
+// writeDigests appends "scenario,seed,digest" rows sorted by seed — the
+// bit-exactness artifact. Two runs over the same mix (a solo reference node
+// and a chaos-ridden fleet, say) must produce identical seed→digest maps.
+func writeDigests(path, scenario string, digests map[int64]string) error {
+	seeds := make([]int64, 0, len(digests))
+	for s := range digests {
+		seeds = append(seeds, s)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	var buf bytes.Buffer
+	for _, s := range seeds {
+		fmt.Fprintf(&buf, "%s,%d,%s\n", scenario, s, digests[s])
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadgen issues requests and accumulates client-side outcomes.
 type loadgen struct {
 	targets   []string
 	rr        atomic.Int64 // round-robin cursor over targets
+	completed atomic.Int64 // requests finished (chaos after_requests trigger)
 	client    *http.Client
 	cfg       sim.Config
 	timeoutMS int64
+	thinkMS   int64
+	failover  bool
+	digest    bool // record per-seed result digests
 
-	mu        sync.Mutex
-	latencies []time.Duration
-	unique    map[int64]bool // distinct config seeds actually sent
-	ok        int
-	rejected  int // HTTP 429: admission-control backpressure
-	failed    int // anything else
+	mu         sync.Mutex
+	latencies  []time.Duration
+	unique     map[int64]bool   // distinct config seeds actually sent
+	digests    map[int64]string // seed → first result digest
+	ok         int
+	rejected   int // HTTP 429: admission-control backpressure
+	failed     int // anything else
+	failovers  int // requests rescued by retrying another target
+	mismatched int // seeds whose repeated results digested differently
 }
 
-// next sends request i with the given stream seed and records its outcome.
-// Targets are round-robined: any fleet member accepts any config.
+// runDigest is the byte-level fingerprint of one result row: sha256 over
+// the run object's JSON exactly as the server sent it. Two responses for
+// the same seed — from any node, any routing path, before or after chaos —
+// must digest identically, or the fleet broke bit-exactness.
+func runDigest(body []byte) (string, bool) {
+	var rr struct {
+		Run json.RawMessage `json:"run"`
+	}
+	if err := json.Unmarshal(body, &rr); err != nil || len(rr.Run) == 0 {
+		return "", false
+	}
+	sum := sha256.Sum256(rr.Run)
+	return hex.EncodeToString(sum[:]), true
+}
+
+// attempt posts one request to one target. Returns the HTTP status (0 on
+// transport error) and, when digesting, the response body.
+func (l *loadgen) attempt(target string, body []byte) (int, []byte) {
+	resp, err := l.client.Post(target+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	if l.digest && resp.StatusCode == http.StatusOK {
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		if err != nil {
+			return 0, nil
+		}
+		return resp.StatusCode, data
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// failoverWorthy reports whether a failed attempt should be retried on
+// another target: transport errors (connection refused/reset — the node
+// died) and gateway-ish statuses a load balancer would also retry. A 429 is
+// NOT failover-worthy here — admission backpressure is a per-run outcome
+// the harness must report, not paper over.
+func failoverWorthy(status int) bool {
+	switch status {
+	case 0, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// next sends one request with the given stream seed and records its
+// outcome. Targets are round-robined: any fleet member accepts any config.
+// With failover enabled, a transport-failed or gateway-failed request walks
+// the remaining targets once before counting as failed; the recorded
+// latency covers all attempts (what the caller actually waited).
 func (l *loadgen) next(seed int64) {
 	cfg := l.cfg
 	cfg.Seed = seed
@@ -372,23 +599,40 @@ func (l *loadgen) next(seed int64) {
 	if err != nil {
 		fatal(err)
 	}
-	target := l.targets[int(l.rr.Add(1)-1)%len(l.targets)]
+	first := int(l.rr.Add(1) - 1)
 	start := time.Now()
-	resp, err := l.client.Post(target+"/v1/runs", "application/json", bytes.NewReader(body))
+	status, data := l.attempt(l.targets[first%len(l.targets)], body)
+	attempts := 1
+	if l.failover {
+		for off := 1; off < len(l.targets) && failoverWorthy(status); off++ {
+			status, data = l.attempt(l.targets[(first+off)%len(l.targets)], body)
+			attempts++
+		}
+	}
 	lat := time.Since(start)
+	defer l.completed.Add(1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.latencies = append(l.latencies, lat)
 	l.unique[seed] = true
-	if err != nil {
-		l.failed++
-		return
+	if attempts > 1 && status == http.StatusOK {
+		l.failovers++
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	switch resp.StatusCode {
+	switch status {
 	case http.StatusOK:
 		l.ok++
+		if l.digest {
+			if d, ok := runDigest(data); ok {
+				if prev, seen := l.digests[seed]; seen && prev != d {
+					l.mismatched++
+				} else if !seen {
+					l.digests[seed] = d
+				}
+			} else {
+				l.failed++ // a 200 whose body has no run row is a failure
+				l.ok--
+			}
+		}
 	case http.StatusTooManyRequests:
 		l.rejected++
 	default:
@@ -416,6 +660,9 @@ func (l *loadgen) closedLoop(c, total int, deadline time.Time, seedOf func(int) 
 					return
 				}
 				l.next(seed)
+				if l.thinkMS > 0 {
+					time.Sleep(time.Duration(l.thinkMS) * time.Millisecond)
+				}
 			}
 		}()
 	}
@@ -477,20 +724,23 @@ func fetchMetrics(url string) (server.MetricsResponse, error) {
 	return m, json.NewDecoder(resp.Body).Decode(&m)
 }
 
-// fetchMetricsAll sums counter snapshots across every target — the fleet's
-// aggregate view, so "total simulations executed" means cluster-wide.
-func fetchMetricsAll(targets []string) (map[string]uint64, error) {
-	sum := map[string]uint64{}
+// fetchMetricsEach snapshots every target's counters separately, keyed by
+// target URL — per-target deltas show who did the work; the "all" row sums
+// them back into the fleet's aggregate view.
+func fetchMetricsEach(targets []string) (map[string]map[string]uint64, error) {
+	out := make(map[string]map[string]uint64, len(targets))
 	for _, t := range targets {
 		m, err := fetchMetrics(t)
 		if err != nil {
 			return nil, err
 		}
+		c := make(map[string]uint64, len(m.Counters))
 		for name, v := range m.Counters {
-			sum[name] += v
+			c[name] = v
 		}
+		out[t] = c
 	}
-	return sum, nil
+	return out, nil
 }
 
 // serverCounters are the counter deltas reported per scenario, in table and
@@ -499,9 +749,13 @@ var serverCounters = []string{
 	server.CounterRequests, server.CounterAccepted, server.CounterQueued,
 	server.CounterRejected, server.CounterCoalesced,
 	server.CounterProxied, server.CounterProxyErrors, server.CounterPeerRuns,
-	runcache.CounterPeerHits, runcache.CounterPeerErrors, server.CounterPeerCacheServed,
+	server.CounterRetries, server.CounterBreakerOpened, server.CounterBreakerShortCircuit,
+	server.CounterHedgeFired, server.CounterHedgeWins,
+	cluster.CounterProbeFail, cluster.CounterTransitionsDown, cluster.CounterTransitionsUp,
+	runcache.CounterPeerHits, runcache.CounterPeerMisses, runcache.CounterPeerErrors,
+	server.CounterPeerCacheServed,
 	runcache.CounterMemHits, runcache.CounterDiskHits, runcache.CounterMisses,
-	runcache.CounterRunsSimulated,
+	runcache.CounterRunsSimulated, runcache.CounterDiskEvicted,
 }
 
 func (l *loadgen) pct(q float64) time.Duration {
@@ -514,7 +768,7 @@ func (l *loadgen) pct(q float64) time.Duration {
 
 // report renders the client-side latency distribution and the server-side
 // counter deltas for the run. Callers hold no lock; latencies are final.
-func (l *loadgen) report(w io.Writer, name string, elapsed time.Duration, before, after map[string]uint64) {
+func (l *loadgen) report(w io.Writer, name string, elapsed time.Duration, deltas map[string]uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	sort.Slice(l.latencies, func(i, j int) bool { return l.latencies[i] < l.latencies[j] })
@@ -526,6 +780,8 @@ func (l *loadgen) report(w io.Writer, name string, elapsed time.Duration, before
 	t.AddRowf("ok", l.ok)
 	t.AddRowf("rejected (429)", l.rejected)
 	t.AddRowf("failed", l.failed)
+	t.AddRowf("failovers", l.failovers)
+	t.AddRowf("digest mismatches", l.mismatched)
 	t.AddRow("elapsed", elapsed.Round(time.Millisecond).String())
 	t.AddRow("achieved rps", fmt.Sprintf("%.1f", float64(n)/elapsed.Seconds()))
 	for _, p := range []struct {
@@ -539,57 +795,74 @@ func (l *loadgen) report(w io.Writer, name string, elapsed time.Duration, before
 	st := stats.NewTable(fmt.Sprintf("%s — server side (delta over the run, summed across %d target(s))",
 		name, len(l.targets)), "counter", "delta")
 	for _, cname := range serverCounters {
-		st.AddRowf(cname, after[cname]-before[cname])
+		st.AddRowf(cname, deltas[cname])
 	}
 	fmt.Fprint(w, st)
 }
 
 // resultRow is one scenario's machine-readable outcome: the CSV schema of
-// the harness. Column order is csvHeader's.
+// the harness. Column order is csvHeader's. The target column is "all" for
+// the fleet-aggregate row; per-member rows carry the member URL and only
+// server-side deltas (the client observes the fleet as a whole, so their
+// client-side fields are zero).
 type resultRow struct {
-	scenario string
-	targets  int
-	mode     string
-	requests int
-	unique   int
-	ok       int
-	rejected int
-	failed   int
-	elapsedS float64
-	rps      float64
-	latMS    [4]float64 // p50, p90, p99, max
-	deltas   map[string]uint64
+	scenario   string
+	target     string
+	targets    int
+	mode       string
+	requests   int
+	unique     int
+	ok         int
+	rejected   int
+	failed     int
+	mismatched int
+	failovers  int
+	elapsedS   float64
+	rps        float64
+	latMS      [4]float64 // p50, p90, p99, max
+	deltas     map[string]uint64
 }
 
-func (l *loadgen) row(sc Scenario, elapsed time.Duration, before, after map[string]uint64) resultRow {
+func (l *loadgen) row(sc Scenario, elapsed time.Duration, deltas map[string]uint64) resultRow {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	r := resultRow{
-		scenario: sc.Name,
-		targets:  len(sc.Targets),
-		mode:     sc.Mode,
-		requests: len(l.latencies),
-		unique:   len(l.unique),
-		ok:       l.ok,
-		rejected: l.rejected,
-		failed:   l.failed,
-		elapsedS: elapsed.Seconds(),
-		rps:      float64(len(l.latencies)) / elapsed.Seconds(),
-		deltas:   map[string]uint64{},
+		scenario:   sc.Name,
+		target:     "all",
+		targets:    len(sc.Targets),
+		mode:       sc.Mode,
+		requests:   len(l.latencies),
+		unique:     len(l.unique),
+		ok:         l.ok,
+		rejected:   l.rejected,
+		failed:     l.failed,
+		mismatched: l.mismatched,
+		failovers:  l.failovers,
+		elapsedS:   elapsed.Seconds(),
+		rps:        float64(len(l.latencies)) / elapsed.Seconds(),
+		deltas:     deltas,
 	}
 	for i, q := range []float64{0.50, 0.90, 0.99, 1.0} {
 		r.latMS[i] = float64(l.pct(q)) / float64(time.Millisecond)
 	}
-	for _, name := range serverCounters {
-		r.deltas[name] = after[name] - before[name]
-	}
 	return r
+}
+
+// targetRow is one member's share of the scenario's counter deltas.
+func targetRow(sc Scenario, target string, deltas map[string]uint64) resultRow {
+	return resultRow{
+		scenario: sc.Name,
+		target:   target,
+		targets:  len(sc.Targets),
+		mode:     sc.Mode,
+		deltas:   deltas,
+	}
 }
 
 func csvHeader() []string {
 	h := []string{
-		"scenario", "targets", "mode", "requests", "unique", "ok", "rejected",
-		"failed", "elapsed_s", "rps", "p50_ms", "p90_ms", "p99_ms", "max_ms",
+		"scenario", "target", "targets", "mode", "requests", "unique", "ok", "rejected",
+		"failed", "mismatched", "failovers", "elapsed_s", "rps", "p50_ms", "p90_ms", "p99_ms", "max_ms",
 	}
 	for _, name := range serverCounters {
 		h = append(h, strings.NewReplacer(".", "_").Replace(name))
@@ -618,6 +891,7 @@ func writeCSV(path string, rows []resultRow) error {
 	for _, r := range rows {
 		rec := []string{
 			r.scenario,
+			r.target,
 			fmt.Sprint(r.targets),
 			r.mode,
 			fmt.Sprint(r.requests),
@@ -625,6 +899,8 @@ func writeCSV(path string, rows []resultRow) error {
 			fmt.Sprint(r.ok),
 			fmt.Sprint(r.rejected),
 			fmt.Sprint(r.failed),
+			fmt.Sprint(r.mismatched),
+			fmt.Sprint(r.failovers),
 			fmt.Sprintf("%.3f", r.elapsedS),
 			fmt.Sprintf("%.1f", r.rps),
 			fmt.Sprintf("%.3f", r.latMS[0]),

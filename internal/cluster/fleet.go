@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/url"
 	"strings"
+	"sync/atomic"
 )
 
 // Fleet is one member's view of a phastd cluster: the full member set on a
@@ -13,13 +14,19 @@ import (
 // is decided by string identity on the ring, so every member must hash the
 // same member strings.
 //
-// The fleet is static for the life of the process (membership comes from
+// The full membership is static for the life of the process (it comes from
 // the -peers flag); rolling a membership change means restarting members
-// with the new list, and the ring's minimal-remapping property bounds how
-// much of the key space moves owners when that happens.
+// with the new list. Layered on top of the full ring is the *live* ring:
+// the health-filtered view the failure detector (Prober) maintains via
+// SetDown. Ownership queries (Owner, IsOwner, FetchCandidates) answer from
+// the live ring, so keys owned by a Down member remap to its ring successor
+// — minimally, per the ring's remapping bound — and snap back when the
+// member recovers. Self is never removed from the live view: a node that
+// cannot see its peers still owns (at least) its own segment.
 type Fleet struct {
 	self string
-	ring *Ring
+	ring *Ring                // full membership, immutable
+	live atomic.Pointer[Ring] // health-filtered view; starts == ring
 }
 
 // NewFleet builds a fleet from this node's base URL and the full peer list
@@ -60,7 +67,9 @@ func NewFleet(self string, peers []string, vnodes int) (*Fleet, error) {
 	if !found {
 		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", self, ring.Members())
 	}
-	return &Fleet{self: self, ring: ring}, nil
+	f := &Fleet{self: self, ring: ring}
+	f.live.Store(ring)
+	return f, nil
 }
 
 func normURL(s string) string {
@@ -73,22 +82,46 @@ func (f *Fleet) Self() string { return f.self }
 // Members returns the full member set, self included.
 func (f *Fleet) Members() []string { return f.ring.Members() }
 
-// Size returns the member count.
+// Size returns the full member count.
 func (f *Fleet) Size() int { return f.ring.Size() }
 
-// Owner returns the member owning key.
-func (f *Fleet) Owner(key string) string { return f.ring.Owner(key) }
+// SetDown installs the health-filtered live ring: the full membership minus
+// the given Down members. Self is never removed — a node that has lost
+// sight of its peers still owns its own segment. Called by the Prober on
+// every Up/Down boundary crossing; an empty (or nil) down list restores the
+// full ring, which is how recovered members get their exact prior segments
+// back.
+func (f *Fleet) SetDown(down []string) {
+	live := f.ring
+	for _, m := range down {
+		if m != f.self {
+			live = live.Without(m)
+		}
+	}
+	f.live.Store(live)
+}
 
-// IsOwner reports whether this node owns key.
-func (f *Fleet) IsOwner(key string) bool { return f.ring.Owner(key) == f.self }
+// LiveMembers returns the current live (non-Down) member set.
+func (f *Fleet) LiveMembers() []string { return f.live.Load().Members() }
+
+// LiveSize returns the current live member count.
+func (f *Fleet) LiveSize() int { return f.live.Load().Size() }
+
+// Owner returns the member owning key in the live (health-filtered) ring:
+// Down members own nothing until they recover.
+func (f *Fleet) Owner(key string) string { return f.live.Load().Owner(key) }
+
+// IsOwner reports whether this node owns key in the live ring.
+func (f *Fleet) IsOwner(key string) bool { return f.Owner(key) == f.self }
 
 // FetchCandidates returns up to n members worth asking for a cached copy of
-// key, in ring order and never including self: the key's owner first (when
-// self is not the owner), then the successors that owned it under smaller
-// memberships. On the owner itself this yields the members the key most
-// recently lived on before this node joined the ring.
+// key, in live-ring order and never including self: the key's owner first
+// (when self is not the owner), then the successors that owned it under
+// smaller memberships. On the owner itself this yields the members the key
+// most recently lived on before this node joined the ring. Down members are
+// skipped by construction — they answer from the live ring.
 func (f *Fleet) FetchCandidates(key string, n int) []string {
-	owners := f.ring.Owners(key, n+1)
+	owners := f.live.Load().Owners(key, n+1)
 	out := make([]string, 0, n)
 	for _, m := range owners {
 		if m != f.self && len(out) < n {

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// fakeProbe is a deterministic ProbeFunc: members listed in dead fail,
+// everyone else succeeds.
+type fakeProbe struct{ dead map[string]bool }
+
+func (f *fakeProbe) fn(_ context.Context, member string) error {
+	if f.dead[member] {
+		return errors.New("injected: unreachable")
+	}
+	return nil
+}
+
+func testFleet(t *testing.T, n int) *Fleet {
+	t.Helper()
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("http://10.0.0.%d:8091", i+1)
+	}
+	f, err := NewFleet(members[0], members, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestProberStateMachine walks one peer through the full Up → Suspect →
+// Down → Up cycle and checks the live ring follows: ownership of the dead
+// member's keys remaps to live members while it is Down and snaps back
+// exactly on recovery.
+func TestProberStateMachine(t *testing.T) {
+	fleet := testFleet(t, 3)
+	probe := &fakeProbe{dead: map[string]bool{}}
+	reg := stats.NewMetrics()
+	var transitions []string
+	p := NewProber(fleet, ProberOptions{
+		DownAfter: 3, UpAfter: 1, Metrics: reg, Probe: probe.fn,
+		OnTransition: func(m string, from, to State) {
+			transitions = append(transitions, fmt.Sprintf("%s:%s->%s", m, from, to))
+		},
+	})
+
+	victim := fleet.Members()[1]
+	if victim == fleet.Self() {
+		victim = fleet.Members()[2]
+	}
+
+	// Record ownership of every probe key under the full ring.
+	keys := make([]string, 200)
+	fullOwner := map[string]string{}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+		fullOwner[keys[i]] = fleet.Owner(keys[i])
+	}
+
+	ctx := context.Background()
+	p.ProbeOnce(ctx)
+	if got := p.StateOf(victim); got != StateUp {
+		t.Fatalf("healthy peer state = %s, want up", got)
+	}
+	if fleet.LiveSize() != 3 {
+		t.Fatalf("live size = %d, want 3", fleet.LiveSize())
+	}
+
+	// One failed probe: Suspect, still a live ring member.
+	probe.dead[victim] = true
+	p.ProbeOnce(ctx)
+	if got := p.StateOf(victim); got != StateSuspect {
+		t.Fatalf("after 1 failure state = %s, want suspect", got)
+	}
+	if fleet.LiveSize() != 3 {
+		t.Errorf("suspect member was removed from the live ring (size %d)", fleet.LiveSize())
+	}
+
+	// Two more failures: Down, removed from the live view.
+	p.ProbeOnce(ctx)
+	p.ProbeOnce(ctx)
+	if got := p.StateOf(victim); got != StateDown {
+		t.Fatalf("after 3 failures state = %s, want down", got)
+	}
+	if fleet.LiveSize() != 2 {
+		t.Fatalf("live size with one member down = %d, want 2", fleet.LiveSize())
+	}
+	if reg.Get(CounterTransitionsDown) != 1 {
+		t.Errorf("transitions.down = %d, want 1", reg.Get(CounterTransitionsDown))
+	}
+
+	// While Down: the victim owns nothing; every other key keeps its full-
+	// ring owner (minimal remapping — only the dead member's keys moved).
+	moved := 0
+	for _, k := range keys {
+		owner := fleet.Owner(k)
+		if owner == victim {
+			t.Fatalf("down member %s still owns key %s", victim, k)
+		}
+		if fullOwner[k] != victim && owner != fullOwner[k] {
+			t.Errorf("key %s moved from live member %s to %s", k, fullOwner[k], owner)
+		}
+		if fullOwner[k] == victim {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: victim owned no keys under the full ring")
+	}
+
+	// Recovery: one success restores Up and the exact prior ownership.
+	probe.dead[victim] = false
+	p.ProbeOnce(ctx)
+	if got := p.StateOf(victim); got != StateUp {
+		t.Fatalf("after recovery state = %s, want up", got)
+	}
+	if fleet.LiveSize() != 3 {
+		t.Fatalf("live size after recovery = %d, want 3", fleet.LiveSize())
+	}
+	for _, k := range keys {
+		if fleet.Owner(k) != fullOwner[k] {
+			t.Errorf("key %s owner after recovery = %s, want %s", k, fleet.Owner(k), fullOwner[k])
+		}
+	}
+	if reg.Get(CounterTransitionsUp) != 1 {
+		t.Errorf("transitions.up = %d, want 1", reg.Get(CounterTransitionsUp))
+	}
+
+	want := []string{
+		victim + ":up->suspect",
+		victim + ":suspect->down",
+		victim + ":down->up",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Errorf("transition[%d] = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestProberSuspectRecovers: a single dropped probe (Suspect) heals back to
+// Up without ever touching the live ring or counting a transition across
+// the Up/Down boundary.
+func TestProberSuspectRecovers(t *testing.T) {
+	fleet := testFleet(t, 3)
+	probe := &fakeProbe{dead: map[string]bool{}}
+	reg := stats.NewMetrics()
+	p := NewProber(fleet, ProberOptions{DownAfter: 3, Metrics: reg, Probe: probe.fn})
+	victim := fleet.Members()[1]
+
+	probe.dead[victim] = true
+	p.ProbeOnce(context.Background())
+	probe.dead[victim] = false
+	p.ProbeOnce(context.Background())
+
+	if got := p.StateOf(victim); got != StateUp {
+		t.Fatalf("state = %s, want up", got)
+	}
+	if fleet.LiveSize() != 3 {
+		t.Errorf("live size = %d, want 3 (suspect must not remap)", fleet.LiveSize())
+	}
+	if d := reg.Get(CounterTransitionsDown); d != 0 {
+		t.Errorf("transitions.down = %d, want 0", d)
+	}
+}
+
+// TestProberNeverRemovesSelf: even with every peer Down, the live ring
+// still contains self, so every key has a live owner (this node).
+func TestProberAllPeersDownSelfOwnsEverything(t *testing.T) {
+	fleet := testFleet(t, 3)
+	probe := &fakeProbe{dead: map[string]bool{
+		fleet.Members()[1]: true, fleet.Members()[2]: true,
+	}}
+	// Self is members[0] by testFleet construction; mark the others dead.
+	if fleet.Self() != fleet.Members()[0] {
+		t.Fatal("test setup: self is not members[0]")
+	}
+	p := NewProber(fleet, ProberOptions{DownAfter: 1, Probe: probe.fn})
+	p.ProbeOnce(context.Background())
+
+	if fleet.LiveSize() != 1 {
+		t.Fatalf("live size = %d, want 1 (self only)", fleet.LiveSize())
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if owner := fleet.Owner(key); owner != fleet.Self() {
+			t.Fatalf("key %s owner = %q, want self %q", key, owner, fleet.Self())
+		}
+	}
+	if cands := fleet.FetchCandidates("somekey", 2); len(cands) != 0 {
+		t.Errorf("fetch candidates with all peers down = %v, want none", cands)
+	}
+}
+
+// TestProberStatesSnapshot: States reports every peer sorted by member with
+// the right fields.
+func TestProberStatesSnapshot(t *testing.T) {
+	fleet := testFleet(t, 3)
+	probe := &fakeProbe{dead: map[string]bool{fleet.Members()[2]: true}}
+	p := NewProber(fleet, ProberOptions{DownAfter: 1, Probe: probe.fn})
+	p.ProbeOnce(context.Background())
+
+	states := p.States()
+	if len(states) != 2 {
+		t.Fatalf("States() has %d rows, want 2 (self excluded)", len(states))
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i-1].Member >= states[i].Member {
+			t.Errorf("States() not sorted: %q >= %q", states[i-1].Member, states[i].Member)
+		}
+	}
+	for _, s := range states {
+		if s.Member == fleet.Self() {
+			t.Error("States() includes self")
+		}
+		wantState := StateUp
+		if probe.dead[s.Member] {
+			wantState = StateDown
+		}
+		if s.State != wantState {
+			t.Errorf("member %s state = %s, want %s", s.Member, s.State, wantState)
+		}
+		if probe.dead[s.Member] && s.LastError == "" {
+			t.Errorf("down member %s has no LastError", s.Member)
+		}
+	}
+}

@@ -32,6 +32,10 @@ type Options struct {
 	// CacheDir roots the persistent run cache; empty keeps memoisation
 	// in-process only (every prior release's behaviour).
 	CacheDir string
+	// CacheMaxBytes caps the persistent cache's on-disk size; past it the
+	// oldest entries are garbage-collected (runcache.Store.SetMaxBytes).
+	// Zero keeps the cache unbounded.
+	CacheMaxBytes int64
 	// Metrics receives the runner's counters (cache hits/misses, runs
 	// simulated, simulator wall-time). Default: a private registry,
 	// readable via Runner.Metrics.
@@ -114,9 +118,14 @@ func NewRunner(opt Options) *Runner {
 	if opt.CacheDir != "" {
 		disk = runcache.NewStore(opt.CacheDir)
 	}
+	cache := runcache.New(disk, opt.Metrics)
+	if disk != nil && opt.CacheMaxBytes > 0 {
+		// After New so the startup sweep's evictions land in the registry.
+		disk.SetMaxBytes(opt.CacheMaxBytes)
+	}
 	return &Runner{
 		opt:   opt,
-		cache: runcache.New(disk, opt.Metrics),
+		cache: cache,
 		sched: newScheduler(opt.Workers),
 	}
 }

@@ -59,15 +59,45 @@ const (
 	// retire. It exists as a mutation test for the verification oracle
 	// (internal/oracle), which must report the first divergence.
 	FaultFwdFlip Fault = "fwdflip"
+	// FaultPeerPartition severs this node's link to selected peers: every
+	// peer HTTP operation toward an affected member fails before any bytes
+	// reach the network. Unlike FaultPeerFetch (keyed by run-cache key, one
+	// request at a time) this one is keyed by the peer's member URL, so a
+	// firing partition takes out the whole link — exercising retry-to-
+	// failure, circuit-breaker opening, and the failure detector marking the
+	// peer Down.
+	FaultPeerPartition Fault = "partition"
+	// FaultPeerLatency delays peer HTTP operations toward affected members
+	// by PeerLatencyDelay before sending, keyed by member URL. Like
+	// FaultSlowDisk it is a latency fault, not a correctness fault: it
+	// exercises retry budgets, hedged fetches and deadline propagation —
+	// slow links must cost time, never wrong bytes.
+	FaultPeerLatency Fault = "peerlatency"
+	// FaultPeerFlap makes this node's link to affected members come and go
+	// on a fixed period (severed for the configured fraction of each
+	// FlapPeriod window, with a deterministic per-member phase): the
+	// flapping-peer torture test for breaker half-open/re-open cycling and
+	// Suspect-state damping. Whether a member flaps at all is decided by
+	// Should(FaultPeerFlap, member); when it does, FlapSevered says if the
+	// link is down at this instant.
+	FaultPeerFlap Fault = "peerflap"
 )
 
 // SlowDiskDelay is the per-operation stall FaultSlowDisk injects into
 // persistent-store reads and writes.
 const SlowDiskDelay = 25 * time.Millisecond
 
+// PeerLatencyDelay is the per-operation stall FaultPeerLatency injects
+// before peer HTTP operations.
+const PeerLatencyDelay = 50 * time.Millisecond
+
+// FlapPeriod is the full up+down cycle length of FaultPeerFlap.
+const FlapPeriod = 2 * time.Second
+
 // Faults lists every injectable fault.
 func Faults() []Fault {
-	return []Fault{FaultPanic, FaultStall, FaultDiskWrite, FaultCorrupt, FaultSlowDisk, FaultPeerFetch, FaultFwdFlip}
+	return []Fault{FaultPanic, FaultStall, FaultDiskWrite, FaultCorrupt, FaultSlowDisk,
+		FaultPeerFetch, FaultFwdFlip, FaultPeerPartition, FaultPeerLatency, FaultPeerFlap}
 }
 
 // Plan maps faults to firing probabilities under one seed. A nil *Plan is
@@ -197,6 +227,25 @@ var active atomic.Pointer[Plan]
 func Activate(p *Plan) (restore func()) {
 	prev := active.Swap(p)
 	return func() { active.Store(prev) }
+}
+
+// FlapSevered reports whether a flapping link to member is severed right
+// now: within each FlapPeriod window the link is down for the first
+// rate-sized fraction, with a deterministic per-member phase offset so a
+// fleet's links do not all flap in lockstep. Gate on
+// Should(FaultPeerFlap, member) first — this function answers "is the flap
+// currently in its down half", not "does this member flap".
+func (p *Plan) FlapSevered(member string, now time.Time) bool {
+	if p == nil {
+		return false
+	}
+	r := p.rates[FaultPeerFlap]
+	if r <= 0 {
+		return false
+	}
+	phase := time.Duration(p.roll(FaultPeerFlap, member, "phase") * float64(FlapPeriod))
+	pos := (time.Duration(now.UnixNano()) + phase) % FlapPeriod
+	return float64(pos) < r*float64(FlapPeriod)
 }
 
 // Active returns the current plan, nil when injection is off. Callers keep

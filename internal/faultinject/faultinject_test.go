@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"math"
+	"time"
 	"testing"
 )
 
@@ -95,5 +96,59 @@ func TestActivateRestores(t *testing.T) {
 	restore()
 	if Active() != nil {
 		t.Error("restore did not reinstate the previous (nil) plan")
+	}
+}
+
+// TestPeerLinkFaultsParse: the fleet-chaos faults round-trip through the
+// spec syntax like every other fault.
+func TestPeerLinkFaultsParse(t *testing.T) {
+	p, err := Parse("partition=0.5,peerlatency=1,peerflap=0.25,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rate(FaultPeerPartition) != 0.5 || p.Rate(FaultPeerLatency) != 1 || p.Rate(FaultPeerFlap) != 0.25 {
+		t.Errorf("rates = %g/%g/%g, want 0.5/1/0.25",
+			p.Rate(FaultPeerPartition), p.Rate(FaultPeerLatency), p.Rate(FaultPeerFlap))
+	}
+	if p2, err := Parse(p.String()); err != nil || p2.Rate(FaultPeerFlap) != 0.25 {
+		t.Errorf("String round trip broken: %v %v", p2, err)
+	}
+}
+
+// TestFlapSevered: within one FlapPeriod window the link is severed for
+// the configured fraction of instants, deterministically for a fixed plan
+// and member, and the nil plan never severs.
+func TestFlapSevered(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.FlapSevered("http://a:1", time.Now()) {
+		t.Fatal("nil plan severed a link")
+	}
+	p, err := NewPlan(3, map[Fault]float64{FaultPeerFlap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample one full period at fine resolution: the severed fraction must
+	// track the rate, with one contiguous severed window (plus wraparound).
+	const samples = 1000
+	base := time.Unix(100, 0)
+	severed := 0
+	for i := 0; i < samples; i++ {
+		at := base.Add(time.Duration(i) * FlapPeriod / samples)
+		if p.FlapSevered("http://a:1", at) {
+			severed++
+		}
+		// Determinism: same instant, same answer.
+		if p.FlapSevered("http://a:1", at) != p.FlapSevered("http://a:1", at) {
+			t.Fatal("FlapSevered not deterministic")
+		}
+	}
+	frac := float64(severed) / samples
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("severed fraction = %g, want 0.5", frac)
+	}
+	// Zero-rate member never flaps even when asked directly.
+	p0, _ := NewPlan(3, map[Fault]float64{FaultPeerFlap: 0})
+	if p0.FlapSevered("http://a:1", base) {
+		t.Error("zero-rate plan severed a link")
 	}
 }

@@ -32,6 +32,11 @@ const (
 	// (unparseable JSON, key mismatch, empty payload) — each reads as a
 	// miss and the run is re-simulated.
 	CounterDiskCorrupt = "runcache.disk.corrupt"
+	// CounterDiskEvicted counts persistent entries removed by the disk-tier
+	// garbage collector (Store.SetMaxBytes): oldest-first eviction when the
+	// store exceeds its byte cap. An evicted entry is a future miss, never
+	// an error.
+	CounterDiskEvicted = "runcache.disk.evicted"
 	// CounterPeerHits counts requests answered by fetching another fleet
 	// member's cached entry (the peer tier, between disk and simulate).
 	CounterPeerHits = "runcache.peer.hits"

@@ -1,0 +1,99 @@
+// Disk-tier garbage collection: an optional byte cap on the Store with
+// oldest-first eviction, so long-lived fleet nodes don't grow their
+// content-addressed cache without bound. Eviction is correctness-free by
+// construction — an evicted entry is indistinguishable from one never
+// written (a miss that re-simulates to the same bytes) — so the policy can
+// be simple: evict by file modification time, oldest first, down to a low
+// watermark below the cap (avoiding a sweep per Put at the boundary).
+//
+// The trigger is a running byte estimate maintained on the Put path (plus a
+// full sweep at SetMaxBytes time, covering whatever a previous process left
+// behind). The estimate only grows between sweeps; each sweep re-measures
+// the directory exactly and resets it, so drift never accumulates.
+package runcache
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// gcLowWatermark is the fraction of the byte cap a sweep evicts down to.
+const gcLowWatermark = 0.9
+
+// SetMaxBytes caps the store's on-disk size (0 removes the cap). The cap is
+// enforced immediately — a synchronous oldest-first sweep covers entries
+// left by previous processes ("on startup") — and then after writes, on the
+// Put path, whenever the running size estimate crosses the cap. Each
+// removed entry bumps CounterDiskEvicted.
+func (s *Store) SetMaxBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	s.maxBytes.Store(n)
+	if n > 0 {
+		s.sweep()
+	}
+}
+
+// MaxBytes returns the current cap (0 = unbounded).
+func (s *Store) MaxBytes() int64 { return s.maxBytes.Load() }
+
+// wrote records n freshly written bytes and sweeps when the estimate
+// crosses the cap.
+func (s *Store) wrote(n int64) {
+	max := s.maxBytes.Load()
+	if max <= 0 {
+		return
+	}
+	if s.estBytes.Add(n) > max {
+		s.sweep()
+	}
+}
+
+// sweep measures the store exactly and, when over the cap, removes entries
+// oldest-first down to the low watermark. Concurrent sweeps serialise; the
+// estimate is reset to the measured remainder so the next trigger point is
+// exact. Removal failures are skipped (the entry will be retried next
+// sweep) — GC is best-effort like every other disk interaction here.
+func (s *Store) sweep() {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	max := s.maxBytes.Load()
+	if max <= 0 {
+		return
+	}
+	type fileInfo struct {
+		path string
+		size int64
+		mod  time.Time
+	}
+	var (
+		files []fileInfo
+		total int64
+	)
+	filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".json") {
+			return nil // unreadable or foreign files are not ours to count
+		}
+		files = append(files, fileInfo{path, info.Size(), info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if total > max {
+		sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+		target := int64(gcLowWatermark * float64(max))
+		for _, f := range files {
+			if total <= target {
+				break
+			}
+			if os.Remove(f.path) == nil {
+				total -= f.size
+				s.count(CounterDiskEvicted)
+			}
+		}
+	}
+	s.estBytes.Store(total)
+}

@@ -1,0 +1,163 @@
+package runcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// entryKeys writes n distinct entries through the store and returns their
+// keys in write order (oldest first). Mod times are spaced explicitly so
+// oldest-first eviction order is unambiguous even on coarse filesystems.
+func writeEntries(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	keys := make([]string, n)
+	base := time.Now().Add(-time.Duration(n+1) * time.Minute)
+	for i := range keys {
+		cfg := sim.Config{App: "gc", Seed: int64(i + 1)}
+		keys[i] = Key(cfg)
+		if err := s.Put(keys[i], cfg, fakeRun("gc", uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		mod := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(s.path(keys[i]), mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func diskBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".json") {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// TestGCEvictsOldestFirst: pushing the store past its cap evicts the oldest
+// entries (and only those), lands under the low watermark, and counts every
+// removal.
+func TestGCEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	m := stats.NewMetrics()
+	s.SetMetrics(m)
+
+	keys := writeEntries(t, s, 8)
+	total := diskBytes(t, dir)
+
+	// Cap at roughly half the current size: a sweep must evict the oldest
+	// entries until the store fits under 0.9*cap.
+	cap := total / 2
+	s.SetMaxBytes(cap)
+
+	if got := diskBytes(t, dir); got > int64(gcLowWatermark*float64(cap)) {
+		t.Errorf("after sweep store holds %d bytes, want <= %d", got, int64(gcLowWatermark*float64(cap)))
+	}
+	evicted := m.Get(CounterDiskEvicted)
+	if evicted == 0 {
+		t.Fatal("no evictions counted")
+	}
+	// The evicted set must be exactly the oldest prefix: every surviving key
+	// is newer than every evicted one.
+	firstSurvivor := -1
+	for i, k := range keys {
+		if _, ok := s.Get(k); ok {
+			firstSurvivor = i
+			break
+		}
+	}
+	if firstSurvivor <= 0 {
+		t.Fatalf("firstSurvivor = %d, want a non-empty evicted prefix", firstSurvivor)
+	}
+	for i, k := range keys {
+		_, ok := s.Get(k)
+		if i < firstSurvivor && ok {
+			t.Errorf("old entry %d survived while newer ones were evicted", i)
+		}
+		if i >= firstSurvivor && !ok {
+			t.Errorf("entry %d evicted out of oldest-first order", i)
+		}
+	}
+	if int(evicted) != firstSurvivor {
+		t.Errorf("evicted counter = %d, want %d", evicted, firstSurvivor)
+	}
+}
+
+// TestGCSweepsOnWrite: with a cap installed, continued writes keep the
+// store bounded without any explicit sweep calls.
+func TestGCSweepsOnWrite(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	s.SetMetrics(stats.NewMetrics())
+
+	// Size one entry, then cap the store at ~4 entries.
+	probe := sim.Config{App: "gc-probe"}
+	if err := s.Put(Key(probe), probe, fakeRun("gc-probe", 1)); err != nil {
+		t.Fatal(err)
+	}
+	per := diskBytes(t, dir)
+	s.SetMaxBytes(4 * per)
+
+	for i := 0; i < 32; i++ {
+		cfg := sim.Config{App: "gc-write", Seed: int64(i + 1)}
+		if err := s.Put(Key(cfg), cfg, fakeRun("gc-write", uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := diskBytes(t, dir); got > 4*per {
+		t.Errorf("store grew to %d bytes despite cap %d", got, 4*per)
+	}
+	// The most recent write always survives its own sweep.
+	last := sim.Config{App: "gc-write", Seed: 32}
+	if _, ok := s.Get(Key(last)); !ok {
+		t.Error("most recent entry was evicted")
+	}
+}
+
+// TestGCStartupSweep: SetMaxBytes on a freshly opened store over a
+// pre-populated directory enforces the cap immediately — the "on startup"
+// path for long-lived nodes restarting onto a grown cache.
+func TestGCStartupSweep(t *testing.T) {
+	dir := t.TempDir()
+	writeEntries(t, NewStore(dir), 8)
+	before := diskBytes(t, dir)
+
+	s2 := NewStore(dir)
+	m := stats.NewMetrics()
+	s2.SetMetrics(m)
+	s2.SetMaxBytes(before / 2)
+	if got := diskBytes(t, dir); got > before/2 {
+		t.Errorf("startup sweep left %d bytes, cap %d", got, before/2)
+	}
+	if m.Get(CounterDiskEvicted) == 0 {
+		t.Error("startup sweep counted no evictions")
+	}
+}
+
+// TestGCUncappedIsNoop: without a cap nothing is ever evicted.
+func TestGCUncappedIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	m := stats.NewMetrics()
+	s.SetMetrics(m)
+	keys := writeEntries(t, s, 8)
+	for _, k := range keys {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("entry %s missing from uncapped store", k)
+		}
+	}
+	if m.Get(CounterDiskEvicted) != 0 {
+		t.Error("uncapped store evicted entries")
+	}
+}

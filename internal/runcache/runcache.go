@@ -89,6 +89,13 @@ type Store struct {
 	// store gives up on persistence (degraded) until the process restarts.
 	writeFails atomic.Uint32
 	degraded   atomic.Bool
+
+	// Disk-tier garbage collection (gc.go): maxBytes caps the store's total
+	// entry bytes (0 = unbounded), estBytes tracks the running estimate that
+	// triggers a sweep, gcMu serialises sweeps.
+	maxBytes atomic.Int64
+	estBytes atomic.Int64
+	gcMu     sync.Mutex
 }
 
 // writeFailLimit is the consecutive-write-failure budget before the store
@@ -180,9 +187,10 @@ func (s *Store) Put(key string, cfg sim.Config, run *stats.Run) error {
 	if s.degraded.Load() {
 		return nil // persistence disabled after repeated failures
 	}
-	err := s.put(key, cfg, run)
+	n, err := s.put(key, cfg, run)
 	if err == nil {
 		s.writeFails.Store(0)
+		s.wrote(n)
 		return nil
 	}
 	s.count(CounterDiskWriteErrors)
@@ -204,14 +212,16 @@ func slowDisk(key string) {
 	}
 }
 
-func (s *Store) put(key string, cfg sim.Config, run *stats.Run) error {
+// put writes one entry and returns the bytes written (for the GC's running
+// size estimate).
+func (s *Store) put(key string, cfg sim.Config, run *stats.Run) (int64, error) {
 	slowDisk(key)
 	if p := faultinject.Active(); p != nil && p.Should(faultinject.FaultDiskWrite, key) {
-		return errInjectedWrite
+		return 0, errInjectedWrite
 	}
 	dst := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-		return err
+		return 0, err
 	}
 	data, err := json.MarshalIndent(entry{
 		Version: sim.BehaviorVersion,
@@ -220,24 +230,24 @@ func (s *Store) put(key string, cfg sim.Config, run *stats.Run) error {
 		Run:     run,
 	}, "", "\t")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+filepath.Base(dst)+".tmp*")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return err
+		return 0, err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return 0, err
 	}
 	if err := os.Rename(tmp.Name(), dst); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return 0, err
 	}
-	return nil
+	return int64(len(data)) + 1, nil
 }

@@ -6,13 +6,18 @@
 //     unique config executes (and caches, and coalesces) on exactly one
 //     member. The owner's response — success or typed error — is replayed
 //     verbatim (peerStatusError), preserving the sim.SimError mapping
-//     end-to-end. A transport failure or a draining owner degrades to
-//     executing locally: availability beats dedup.
+//     end-to-end. Transport failures retry with budget-aware backoff
+//     (retry.go); a peer that keeps failing trips its circuit breaker and
+//     later hops fail fast. When the retries are spent — or the breaker
+//     refuses the hop — the request degrades to executing locally:
+//     availability beats dedup. A draining owner degrades the same way.
 //   - the peer cache-fetch path: the run cache's peer tier
 //     (runcache.PeerFetchFunc). On a local mem+disk miss the owner asks the
 //     ring's next candidates (the members that owned the key before a
 //     membership change) for their cached entry via GET /v1/peer/cache/{key}
-//     before paying for a simulation.
+//     before paying for a simulation. Candidates behind an open breaker are
+//     skipped; with Options.HedgeDelay set, a second candidate is raced
+//     after the delay for tail tolerance.
 //   - the serving side of both: POST /v1/peer/run (a run that never
 //     re-proxies — ownership was already decided by the caller, so
 //     inconsistent ring views can cost an extra hop but never a loop) and
@@ -37,12 +42,12 @@ import (
 )
 
 // Fleet-serving counters, next to the runcache.peer.* set the cache tier
-// maintains (see internal/runcache).
+// maintains (see internal/runcache) and the retry/breaker set (retry.go).
 const (
 	// CounterProxied counts requests forwarded to their ring owner.
 	CounterProxied = "server.proxied"
 	// CounterProxyErrors counts proxied requests that fell back to local
-	// execution (owner unreachable or draining).
+	// execution (owner unreachable, breaker open, or draining).
 	CounterProxyErrors = "server.proxy.errors"
 	// CounterPeerRuns counts /v1/peer/run requests served for other members.
 	CounterPeerRuns = "server.peer.runs"
@@ -59,10 +64,41 @@ const peerFetchCandidates = 2
 // errInjectedPeer marks a fault-injected peer transport failure.
 var errInjectedPeer = errors.New("faultinject: injected peer fetch failure")
 
+// linkFault consults the active fault plan for this node's link to peer:
+// a firing partition (whole link, keyed by member URL), a flap currently in
+// its severed window, or a per-request peerfetch fault (keyed by the cache
+// key; skipped when key is empty, e.g. health probes) all return an error
+// before any bytes reach the network. An active latency fault sleeps
+// PeerLatencyDelay instead — slow links cost time, never correctness.
+func linkFault(ctx context.Context, peer, key string) error {
+	plan := faultinject.Active()
+	if plan == nil {
+		return nil
+	}
+	if key != "" && plan.Should(faultinject.FaultPeerFetch, key) {
+		return errInjectedPeer
+	}
+	if plan.Should(faultinject.FaultPeerPartition, peer) {
+		return fmt.Errorf("%w: link to %s partitioned", errInjectedPeer, peer)
+	}
+	if plan.Should(faultinject.FaultPeerFlap, peer) && plan.FlapSevered(peer, time.Now()) {
+		return fmt.Errorf("%w: link to %s flapping", errInjectedPeer, peer)
+	}
+	if plan.Should(faultinject.FaultPeerLatency, peer) {
+		select {
+		case <-time.After(faultinject.PeerLatencyDelay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
 // peerClient issues the fleet's internal HTTP calls.
 type peerClient struct {
 	s         *Server
 	http      *http.Client
+	retry     retryPolicy
 	fetchHist *stats.Histogram
 }
 
@@ -70,19 +106,75 @@ func newPeerClient(s *Server) *peerClient {
 	return &peerClient{
 		s:    s,
 		http: &http.Client{}, // per-call contexts carry the deadlines
+		retry: retryPolicy{attempts: s.opt.ProxyAttempts,
+			base: s.opt.RetryBackoff}.norm(),
 		fetchHist: s.metrics.Histogram(runcache.HistPeerFetch,
 			stats.DefaultLatencyBuckets),
 	}
 }
 
+// budgetExhausted types a spent retry budget as sim.ErrTimeout so the
+// client sees 504 Gateway Timeout — never a generic 500, and never a silent
+// nil result. proxyFallback refuses local execution for this kind: a
+// request with no deadline budget left cannot pay for a simulation either.
+func budgetExhausted(cfg sim.Config, last error) error {
+	if last == nil {
+		last = errBudget
+	}
+	return &sim.SimError{Kind: sim.ErrTimeout, Config: cfg,
+		Err: fmt.Errorf("%w (last: %v)", errBudget, last)}
+}
+
 // proxyRun forwards one normalised config to its owner's /v1/peer/run and
-// returns the owner's result. Error taxonomy: a *peerStatusError wraps the
-// owner's own HTTP error response (replayed verbatim to the client); any
-// other error is transport-level — the owner never saw the request, and the
-// caller may fall back to executing locally.
+// returns the owner's result, retrying transport failures with budget-aware
+// backoff. Error taxonomy: a *peerStatusError wraps the owner's own HTTP
+// error response (authoritative — replayed verbatim, never retried); a
+// sim.ErrTimeout means the deadline budget ran out (504, no fallback); any
+// other error is transport-level — the owner never saw the request (or the
+// breaker refused the hop), and the caller may fall back to executing
+// locally.
 func (p *peerClient) proxyRun(ctx context.Context, owner, key string, cfg sim.Config) (*stats.Run, error) {
-	if plan := faultinject.Active(); plan.Should(faultinject.FaultPeerFetch, key) {
-		return nil, errInjectedPeer
+	if !p.s.brk.allow(owner) {
+		return nil, fmt.Errorf("%w: %s", errBreakerOpen, owner)
+	}
+	var lastErr error
+	for attempt := 1; attempt <= p.retry.attempts; attempt++ {
+		if attempt > 1 {
+			p.s.metrics.Add(CounterRetries, 1)
+			if err := sleepBudget(ctx, p.retry.backoff(key, attempt-1)); err != nil {
+				return nil, budgetExhausted(cfg, lastErr)
+			}
+		}
+		run, err := p.proxyOnce(ctx, owner, key, cfg)
+		if err == nil {
+			p.s.brk.success(owner)
+			return run, nil
+		}
+		var pe *peerStatusError
+		if errors.As(err, &pe) {
+			// The owner answered — the link works and its verdict stands.
+			p.s.brk.success(owner)
+			return nil, err
+		}
+		var se *sim.SimError
+		if errors.As(err, &se) {
+			return nil, err // typed before the wire (budget exhausted)
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The request's own deadline (or client) ended mid-attempt: not
+			// the peer's fault, and there is no budget left to retry with.
+			return nil, budgetExhausted(cfg, lastErr)
+		}
+		p.s.brk.failure(owner)
+	}
+	return nil, lastErr
+}
+
+// proxyOnce is a single proxy attempt.
+func (p *peerClient) proxyOnce(ctx context.Context, owner, key string, cfg sim.Config) (*stats.Run, error) {
+	if err := linkFault(ctx, owner, key); err != nil {
+		return nil, err
 	}
 	// Forward the remaining request budget so the owner clocks the same
 	// deadline this node would have.
@@ -90,7 +182,7 @@ func (p *peerClient) proxyRun(ctx context.Context, owner, key string, cfg sim.Co
 	if d, ok := ctx.Deadline(); ok {
 		timeoutMS = int64(time.Until(d) / time.Millisecond)
 		if timeoutMS <= 0 {
-			return nil, ctx.Err()
+			return nil, budgetExhausted(cfg, nil)
 		}
 	}
 	body, err := json.Marshal(RunRequest{Config: cfg, TimeoutMS: timeoutMS})
@@ -134,8 +226,8 @@ func (p *peerClient) proxyRun(ctx context.Context, owner, key string, cfg sim.Co
 // (run, true, nil) on a hit, (nil, false, nil) on a clean 404 miss, and an
 // error for anything else (unreachable member, malformed response).
 func (p *peerClient) fetchCache(ctx context.Context, from, key string) (*stats.Run, bool, error) {
-	if plan := faultinject.Active(); plan.Should(faultinject.FaultPeerFetch, key) {
-		return nil, false, errInjectedPeer
+	if err := linkFault(ctx, from, key); err != nil {
+		return nil, false, err
 	}
 	ctx, cancel := context.WithTimeout(ctx, p.s.opt.PeerFetchTimeout)
 	defer cancel()
@@ -169,12 +261,94 @@ func (p *peerClient) fetchCache(ctx context.Context, from, key string) (*stats.R
 	}
 }
 
+// fetchAttempt is fetchCache plus the per-attempt accounting every caller
+// needs: the latency histogram, the error counter, and the breaker verdict
+// (a failure with the caller's own context still live is the peer's fault;
+// one after cancellation is not).
+func (p *peerClient) fetchAttempt(ctx context.Context, from, key string) (*stats.Run, bool, error) {
+	start := time.Now()
+	run, ok, err := p.fetchCache(ctx, from, key)
+	p.fetchHist.ObserveDuration(time.Since(start))
+	if err != nil {
+		p.s.metrics.Add(runcache.CounterPeerErrors, 1)
+		if ctx.Err() == nil {
+			p.s.brk.failure(from)
+		}
+	} else {
+		p.s.brk.success(from)
+	}
+	return run, ok, err
+}
+
+// hedgedFetch races two candidates for key: the primary starts immediately,
+// the hedge after HedgeDelay (cancelled wordlessly if the primary answers
+// first). First hit wins; both failing (or missing) is a miss. The loser's
+// goroutine drains into a buffered channel, so nothing leaks past the
+// request.
+func (p *peerClient) hedgedFetch(ctx context.Context, primary, hedge, key string) (*stats.Run, bool) {
+	type result struct {
+		from string
+		run  *stats.Run
+		ok   bool
+		err  error
+	}
+	ch := make(chan result, 2)
+	launch := func(from string) {
+		go func() {
+			run, ok, err := p.fetchAttempt(ctx, from, key)
+			ch <- result{from, run, ok, err}
+		}()
+	}
+	launch(primary)
+	// fired: the hedge candidate has been launched (by race or in sequence);
+	// raced: it was launched by the timer, i.e. a true hedge.
+	inflight, fired, raced := 1, false, false
+	timer := time.NewTimer(p.s.opt.HedgeDelay)
+	defer timer.Stop()
+	for inflight > 0 {
+		select {
+		case <-timer.C:
+			if !fired {
+				fired, raced = true, true
+				inflight++
+				p.s.metrics.Add(CounterHedgeFired, 1)
+				launch(hedge)
+			}
+		case r := <-ch:
+			inflight--
+			if r.err == nil && r.ok {
+				if raced && r.from == hedge {
+					p.s.metrics.Add(CounterHedgeWins, 1)
+				}
+				return r.run, true
+			}
+			if ctx.Err() != nil {
+				return nil, false
+			}
+			if inflight == 0 && !fired {
+				// Primary resolved without a hit before the hedge delay:
+				// the second candidate is now just the next sequential
+				// attempt, not a hedge.
+				fired = true
+				inflight++
+				launch(hedge)
+			}
+		}
+	}
+	return nil, false
+}
+
 // PeerFetch is the run cache's peer tier (runcache.PeerFetchFunc): on a
 // local miss it asks the key's next ring candidates for their cached entry
 // before the cache simulates. Wire it at startup:
 //
 //	srv := server.New(runner, server.Options{Fleet: fleet, ...})
 //	runner.SetPeerFetch(srv.PeerFetch)
+//
+// Candidates come from the live (health-filtered) ring, so Down members are
+// never asked; candidates behind an open circuit breaker are skipped
+// fail-fast. With Options.HedgeDelay set and two candidates available, the
+// second is raced after the delay (tail tolerance for one slow peer).
 //
 // Hit/miss accounting is the cache's (runcache.peer.hits / .misses); this
 // side counts failed attempts (runcache.peer.errors) and observes the
@@ -184,12 +358,19 @@ func (s *Server) PeerFetch(ctx context.Context, key string) (*stats.Run, bool) {
 	if s.peers == nil {
 		return nil, false
 	}
-	for _, from := range s.fleet.FetchCandidates(key, peerFetchCandidates) {
-		start := time.Now()
-		run, ok, err := s.peers.fetchCache(ctx, from, key)
-		s.peers.fetchHist.ObserveDuration(time.Since(start))
+	candidates := s.fleet.FetchCandidates(key, peerFetchCandidates)
+	allowed := make([]string, 0, len(candidates))
+	for _, from := range candidates {
+		if s.brk.allow(from) {
+			allowed = append(allowed, from)
+		}
+	}
+	if s.opt.HedgeDelay > 0 && len(allowed) >= 2 {
+		return s.peers.hedgedFetch(ctx, allowed[0], allowed[1], key)
+	}
+	for _, from := range allowed {
+		run, ok, err := s.peers.fetchAttempt(ctx, from, key)
 		if err != nil {
-			s.metrics.Add(runcache.CounterPeerErrors, 1)
 			if ctx.Err() != nil {
 				return nil, false
 			}
@@ -204,12 +385,17 @@ func (s *Server) PeerFetch(ctx context.Context, key string) (*stats.Run, bool) {
 
 // proxyFallback decides whether a failed proxy should degrade to local
 // execution. Yes for transport-level failures (the owner never saw the
-// request) and for a draining owner (it refused by policy, not capacity);
-// no when this request's own context already ended, and no for any other
-// owner-side response — a 429 must stay a 429, or proxying would quietly
-// defeat the fleet's admission control.
+// request — including a breaker-refused hop) and for a draining owner (it
+// refused by policy, not capacity); no when this request's own context
+// already ended or its deadline budget is spent (sim.ErrTimeout — there is
+// no time left to execute locally either), and no for any other owner-side
+// response — a 429 must stay a 429, or proxying would quietly defeat the
+// fleet's admission control.
 func proxyFallback(ctx context.Context, err error) bool {
 	if ctx.Err() != nil {
+		return false
+	}
+	if sim.KindOf(err) == sim.ErrTimeout {
 		return false
 	}
 	var pe *peerStatusError

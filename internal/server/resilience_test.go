@@ -1,0 +1,366 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/runcache"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// configOwnedBy searches seeds until it finds a config whose cache key the
+// given member owns in fleet's live ring.
+func configOwnedBy(t *testing.T, fleet *cluster.Fleet, owner string) sim.Config {
+	t.Helper()
+	for seed := int64(1); seed < 10_000; seed++ {
+		cfg := sim.Config{App: "511.povray", Predictor: "phast", Instructions: 8_000, Seed: seed}
+		if fleet.Owner(runcache.Key(cfg.Normalized())) == owner {
+			return cfg
+		}
+	}
+	t.Fatal("no config owned by " + owner)
+	return sim.Config{}
+}
+
+// stallListener accepts connections and never responds — the shape of a
+// wedged (not crashed) peer: TCP works, HTTP hangs.
+func stallListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	t.Cleanup(func() { close(done); ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				<-done
+				conn.Close()
+			}()
+		}
+	}()
+	return "http://" + ln.Addr().String()
+}
+
+// TestProxyBudgetExhausted504 is the deadline-budgeting regression test:
+// a proxied run whose owner hangs past the request deadline must come back
+// as 504 Gateway Timeout with the typed "timeout" kind — not a generic 500,
+// not a 200 with a null run, and no local-execution fallback (the budget is
+// spent; local execution could only blow the deadline again).
+func TestProxyBudgetExhausted504(t *testing.T) {
+	stalled := stallListener(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := "http://" + ln.Addr().String()
+	fleet, err := cluster.NewFleet(self, []string{self, stalled}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := stats.NewMetrics()
+	r := experiments.NewRunner(experiments.Options{Instructions: 8_000, Metrics: reg, KeepGoing: true})
+	defer r.Close()
+	srv := New(r, Options{Metrics: reg, Fleet: fleet, RetryBackoff: 10 * time.Millisecond})
+	hs := httptest.NewUnstartedServer(srv.Handler())
+	hs.Listener.Close()
+	hs.Listener = ln
+	hs.Start()
+	defer hs.Close()
+
+	cfg := configOwnedBy(t, fleet, stalled)
+	var got struct {
+		Error ErrorBody `json:"error"`
+	}
+	start := time.Now()
+	status, _ := postJSON(t, &http.Client{}, self+"/v1/runs",
+		RunRequest{Config: cfg, TimeoutMS: 400}, &got)
+	elapsed := time.Since(start)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%+v), want 504", status, got.Error)
+	}
+	if got.Error.Kind != string(sim.ErrTimeout) {
+		t.Errorf("error kind = %q, want %q", got.Error.Kind, sim.ErrTimeout)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("504 took %v; budget was 400ms", elapsed)
+	}
+	if sims := reg.Get(runcache.CounterRunsSimulated); sims != 0 {
+		t.Errorf("budget-exhausted proxy fell back to %d local simulations", sims)
+	}
+}
+
+// TestDrainingOwnerProxyFallsBackLocal (satellite): a draining owner
+// answers the proxied run with its typed 503 draining error; the non-owner
+// must degrade to local execution exactly once — no retries (the owner's
+// answer is authoritative), no breaker damage (the link works), and no
+// leaked goroutines.
+func TestDrainingOwnerProxyFallsBackLocal(t *testing.T) {
+	nodes := startFleet(t, 2)
+	client := &http.Client{}
+
+	owner, other := nodes[1], nodes[0]
+	cfg := configOwnedBy(t, other.srv.fleet, owner.url)
+	owner.srv.StartDrain()
+
+	// Warm up the non-owner's serving path with a locally-owned config so
+	// the goroutine baseline includes the runner's worker pool and the
+	// client's keep-alive connection — not artifacts of the fallback.
+	warm := configOwnedBy(t, other.srv.fleet, other.url)
+	if status, _ := postJSON(t, client, other.url+"/v1/runs", RunRequest{Config: warm}, nil); status != http.StatusOK {
+		t.Fatalf("warmup status = %d", status)
+	}
+	before := runtime.NumGoroutine()
+
+	var got RunResult
+	status, _ := postJSON(t, client, other.url+"/v1/runs", RunRequest{Config: cfg}, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d (%+v), want 200 via local fallback", status, got.Error)
+	}
+	if got.Run == nil {
+		t.Fatal("200 with no run")
+	}
+
+	if v := other.reg.Get(CounterProxied); v != 1 {
+		t.Errorf("proxied = %d, want 1", v)
+	}
+	if v := other.reg.Get(CounterProxyErrors); v != 1 {
+		t.Errorf("proxy errors (fallbacks) = %d, want exactly 1", v)
+	}
+	if v := other.reg.Get(CounterRetries); v != 0 {
+		t.Errorf("retries = %d, want 0 (a draining answer is authoritative)", v)
+	}
+	if v := other.srv.brk.state(owner.url); v != breakerClosed {
+		t.Errorf("breaker after draining answer = %s, want closed (the link works)", v)
+	}
+	if v := owner.reg.Get(CounterDrained); v != 1 {
+		t.Errorf("owner drained refusals = %d, want 1", v)
+	}
+	if v := other.reg.Get(runcache.CounterRunsSimulated); v != 2 {
+		t.Errorf("non-owner simulated %d runs (warmup + fallback), want 2", v)
+	}
+	if v := owner.reg.Get(runcache.CounterRunsSimulated); v != 0 {
+		t.Errorf("draining owner simulated %d runs, want 0", v)
+	}
+
+	// No goroutine leak: drop the proxy hop's keep-alive connection (its
+	// read/write loops are pooling, not a leak), then everything the
+	// fallback spawned must wind down to the warmed-up baseline.
+	other.srv.peers.http.CloseIdleConnections()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew %d -> %d after drain fallback", before, after)
+	}
+}
+
+// TestHealthGatedRoutingSkipsDownOwner: once the failure detector marks a
+// peer Down, its keys remap — requests that would have proxied execute
+// locally without touching the dead link — and recovery restores proxying.
+func TestHealthGatedRoutingSkipsDownOwner(t *testing.T) {
+	// A peer that is already dead: bind, record the URL, close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := "http://" + ln2.Addr().String()
+	ln2.Close() // handler invoked directly; no listener needed
+
+	fleet, err := cluster.NewFleet(self, []string{self, deadURL}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := stats.NewMetrics()
+	r := experiments.NewRunner(experiments.Options{Instructions: 8_000, Metrics: reg, KeepGoing: true})
+	defer r.Close()
+	srv := New(r, Options{Metrics: reg, Fleet: fleet, ProbeDownAfter: 3})
+
+	cfg := srv.normalize(configOwnedBy(t, fleet, deadURL))
+
+	// Drive the detector synchronously: three failed probes mark it Down.
+	for i := 0; i < 3; i++ {
+		srv.prober.ProbeOnce(context.Background())
+	}
+	if got := srv.prober.StateOf(deadURL); got != cluster.StateDown {
+		t.Fatalf("dead peer state = %s, want down", got)
+	}
+	if fleet.Owner(runcache.Key(cfg)) != self {
+		t.Fatal("key did not remap to self with owner down")
+	}
+
+	run, errRun := srv.runOne(context.Background(), cfg, false)
+	if errRun != nil || run == nil {
+		t.Fatalf("runOne with down owner: (%v, %v), want local success", run, errRun)
+	}
+	if v := reg.Get(CounterProxied); v != 0 {
+		t.Errorf("proxied = %d, want 0 (down owner must not be dialed)", v)
+	}
+	if v := reg.Get(runcache.CounterRunsSimulated); v != 1 {
+		t.Errorf("local simulations = %d, want 1", v)
+	}
+	if v := reg.Get(cluster.CounterTransitionsDown); v != 1 {
+		t.Errorf("transitions.down = %d, want 1", v)
+	}
+}
+
+// TestClusterEndpoint: /v1/cluster reports per-member health, liveness and
+// breaker state on a fleet member, and 404s on a standalone server.
+func TestClusterEndpoint(t *testing.T) {
+	nodes := startFleet(t, 3)
+	resp, err := http.Get(nodes[0].url + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var cr ClusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Self != nodes[0].url || cr.FleetSize != 3 || cr.LiveMembers != 3 {
+		t.Errorf("self=%q fleet=%d live=%d, want %q/3/3", cr.Self, cr.FleetSize, cr.LiveMembers, nodes[0].url)
+	}
+	if len(cr.Members) != 3 {
+		t.Fatalf("members = %d rows, want 3", len(cr.Members))
+	}
+	selfRows := 0
+	for _, m := range cr.Members {
+		if m.Self {
+			selfRows++
+			if m.URL != nodes[0].url || m.State != "up" || !m.Live {
+				t.Errorf("self row = %+v", m)
+			}
+			continue
+		}
+		if m.State != "up" || !m.Live || m.Breaker != breakerClosed {
+			t.Errorf("peer row = %+v, want up/live/closed", m)
+		}
+	}
+	if selfRows != 1 {
+		t.Errorf("self rows = %d, want 1", selfRows)
+	}
+
+	// Standalone: no fleet, no cluster.
+	r := experiments.NewRunner(experiments.Options{Instructions: 8_000, KeepGoing: true})
+	defer r.Close()
+	standalone := httptest.NewServer(New(r, Options{Metrics: r.Metrics()}).Handler())
+	defer standalone.Close()
+	resp2, err := http.Get(standalone.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("standalone /v1/cluster = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestBreakerStateMachine drives one breaker through close → open →
+// half-open → closed and the failed-trial re-open.
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(3, 50*time.Millisecond)
+	if !b.allow() || b.current() != breakerClosed {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	// Two failures: still closed. Third: open.
+	b.failure()
+	b.failure()
+	if b.current() != breakerClosed {
+		t.Fatalf("state after 2 failures = %s, want closed", b.current())
+	}
+	if opened := b.failure(); !opened {
+		t.Fatal("third failure did not report opening")
+	}
+	if b.current() != breakerOpen || b.allow() {
+		t.Fatalf("state = %s allow = true, want open and refusing", b.current())
+	}
+	// Cooldown elapses: exactly one trial admitted (half-open).
+	time.Sleep(60 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the trial")
+	}
+	if b.current() != breakerHalfOpen || b.allow() {
+		t.Fatal("half-open breaker must hold at one trial")
+	}
+	// Failed trial re-opens immediately.
+	if opened := b.failure(); !opened || b.current() != breakerOpen {
+		t.Fatalf("failed trial left state %s, want open", b.current())
+	}
+	// Probe recovery half-opens without waiting; successful trial closes.
+	b.probeRecovered()
+	if b.current() != breakerHalfOpen {
+		t.Fatalf("state after probe recovery = %s, want half-open", b.current())
+	}
+	b.success()
+	if b.current() != breakerClosed || !b.allow() {
+		t.Fatal("successful trial must close the breaker")
+	}
+}
+
+// TestBackoffDeterministicAndBounded: same (key, attempt) → same backoff;
+// each value lies in [base/2 * 2^(n-1), base * 2^(n-1)] capped at max.
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	rp := retryPolicy{attempts: 5, base: 40 * time.Millisecond, max: 200 * time.Millisecond}.norm()
+	for attempt := 1; attempt <= 4; attempt++ {
+		d1 := rp.backoff("key-a", attempt)
+		d2 := rp.backoff("key-a", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: backoff not deterministic (%v vs %v)", attempt, d1, d2)
+		}
+		full := rp.base << (attempt - 1)
+		if full > rp.max {
+			full = rp.max
+		}
+		if d1 < full/2 || d1 >= full {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v)", attempt, d1, full/2, full)
+		}
+	}
+	if rp.backoff("key-a", 1) == rp.backoff("key-b", 1) {
+		t.Error("different keys produced identical jitter (suspicious)")
+	}
+}
+
+// TestSleepBudget: a deadline too tight for the requested sleep returns
+// errBudget immediately instead of sleeping into a timeout.
+func TestSleepBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := sleepBudget(ctx, 100*time.Millisecond); err != errBudget {
+		t.Fatalf("err = %v, want errBudget", err)
+	}
+	if e := time.Since(start); e > 10*time.Millisecond {
+		t.Errorf("budget refusal took %v, want immediate", e)
+	}
+	// With room to spare the sleep proceeds.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := sleepBudget(ctx2, 5*time.Millisecond); err != nil {
+		t.Fatalf("sleep within budget failed: %v", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,6 +126,33 @@ type Options struct {
 	// a slow peer must cost strictly less than the simulation it would
 	// save, or the fetch is abandoned as an error.
 	PeerFetchTimeout time.Duration
+
+	// The remaining options apply only with Fleet set; zero values take the
+	// defaults noted on each.
+
+	// ProbeInterval is the failure detector's per-peer heartbeat period
+	// (default 1s); ProbeTimeout bounds one probe (default interval/2).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// ProbeDownAfter is the consecutive probe failures that mark a peer Down
+	// and remap its ring segment (default 3); ProbeUpAfter the consecutive
+	// successes that restore it (default 1).
+	ProbeDownAfter int
+	ProbeUpAfter   int
+	// ProxyAttempts bounds total attempts per proxied run, first try
+	// included (default 3); RetryBackoff is the first backoff, doubling per
+	// retry with deterministic jitter (default 50ms).
+	ProxyAttempts int
+	RetryBackoff  time.Duration
+	// BreakerThreshold is the consecutive transport failures that open a
+	// peer's circuit breaker (default 3); BreakerOpenFor how long it stays
+	// open before half-opening on its own (default 2s; a successful health
+	// probe half-opens it early).
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	// HedgeDelay, when positive, races the second peer-cache candidate
+	// after this delay instead of waiting out the first (default 0: off).
+	HedgeDelay time.Duration
 }
 
 func (o Options) norm() Options {
@@ -167,9 +195,11 @@ type Server struct {
 	metrics *stats.Metrics
 	latency *stats.Histogram
 	adm     *admitter
-	fleet   *cluster.Fleet // nil = standalone
-	peers   *peerClient    // nil = standalone
-	lookup  CacheLookup    // nil when the backend has no local cache probe
+	fleet   *cluster.Fleet  // nil = standalone
+	peers   *peerClient     // nil = standalone
+	brk     *breakers       // nil = standalone
+	prober  *cluster.Prober // nil = standalone
+	lookup  CacheLookup     // nil when the backend has no local cache probe
 
 	// flights is the server-level single-flight map, keyed exactly like the
 	// run cache (runcache.Key) so "identical request" and "same cache entry"
@@ -202,8 +232,28 @@ func New(backend Backend, opt Options) *Server {
 	zeros := []string{CounterRequests, CounterAccepted, CounterRejected, CounterCoalesced}
 	if opt.Fleet != nil {
 		s.fleet = opt.Fleet
+		s.brk = newBreakers(opt.BreakerThreshold, opt.BreakerOpenFor, opt.Metrics)
 		s.peers = newPeerClient(s)
+		// The failure detector drives the fleet's live ring; a recovered
+		// probe also half-opens the member's breaker so the next real
+		// request is the trial. Built here, started by StartHealth (tests
+		// that never start it keep the full ring live).
+		s.prober = cluster.NewProber(opt.Fleet, cluster.ProberOptions{
+			Interval:  opt.ProbeInterval,
+			Timeout:   opt.ProbeTimeout,
+			DownAfter: opt.ProbeDownAfter,
+			UpAfter:   opt.ProbeUpAfter,
+			Metrics:   opt.Metrics,
+			Probe:     s.probePeer,
+			OnTransition: func(member string, from, to cluster.State) {
+				if to == cluster.StateUp {
+					s.brk.probeRecovered(member)
+				}
+			},
+		})
 		zeros = append(zeros, CounterProxied, CounterProxyErrors,
+			CounterRetries, CounterBreakerOpened, CounterBreakerShortCircuit,
+			CounterHedgeFired, CounterHedgeWins,
 			runcache.CounterPeerHits, runcache.CounterPeerMisses, runcache.CounterPeerErrors)
 	}
 	for _, c := range zeros {
@@ -222,9 +272,74 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.instrumented(s.handleBatch))
 	mux.HandleFunc("/v1/peer/run", s.instrumented(s.handlePeerRun))
 	mux.HandleFunc("/v1/peer/cache/", s.handlePeerCache)
+	mux.HandleFunc("/v1/cluster", s.handleCluster)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// probePeer is the failure detector's health check: the stock GET /healthz
+// behind the same injected link faults real peer traffic sees — a
+// partitioned link must look down to the detector too, or chaos plans
+// could never drive remapping.
+func (s *Server) probePeer(ctx context.Context, member string) error {
+	if err := linkFault(ctx, member, ""); err != nil {
+		return err
+	}
+	return cluster.HTTPHealthz(ctx, member)
+}
+
+// StartHealth launches the fleet failure detector: one background probe
+// loop per peer, running until ctx is cancelled. No-op standalone. Without
+// it (unit tests, single-node smoke) the live ring stays the full ring.
+func (s *Server) StartHealth(ctx context.Context) {
+	if s.prober != nil {
+		s.prober.Start(ctx)
+	}
+}
+
+// handleCluster serves GET /v1/cluster: this member's view of fleet health
+// — per-peer failure-detector state, live-ring membership, and circuit
+// breakers. Standalone servers answer 404: there is no cluster to report.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if s.fleet == nil {
+		writeJSON(w, http.StatusNotFound, struct {
+			Error ErrorBody `json:"error"`
+		}{ErrorBody{Kind: KindNotFound, Message: "not a fleet member"}})
+		return
+	}
+	live := map[string]bool{}
+	for _, m := range s.fleet.LiveMembers() {
+		live[m] = true
+	}
+	selfState := "up"
+	if s.Draining() {
+		selfState = "draining"
+	}
+	members := []ClusterMember{{
+		URL: s.fleet.Self(), Self: true, State: selfState, Live: live[s.fleet.Self()],
+	}}
+	for _, ph := range s.prober.States() {
+		members = append(members, ClusterMember{
+			URL:              ph.Member,
+			State:            ph.State.String(),
+			Live:             live[ph.Member],
+			Breaker:          s.brk.state(ph.Member),
+			ConsecutiveFails: ph.ConsecutiveFails,
+			LastError:        ph.LastError,
+		})
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].URL < members[j].URL })
+	writeJSON(w, http.StatusOK, ClusterResponse{
+		Self:        s.fleet.Self(),
+		FleetSize:   s.fleet.Size(),
+		LiveMembers: s.fleet.LiveSize(),
+		Members:     members,
+	})
 }
 
 // StartDrain begins graceful shutdown: /healthz flips to 503 (so load

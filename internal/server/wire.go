@@ -64,6 +64,34 @@ type MetricsResponse struct {
 	Histograms map[string]stats.HistogramSnapshot `json:"histograms"`
 }
 
+// ClusterMember is one member's row in GET /v1/cluster: this node's view of
+// that member's health (failure-detector state), ring liveness, and circuit
+// breaker. The self row always reads up/live with no breaker — a node does
+// not probe or circuit-break itself.
+type ClusterMember struct {
+	URL   string `json:"url"`
+	Self  bool   `json:"self,omitempty"`
+	State string `json:"state"` // up | suspect | down (draining for self mid-drain)
+	// Live reports ring membership in this node's current health-filtered
+	// view: false means the member's keys are remapped elsewhere until it
+	// recovers.
+	Live             bool   `json:"live"`
+	Breaker          string `json:"breaker,omitempty"` // closed | open | half-open
+	ConsecutiveFails int    `json:"consecutive_fails,omitempty"`
+	LastError        string `json:"last_error,omitempty"`
+}
+
+// ClusterResponse is the body of GET /v1/cluster: this member's view of the
+// fleet. Views are per-node (the failure detector is coordination-free), so
+// operators compare /v1/cluster across members to see a partition from both
+// sides.
+type ClusterResponse struct {
+	Self        string          `json:"self"`
+	FleetSize   int             `json:"fleet_size"`
+	LiveMembers int             `json:"live_members"`
+	Members     []ClusterMember `json:"members"`
+}
+
 // Serving-layer error kinds (beyond the sim.SimError taxonomy).
 const (
 	// KindRejected marks a request bounced by admission control (HTTP 429):

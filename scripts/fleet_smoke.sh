@@ -69,8 +69,11 @@ EOF
     -out "$SMOKEDIR/results.csv" -wait 15s >"$SMOKEDIR/phastload.txt"
 
 # Assertions over the CSV (columns located by header name, not position).
+# Only the target="all" fleet-aggregate rows carry client-side outcomes;
+# per-member rows are server-side deltas only.
 awk -F, '
 NR == 1 { for (i = 1; i <= NF; i++) col[$i] = i; next }
+$col["target"] != "all" { next }
 {
     name      = $col["scenario"]
     requests  = $col["requests"]
