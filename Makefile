@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke fleet-smoke fleet-chaos chaos api-smoke fuzz cover
+.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke fleet-smoke fleet-chaos trace-smoke chaos api-smoke fuzz cover
 
 all: build test
 
@@ -20,6 +20,7 @@ check:
 	$(MAKE) cache-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) fleet-chaos
+	$(MAKE) trace-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) benchdiff
 
@@ -61,6 +62,15 @@ fleet-smoke:
 # transitions recorded, and cluster-wide simulations bounded (DESIGN.md §16).
 fleet-chaos:
 	sh scripts/fleet_chaos.sh
+
+# Multi-tenant trace ingestion smoke: upload a trace to one fleet member and
+# run it by digest round-robined across all members, byte-identical to a solo
+# reference; saturate one node with a heavy and a light tenant concurrently
+# and assert the light tenant lands within 2x of its fair share; check the
+# typed 400/404/413/429 error taxonomy and the per-tenant results log over
+# the wire (DESIGN.md §17).
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 build:
 	go build ./...

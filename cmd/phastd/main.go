@@ -28,6 +28,19 @@
 // circuit breakers (-proxy-retries, -retry-backoff, -breaker-threshold,
 // -hedge-delay); GET /v1/cluster reports this member's view of fleet
 // health. Benchmark a node or a fleet with cmd/phastload.
+//
+// With -trace-dir the daemon additionally ingests bring-your-own-workload
+// traces (DESIGN.md §17): POST /v1/traces stores a validated, content-
+// addressed trace and any member runs it by digest; tenancy rides the
+// X-Phast-Tenant header under per-tenant storage quotas
+// (-tenant-quota-bytes), an in-flight cap (-tenant-max-inflight) and
+// weighted-fair scheduling (-tenant-weights), with per-tenant run logs
+// behind GET /v1/results (-results-dir):
+//
+//	phastd -addr :8091 -trace-dir /var/phast/traces -results-dir /var/phast/results
+//	curl -s -X POST --data-binary @workload.mdpt -H 'X-Phast-Tenant: acme' localhost:8091/v1/traces
+//	curl -s -X POST -H 'X-Phast-Tenant: acme' localhost:8091/v1/runs \
+//	     -d '{"config":{"App":"trace:<digest>","Predictor":"phast"}}'
 package main
 
 import (
@@ -40,6 +53,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -50,12 +64,34 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/tracestore"
 )
 
 // fatal is the one exit path for errors: message to stderr, non-zero exit.
 func fatal(v ...any) {
 	fmt.Fprintln(os.Stderr, append([]any{"phastd:"}, v...)...)
 	os.Exit(1)
+}
+
+// parseWeights parses -tenant-weights ("acme=3,guest=1") into the scheduler's
+// weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		tenant, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q (want tenant=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight for tenant %q: %q (want a positive integer)", tenant, val)
+		}
+		out[tenant] = w
+	}
+	return out, nil
 }
 
 func main() {
@@ -83,6 +119,12 @@ func main() {
 		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive transport failures opening a peer's circuit breaker")
 		brkOpenFor   = flag.Duration("breaker-open-for", 2*time.Second, "open-breaker cooldown before half-opening")
 		hedgeDelay   = flag.Duration("hedge-delay", 0, "race the second peer-cache candidate after this delay (0 = off)")
+		traceDir     = flag.String("trace-dir", "", "uploaded-trace store directory (empty = trace ingestion disabled)")
+		traceMax     = flag.Int64("trace-max-bytes", 0, "per-trace upload size cap in bytes (0 = 64 MiB default)")
+		tenantQuota  = flag.Int64("tenant-quota-bytes", 0, "per-tenant stored trace bytes quota (0 = 256 MiB default, negative = unlimited)")
+		resultsDir   = flag.String("results-dir", "", "per-tenant persistent results log directory (empty = results endpoint disabled)")
+		tenantMax    = flag.Int("tenant-max-inflight", 0, "per-tenant in-flight request cap, 429 past it (0 = unlimited)")
+		weights      = flag.String("tenant-weights", "", "weighted-fair scheduler shares, e.g. \"acme=3,guest=1\" (absent tenants weigh 1)")
 		faults       = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.1,seed=7\" (default $PHAST_FAULTS)")
 		metrics      = flag.Bool("metrics", true, "print the metrics table to stderr on exit")
 	)
@@ -97,6 +139,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "phastd: fault injection active:", plan)
 	}
 
+	tenantWeights, err := parseWeights(*weights)
+	if err != nil {
+		fatal(err)
+	}
 	reg := stats.NewMetrics()
 	runner := experiments.NewRunner(experiments.Options{
 		Workers:       *workers,
@@ -104,6 +150,7 @@ func main() {
 		CacheDir:      *cacheDir,
 		CacheMaxBytes: *cacheMax,
 		Metrics:       reg,
+		TenantWeights: tenantWeights,
 		// A service reports per-row errors; one bad config in a batch must
 		// not cancel its siblings.
 		KeepGoing: true,
@@ -115,6 +162,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "phastd: fleet member", fleet)
+	}
+	var store *tracestore.Store
+	if *traceDir != "" {
+		store = tracestore.New(*traceDir, tracestore.Options{
+			MaxTraceBytes:    *traceMax,
+			TenantQuotaBytes: *tenantQuota,
+		})
+	}
+	var results *tracestore.ResultLog
+	if *resultsDir != "" {
+		results = tracestore.NewResultLog(*resultsDir)
 	}
 	srv := server.New(runner, server.Options{
 		MaxInflight:         *maxInflight,
@@ -134,11 +192,20 @@ func main() {
 		BreakerThreshold:    *brkThreshold,
 		BreakerOpenFor:      *brkOpenFor,
 		HedgeDelay:          *hedgeDelay,
+		TraceStore:          store,
+		Results:             results,
+		TenantMaxInflight:   *tenantMax,
 	})
 	if fleet != nil {
 		// Two-tier cache: a local miss asks the ring's other candidates for
 		// their cached entry before paying for a simulation.
 		runner.SetPeerFetch(srv.PeerFetch)
+	}
+	if store != nil {
+		// Uploaded-trace resolution: local store, then (in a fleet) the
+		// ring's other members — a trace uploaded anywhere runs anywhere.
+		runner.SetTraceResolver(srv.TraceFetch)
+		fmt.Fprintf(os.Stderr, "phastd: trace store %q (max %d bytes/trace)\n", *traceDir, store.MaxTraceBytes())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -38,6 +38,20 @@
 // arrivals ({"period_ms": 2000, "width_ms": 250, "factor": 8} fires an
 // 8x arrival spike for the first 250ms of every 2s).
 //
+// Multi-tenant scenarios: "tenant" stamps every request with the
+// X-Phast-Tenant header (the identity the server's quotas and weighted-fair
+// scheduler key on); "upload" runs a bring-your-own-workload phase before
+// load starts — the harness generates a trace, POSTs it to /v1/traces, and
+// substitutes the minted digest for "@upload" in the config's App, so
+// {"config": {"App": "trace:@upload"}, "upload": {"app": "519.lbm",
+// "insts": 20000, "seed": 7, "target": 0}} runs an uploaded trace by
+// digest; and consecutive scenarios sharing a non-empty "group" run
+// concurrently instead of sequentially — a heavy and a light tenant
+// loading the same fleet at the same time is the two-tenant fairness
+// experiment. Note that concurrent scenarios over the same targets see
+// each other's traffic in their server-side counter deltas; the
+// client-side columns stay per-scenario.
+//
 // Without -scenario the flags describe a single anonymous scenario:
 //
 //	phastload -url http://localhost:8091 -mode closed -c 16 -duration 10s -dup 0.5
@@ -97,11 +111,39 @@ type ChaosEvent struct {
 	Exec          string `json:"exec"`
 }
 
+// UploadSpec is a scenario's bring-your-own-workload phase: before load
+// starts, the harness generates a trace locally (the same generator the
+// server's built-in apps use, so the bytes are reproducible from the seed),
+// uploads it via POST /v1/traces, and substitutes the returned digest for
+// the "@upload" placeholder in the scenario config's App — a run mix over
+// "trace:@upload" then exercises the full uploaded-trace path: store
+// admission, ring replication, peer trace fetch, run-by-digest.
+type UploadSpec struct {
+	App   string `json:"app,omitempty"`
+	Insts int    `json:"insts,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+	// Target indexes the scenario's targets: which member receives the
+	// upload. Running against the OTHER members is the point — it proves
+	// any node can serve a trace it never ingested.
+	Target int `json:"target,omitempty"`
+}
+
 // Scenario is one declarative traffic experiment. Zero-valued fields take
 // the defaults documented on the flags.
 type Scenario struct {
 	Name    string   `json:"name"`
 	Targets []string `json:"targets"`
+	// Tenant stamps every request (uploads and runs) with the X-Phast-Tenant
+	// header — the identity the server's quotas and weighted-fair scheduler
+	// key on. Empty means the server's default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Group: consecutive scenarios sharing a non-empty group run
+	// concurrently (started together, joined together) instead of
+	// sequentially — how a two-tenant fairness experiment puts a heavy and
+	// a light tenant on the same fleet at the same time.
+	Group string `json:"group,omitempty"`
+	// Upload generates and uploads a trace before load starts; see UploadSpec.
+	Upload *UploadSpec `json:"upload,omitempty"`
 	// Mode is the arrival process: "closed" (Concurrency workers, next
 	// request on completion) or "open" (fixed QPS; latency then includes
 	// server-side queueing under overload).
@@ -183,6 +225,25 @@ func (sc Scenario) norm() (Scenario, error) {
 		if ev.AtMS < 0 || ev.AfterRequests < 0 {
 			return sc, fmt.Errorf("scenario %q: chaos[%d] has a negative trigger", sc.Name, i)
 		}
+	}
+	if up := sc.Upload; up != nil {
+		if up.App == "" {
+			up.App = "511.povray"
+		}
+		if up.Insts <= 0 {
+			up.Insts = 20_000
+		}
+		if up.Seed == 0 {
+			up.Seed = 1
+		}
+		if up.Target < 0 || up.Target >= len(sc.Targets) {
+			return sc, fmt.Errorf("scenario %q: upload target %d out of range (have %d targets)",
+				sc.Name, up.Target, len(sc.Targets))
+		}
+	}
+	if strings.Contains(sc.Config.App, "@upload") && sc.Upload == nil {
+		return sc, fmt.Errorf("scenario %q: config app %q references @upload but has no upload spec",
+			sc.Name, sc.Config.App)
 	}
 	if sc.Config.App == "" {
 		sc.Config.App = "511.povray"
@@ -303,9 +364,37 @@ func main() {
 		}
 	}
 
+	// Consecutive scenarios sharing a non-empty group run concurrently —
+	// the two-tenant fairness experiment needs a heavy and a light tenant
+	// loading the same fleet at the same time. Everything else runs in file
+	// order, one at a time.
 	rows := make([]resultRow, 0, len(scenarios))
-	for _, sc := range scenarios {
-		rows = append(rows, runScenario(sc, *digests)...)
+	for i := 0; i < len(scenarios); {
+		j := i + 1
+		for scenarios[i].Group != "" && j < len(scenarios) && scenarios[j].Group == scenarios[i].Group {
+			j++
+		}
+		if j-i == 1 {
+			rows = append(rows, runScenario(scenarios[i], *digests)...)
+		} else {
+			fmt.Printf("== group %s: %d scenarios concurrently ==\n", scenarios[i].Group, j-i)
+			var (
+				mu sync.Mutex
+				wg sync.WaitGroup
+			)
+			for _, sc := range scenarios[i:j] {
+				wg.Add(1)
+				go func(sc Scenario) {
+					defer wg.Done()
+					r := runScenario(sc, *digests)
+					mu.Lock()
+					rows = append(rows, r...)
+					mu.Unlock()
+				}(sc)
+			}
+			wg.Wait()
+		}
+		i = j
 	}
 	if *out != "" {
 		if err := writeCSV(*out, rows); err != nil {
@@ -348,6 +437,13 @@ func runScenario(sc Scenario, digestPath string) []resultRow {
 		fatal("server unreachable:", err)
 	}
 
+	// Upload after the "before" snapshot so the ingestion counters land
+	// inside this scenario's delta.
+	if sc.Upload != nil {
+		digest := uploadTrace(sc)
+		sc.Config.App = strings.ReplaceAll(sc.Config.App, "@upload", digest)
+	}
+
 	// Pre-plan the request mix so the workload is reproducible under the
 	// scenario seed. Duplicate-pool seeds are 1..pool (zipf-skewed when
 	// configured); unique requests get seeds far above the pool.
@@ -373,6 +469,7 @@ func runScenario(sc Scenario, digestPath string) []resultRow {
 	}
 	lg := &loadgen{
 		targets:   sc.Targets,
+		tenant:    sc.Tenant,
 		client:    &http.Client{},
 		cfg:       sc.Config,
 		timeoutMS: sc.TimeoutMS,
@@ -444,6 +541,48 @@ func runScenario(sc Scenario, digestPath string) []resultRow {
 		}
 	}
 	return rows
+}
+
+// uploadTrace runs a scenario's bring-your-own-workload phase: generate the
+// trace locally, stream it to the chosen target with the scenario's tenant
+// header, and return the content digest the server minted. The harness
+// fatals on any failure — a scenario that asked for an upload cannot
+// meaningfully run without it.
+func uploadTrace(sc Scenario) string {
+	up := sc.Upload
+	tr, err := sim.TraceFor(up.App, up.Insts, up.Seed)
+	if err != nil {
+		fatal("upload trace generation:", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		fatal("upload trace encoding:", err)
+	}
+	target := sc.Targets[up.Target]
+	req, err := http.NewRequest(http.MethodPost, target+"/v1/traces", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if sc.Tenant != "" {
+		req.Header.Set(server.TenantHeader, sc.Tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal("trace upload:", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Sprintf("trace upload to %s: %s: %s", target, resp.Status, bytes.TrimSpace(body)))
+	}
+	var ur server.TraceUploadResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		fatal("trace upload response:", err)
+	}
+	fmt.Printf("scenario %s: uploaded %s/%d/seed=%d as trace:%s (%d bytes, %d insts, dup=%v)\n",
+		sc.Name, up.App, up.Insts, up.Seed, ur.Digest, ur.Bytes, ur.Insts, ur.Dup)
+	return ur.Digest
 }
 
 // waitChaosTrigger blocks until the event's trigger condition is met or the
@@ -520,6 +659,7 @@ func writeDigests(path, scenario string, digests map[int64]string) error {
 // loadgen issues requests and accumulates client-side outcomes.
 type loadgen struct {
 	targets   []string
+	tenant    string       // X-Phast-Tenant header on every request ("" = default)
 	rr        atomic.Int64 // round-robin cursor over targets
 	completed atomic.Int64 // requests finished (chaos after_requests trigger)
 	client    *http.Client
@@ -558,7 +698,15 @@ func runDigest(body []byte) (string, bool) {
 // attempt posts one request to one target. Returns the HTTP status (0 on
 // transport error) and, when digesting, the response body.
 func (l *loadgen) attempt(target string, body []byte) (int, []byte) {
-	resp, err := l.client.Post(target+"/v1/runs", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, target+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if l.tenant != "" {
+		req.Header.Set(server.TenantHeader, l.tenant)
+	}
+	resp, err := l.client.Do(req)
 	if err != nil {
 		return 0, nil
 	}
@@ -754,6 +902,8 @@ var serverCounters = []string{
 	cluster.CounterProbeFail, cluster.CounterTransitionsDown, cluster.CounterTransitionsUp,
 	runcache.CounterPeerHits, runcache.CounterPeerMisses, runcache.CounterPeerErrors,
 	server.CounterPeerCacheServed,
+	server.CounterTraceUploads, server.CounterTraceFetched,
+	server.CounterPeerTraceServed, server.CounterTraceReplicated,
 	runcache.CounterMemHits, runcache.CounterDiskHits, runcache.CounterMisses,
 	runcache.CounterRunsSimulated, runcache.CounterDiskEvicted,
 }
@@ -810,6 +960,7 @@ type resultRow struct {
 	target     string
 	targets    int
 	mode       string
+	tenant     string
 	requests   int
 	unique     int
 	ok         int
@@ -831,6 +982,7 @@ func (l *loadgen) row(sc Scenario, elapsed time.Duration, deltas map[string]uint
 		target:     "all",
 		targets:    len(sc.Targets),
 		mode:       sc.Mode,
+		tenant:     sc.Tenant,
 		requests:   len(l.latencies),
 		unique:     len(l.unique),
 		ok:         l.ok,
@@ -855,13 +1007,14 @@ func targetRow(sc Scenario, target string, deltas map[string]uint64) resultRow {
 		target:   target,
 		targets:  len(sc.Targets),
 		mode:     sc.Mode,
+		tenant:   sc.Tenant,
 		deltas:   deltas,
 	}
 }
 
 func csvHeader() []string {
 	h := []string{
-		"scenario", "target", "targets", "mode", "requests", "unique", "ok", "rejected",
+		"scenario", "target", "targets", "mode", "tenant", "requests", "unique", "ok", "rejected",
 		"failed", "mismatched", "failovers", "elapsed_s", "rps", "p50_ms", "p90_ms", "p99_ms", "max_ms",
 	}
 	for _, name := range serverCounters {
@@ -894,6 +1047,7 @@ func writeCSV(path string, rows []resultRow) error {
 			r.target,
 			fmt.Sprint(r.targets),
 			r.mode,
+			r.tenant,
 			fmt.Sprint(r.requests),
 			fmt.Sprint(r.unique),
 			fmt.Sprint(r.ok),

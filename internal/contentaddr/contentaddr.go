@@ -1,0 +1,41 @@
+// Package contentaddr is the one definition of the repository's on-disk
+// content-address shape: 64 lowercase hex digits, the hex form of a SHA-256
+// sum. Both content-addressed stores — the run cache (internal/runcache,
+// keyed by config hash) and the trace store (internal/tracestore, keyed by
+// payload hash) — gate every filesystem-facing key through Valid, so no
+// store can quietly accept a different (traversal-capable) key shape than
+// the others.
+package contentaddr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// HexLen is the length of a well-formed address: hex SHA-256.
+const HexLen = 2 * sha256.Size
+
+// Sum returns the content address of a payload: lowercase hex SHA-256.
+func Sum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Valid reports whether s has the exact shape Sum produces: 64 lowercase
+// hex digits. Every surface that accepts addresses from the network (the
+// fleet's GET /v1/peer/cache/{key} and /v1/peer/trace/{digest} endpoints)
+// must reject anything else before the address gets near the filesystem —
+// with only [0-9a-f]{64} accepted, a crafted address cannot traverse paths,
+// name dotfiles, or escape the store directory by construction.
+func Valid(s string) bool {
+	if len(s) != HexLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package contentaddr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSumShape(t *testing.T) {
+	d := Sum([]byte("hello"))
+	if len(d) != HexLen {
+		t.Fatalf("Sum length %d, want %d", len(d), HexLen)
+	}
+	if !Valid(d) {
+		t.Fatalf("Sum output %q does not satisfy Valid", d)
+	}
+	if d != Sum([]byte("hello")) {
+		t.Fatal("Sum is not deterministic")
+	}
+	if d == Sum([]byte("hellp")) {
+		t.Fatal("distinct payloads share an address")
+	}
+}
+
+func TestValidRejectsEverythingButLowerHex64(t *testing.T) {
+	ok := strings.Repeat("0123456789abcdef", 4)
+	for _, tc := range []struct {
+		s    string
+		want bool
+	}{
+		{ok, true},
+		{"", false},
+		{ok[:63], false},
+		{ok + "a", false},
+		{strings.ToUpper(ok), false},
+		{"../" + ok[3:], false},
+		{ok[:60] + ".tmp", false},
+		{strings.Repeat("g", HexLen), false},
+		{strings.Repeat("a", HexLen-1) + "/", false},
+		{"." + ok[1:], false}, // dotfiles can never be valid addresses
+	} {
+		if got := Valid(tc.s); got != tc.want {
+			t.Errorf("Valid(%q) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}

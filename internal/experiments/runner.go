@@ -5,6 +5,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -57,7 +59,26 @@ type Options struct {
 	// semantic change interval counters carry; results cache under distinct
 	// keys from sequential runs.
 	Intervals int
+	// TenantWeights maps tenant identities to scheduling weights for the
+	// shared worker pool's weighted-fair policy (absent tenants weigh 1).
+	// Tenancy rides each request's context (WithTenant); the zero map keeps
+	// every tenant at equal share.
+	TenantWeights map[string]int
+	// TraceResolver fetches the decoded stream of an uploaded trace by
+	// content digest — typically the local trace store plus, in a fleet,
+	// its peer tier. It is consulted only on a full cache miss for a
+	// "trace:<digest>" config whose stream is not yet provided to the
+	// process: cached results never require the trace bytes. Nil means
+	// trace-app runs succeed only for streams already provided
+	// (sim.ProvideTrace).
+	TraceResolver TraceResolver
 }
+
+// TraceResolver fetches an uploaded trace's decoded stream by its content
+// digest. Implementations must return the decode of the canonical bytes
+// hashing to digest; errors surface as typed config errors on the runs
+// that needed the trace.
+type TraceResolver func(ctx context.Context, digest string) (*trace.Trace, error)
 
 func (o Options) norm() Options {
 	if len(o.Apps) == 0 {
@@ -123,10 +144,13 @@ func NewRunner(opt Options) *Runner {
 		// After New so the startup sweep's evictions land in the registry.
 		disk.SetMaxBytes(opt.CacheMaxBytes)
 	}
+	sched := newScheduler(opt.Workers)
+	sched.weights = opt.TenantWeights
+	sched.metrics = opt.Metrics
 	return &Runner{
 		opt:   opt,
 		cache: cache,
-		sched: newScheduler(opt.Workers),
+		sched: sched,
 	}
 }
 
@@ -141,6 +165,13 @@ func (r *Runner) Metrics() *stats.Metrics { return r.opt.Metrics }
 // wires this to the fleet's peer cache-fetch client so a local miss asks
 // the ring's other owners before paying for a simulation.
 func (r *Runner) SetPeerFetch(f runcache.PeerFetchFunc) { r.cache.SetPeerFetch(f) }
+
+// SetTraceResolver installs f as the uploaded-trace resolver (see
+// Options.TraceResolver). Like SetPeerFetch it exists to break the
+// construction cycle with the serving layer — the server needs the runner as
+// its backend, and the runner needs the server's fleet-aware trace fetch —
+// and must be called before the runner starts serving work.
+func (r *Runner) SetTraceResolver(f TraceResolver) { r.opt.TraceResolver = f }
 
 // CachedRun reports the locally cached result under key (memory, then
 // disk) without ever simulating — the lookup behind the fleet's
@@ -209,7 +240,56 @@ func (r *Runner) RunConfigContext(ctx context.Context, cfg sim.Config) (run *sta
 		ctx, cancel = context.WithTimeout(ctx, r.opt.RunTimeout)
 		defer cancel()
 	}
-	return r.cache.Run(ctx, cfg)
+	return r.cache.GetOrRun(ctx, cfg, func(ctx context.Context) (*stats.Run, error) {
+		// Full cache miss: for an uploaded-trace config, materialise the
+		// stream (store, then fleet peers) before simulating. Cached
+		// results never pay this — a node can serve a digest it has never
+		// held the trace bytes for.
+		if err := r.resolveTraceApp(ctx, cfg); err != nil {
+			return nil, err
+		}
+		return sim.RunContext(ctx, cfg)
+	})
+}
+
+// resolveTraceApp ensures cfg's uploaded trace (if cfg is a trace-app run)
+// is provided to the process, consulting Options.TraceResolver. Non-trace
+// apps, malformed digests and a nil resolver all fall through to
+// sim.RunContext, which reports them typed.
+func (r *Runner) resolveTraceApp(ctx context.Context, cfg sim.Config) error {
+	digest, ok, err := sim.TraceDigest(cfg.App)
+	if !ok || err != nil || r.opt.TraceResolver == nil || sim.TraceProvided(digest) {
+		return nil
+	}
+	tr, rerr := r.opt.TraceResolver(ctx, digest)
+	if rerr != nil {
+		return &sim.SimError{Kind: sim.ErrConfig, Config: cfg, Err: rerr}
+	}
+	sim.ProvideTrace(digest, tr)
+	return nil
+}
+
+// RunConfigScheduledContext executes one simulation through the shared
+// weighted-fair worker pool (on ctx's tenant share) instead of inline on
+// the calling goroutine — the serving layer's single-run entry point, so
+// HTTP traffic competes for workers under the same fairness policy as
+// batches. Inline callers (jobs already on the pool) must keep using
+// RunConfigContext: a pool job waiting on a sub-job could starve the pool.
+func (r *Runner) RunConfigScheduledContext(ctx context.Context, cfg sim.Config) (*stats.Run, error) {
+	type outcome struct {
+		run *stats.Run
+		err error
+	}
+	ch := make(chan outcome, 1)
+	err := r.sched.submitCtx(ctx, TenantFrom(ctx), func() {
+		run, rerr := r.RunConfigContext(ctx, cfg)
+		ch <- outcome{run, rerr}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := <-ch
+	return out.run, out.err
 }
 
 // RunConfigs executes a batch of simulations on the shared worker pool and
@@ -252,15 +332,16 @@ func (r *Runner) RunConfigsDetailed(cfgs []sim.Config) []Result {
 // runner's base context; the batch-level fail-fast/keep-going policy is the
 // runner's.
 func (r *Runner) RunConfigsDetailedContext(ctx context.Context, cfgs []sim.Config) []Result {
+	tenant := TenantFrom(ctx)
 	ctx, cancel := r.batchContextFrom(ctx)
 	defer cancel()
-	r.prewarmTraces(ctx, cfgs)
+	r.prewarmTraces(ctx, tenant, cfgs)
 	results := make([]Result, len(cfgs))
 	var wg sync.WaitGroup
 	for i, cfg := range cfgs {
 		i, cfg := i, cfg
 		wg.Add(1)
-		err := r.sched.submit(func() {
+		err := r.sched.submitCtx(ctx, tenant, func() {
 			defer wg.Done()
 			run, err := r.RunConfigContext(ctx, cfg)
 			results[i] = Result{Config: cfg, Run: run, Err: err}
@@ -270,6 +351,18 @@ func (r *Runner) RunConfigsDetailedContext(ctx context.Context, cfgs []sim.Confi
 		})
 		if err != nil {
 			wg.Done()
+			// A queued sibling withdrawn by fail-fast cancellation gets the
+			// same typed, failure-logged outcome it would have had running
+			// with a dead context; a closed pool stays a bare typed error.
+			if !errors.Is(err, errSchedulerClosed) {
+				cfgN := cfg
+				if cfgN.Instructions == 0 {
+					cfgN.Instructions = r.opt.Instructions
+				}
+				cfgN = cfgN.Normalized()
+				err = &sim.SimError{Kind: sim.KindOf(err), Config: cfgN, Err: err}
+				r.recordFailure(cfgN, err)
+			}
 			results[i] = Result{Config: cfg, Err: err}
 		}
 	}
@@ -286,7 +379,7 @@ func (r *Runner) RunConfigsDetailedContext(ctx context.Context, cfgs []sim.Confi
 // are left to their run — prewarming them would do the same work with an
 // extra pool round-trip. Errors are deliberately dropped: the runs
 // themselves surface them per config, with proper failure accounting.
-func (r *Runner) prewarmTraces(ctx context.Context, cfgs []sim.Config) {
+func (r *Runner) prewarmTraces(ctx context.Context, tenant string, cfgs []sim.Config) {
 	type key struct {
 		app  string
 		n    int
@@ -307,7 +400,7 @@ func (r *Runner) prewarmTraces(ctx context.Context, cfgs []sim.Config) {
 		}
 		k := k
 		wg.Add(1)
-		err := r.sched.submit(func() {
+		err := r.sched.submitCtx(ctx, tenant, func() {
 			defer wg.Done()
 			if ctx.Err() != nil {
 				return

@@ -1,0 +1,33 @@
+package experiments
+
+import "context"
+
+// DefaultTenant is the identity work runs under when its context carries no
+// tenant — single-user tools (cmd/paperfigs, benchmarks, tests predating
+// tenancy) all share one bucket and behave exactly as before the
+// weighted-fair scheduler existed. Matches tracestore.DefaultTenant.
+const DefaultTenant = "default"
+
+type tenantCtxKey struct{}
+
+// WithTenant stamps a tenant identity onto ctx. Work submitted under the
+// returned context is scheduled on that tenant's weighted-fair queue share
+// and counted under its per-tenant metrics. An empty tenant is a no-op.
+//
+// Tenancy rides the context, never sim.Config: a run's cache key must not
+// depend on who asked for it, so two tenants requesting the same simulation
+// share one cached result.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantCtxKey{}, tenant)
+}
+
+// TenantFrom returns ctx's tenant identity, or DefaultTenant.
+func TenantFrom(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantCtxKey{}).(string); ok && t != "" {
+		return t
+	}
+	return DefaultTenant
+}

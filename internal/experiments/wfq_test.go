@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// queuedWaiters reports how many jobs a tenant has waiting (not running).
+func (s *scheduler) queuedWaiters(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.tenants[tenant]; q != nil {
+		return len(q.waiters)
+	}
+	return 0
+}
+
+// inService reports how many workers a tenant currently occupies.
+func (s *scheduler) inService(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.tenants[tenant]; q != nil {
+		return q.inService
+	}
+	return 0
+}
+
+// waitFor polls cond until true or the deadline, failing the test after.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// enqueue submits a job from a goroutine (submit blocks until a worker
+// takes it) and waits until it is visibly queued, fixing the queue order
+// across successive calls. Only valid while every worker is blocked — a
+// free worker would take the job instead of queueing it.
+func enqueue(t *testing.T, s *scheduler, ctx context.Context, tenant string, errs chan<- error, job func()) {
+	t.Helper()
+	before := s.queuedWaiters(tenant)
+	go func() { errs <- s.submitCtx(ctx, tenant, job) }()
+	waitFor(t, "job to enter the queue", func() bool {
+		return s.queuedWaiters(tenant) == before+1
+	})
+}
+
+// TestSchedulerLightTenantNotStarved pins the headline fairness property
+// the single FIFO lacked: with a heavy tenant's jobs queued ahead, a light
+// tenant's jobs are served interleaved, not behind the whole backlog.
+// One worker makes the service order deterministic.
+func TestSchedulerLightTenantNotStarved(t *testing.T) {
+	s := newScheduler(1)
+	defer s.close()
+	gate := make(chan struct{})
+	errs := make(chan error, 16)
+
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+
+	// Occupy the only worker, then queue the heavy backlog first and the
+	// light tenant's two jobs last.
+	if err := s.submitCtx(context.Background(), "heavy", func() { <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		enqueue(t, s, context.Background(), "heavy", errs, record("H"))
+	}
+	for i := 0; i < 2; i++ {
+		enqueue(t, s, context.Background(), "light", errs, record("L"))
+	}
+	close(gate)
+	for i := 0; i < 6; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "all jobs to run", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == 6
+	})
+
+	mu.Lock()
+	got := strings.Join(order, "")
+	mu.Unlock()
+	lastLight := strings.LastIndex(got, "L")
+	if lastLight > 3 {
+		t.Fatalf("light tenant starved: service order %q (both light jobs must land in the first 4 slots)", got)
+	}
+	t.Logf("service order: %s", got)
+}
+
+// TestSchedulerWeightedShares: with the pool saturated by two tenants, a
+// weight-2 tenant occupies twice the workers of a weight-1 tenant.
+func TestSchedulerWeightedShares(t *testing.T) {
+	s := newScheduler(3)
+	s.weights = map[string]int{"big": 2, "small": 1}
+	defer s.close()
+	warmGate := make(chan struct{})
+	gate := make(chan struct{})
+	errs := make(chan error, 16)
+
+	// Park every worker on a warm-up tenant, then build both tenants'
+	// backlogs deterministically while nothing can be taken.
+	for i := 0; i < 3; i++ {
+		if err := s.submitCtx(context.Background(), "warm", func() { <-warmGate }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		enqueue(t, s, context.Background(), "big", errs, func() { <-gate })
+		enqueue(t, s, context.Background(), "small", errs, func() { <-gate })
+	}
+	// Free the workers: the fair picks must settle at 2 big : 1 small.
+	close(warmGate)
+	waitFor(t, "weighted occupancy 2:1", func() bool {
+		return s.inService("big") == 2 && s.inService("small") == 1
+	})
+	close(gate)
+	for i := 0; i < 12; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSchedulerCancelledTenantFreesQueueShare is the fail-fast regression
+// guard for the weighted-fair rewrite: cancelling a tenant's queued batch
+// removes its jobs immediately (each blocked submit returns the context
+// error, the share empties without any job running) and another tenant's
+// work proceeds. Run under -race; the final close catches leaked workers.
+func TestSchedulerCancelledTenantFreesQueueShare(t *testing.T) {
+	s := newScheduler(1)
+	defer s.close()
+	gate := make(chan struct{})
+	errs := make(chan error, 8)
+
+	if err := s.submitCtx(context.Background(), "other", func() { <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := make(chan struct{}, 3)
+	for i := 0; i < 3; i++ {
+		enqueue(t, s, ctx, "batch", errs, func() { ran <- struct{}{} })
+	}
+	if got := s.queuedWaiters("batch"); got != 3 {
+		t.Fatalf("queued %d, want 3", got)
+	}
+
+	cancel()
+	for i := 0; i < 3; i++ {
+		if err := <-errs; !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled submit returned %v, want context.Canceled", err)
+		}
+	}
+	// The share is freed synchronously with the submit returning — no
+	// waiting on the still-blocked worker.
+	if got := s.queuedWaiters("batch"); got != 0 {
+		t.Fatalf("cancelled tenant still holds %d queued jobs", got)
+	}
+
+	// Another tenant's job queued after the cancellation runs as soon as
+	// the worker frees; none of the cancelled jobs ever run.
+	done := make(chan struct{})
+	enqueue(t, s, context.Background(), "late", errs, func() { close(done) })
+	close(gate)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job queued after cancellation never ran")
+	}
+	select {
+	case <-ran:
+		t.Fatal("a cancelled job ran")
+	default:
+	}
+}
+
+// TestRunnerCancelledBatchLeaksNoGoroutines drives the regression at the
+// Runner level: a fail-fast batch cancelled by its caller returns promptly
+// with typed outcomes for every config and leaves no scheduler goroutines
+// blocked on the batch (beyond the idle worker pool).
+func TestRunnerCancelledBatchLeaksNoGoroutines(t *testing.T) {
+	r := NewRunner(Options{Instructions: 400_000, Workers: 2})
+	defer r.Close()
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(WithTenant(context.Background(), "batch"))
+	cfgs := make([]sim.Config, 12)
+	for i := range cfgs {
+		cfgs[i] = sim.Config{App: "511.povray", Predictor: "none", Seed: int64(i + 1)}
+	}
+	resultsCh := make(chan []Result, 1)
+	go func() { resultsCh <- r.RunConfigsDetailedContext(ctx, cfgs) }()
+	time.Sleep(10 * time.Millisecond) // let the batch occupy the pool
+	cancel()
+
+	var results []Result
+	select {
+	case results = <-resultsCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled batch did not return")
+	}
+	if len(results) != len(cfgs) {
+		t.Fatalf("%d rows for %d configs", len(results), len(cfgs))
+	}
+	for i, res := range results {
+		if res.Err == nil && res.Run == nil {
+			t.Errorf("config %d: no outcome", i)
+		}
+	}
+	// The cancelled tenant's share must be empty once the batch returned.
+	waitFor(t, "batch share to drain", func() bool {
+		return r.sched.queuedWaiters("batch") == 0 && r.sched.inService("batch") == 0
+	})
+	// Goroutine count settles back to before-batch levels (the idle worker
+	// pool was already running or accounts for Workers extras).
+	waitFor(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+r.opt.Workers+2
+	})
+}

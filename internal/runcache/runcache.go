@@ -13,8 +13,6 @@
 package runcache
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"log"
@@ -24,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/contentaddr"
 	"repro/internal/faultinject"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -42,31 +41,17 @@ func Key(cfg sim.Config) string {
 		// Config is a plain struct of scalars; Marshal cannot fail on it.
 		panic("runcache: marshal config: " + err.Error())
 	}
-	sum := sha256.Sum256(payload)
-	return hex.EncodeToString(sum[:])
+	return contentaddr.Sum(payload)
 }
-
-// keyHexLen is the length of a well-formed key: hex SHA-256.
-const keyHexLen = 2 * sha256.Size
 
 // ValidKey reports whether s has the exact shape Key produces: 64 lowercase
-// hex digits. Every surface that accepts keys from the network (the fleet's
-// GET /v1/peer/cache/{key} endpoint) must reject anything else before the
-// key gets near the filesystem — with only [0-9a-f]{64} accepted, a crafted
-// key cannot traverse paths, name dotfiles, or escape the store directory
-// by construction.
-func ValidKey(s string) bool {
-	if len(s) != keyHexLen {
-		return false
-	}
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return false
-		}
-	}
-	return true
-}
+// hex digits. The gate is the shared content-address helper
+// (internal/contentaddr) — one definition for every filesystem-facing key
+// path, run cache and trace store alike, so no store can diverge into
+// accepting a traversal-capable key shape. Every surface that accepts keys
+// from the network (the fleet's GET /v1/peer/cache/{key} endpoint) must
+// reject anything else before the key gets near the filesystem.
+func ValidKey(s string) bool { return contentaddr.Valid(s) }
 
 // Store is a content-addressed directory of simulation results. Layout:
 //

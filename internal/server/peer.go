@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/faultinject"
 	"repro/internal/runcache"
 	"repro/internal/sim"
@@ -195,6 +196,9 @@ func (p *peerClient) proxyOnce(ctx context.Context, owner, key string, cfg sim.C
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The owner schedules the run on the same tenant share this node would
+	// have: tenancy crosses the proxy hop in the header, never the config.
+	req.Header.Set(TenantHeader, experiments.TenantFrom(ctx))
 	resp, err := p.http.Do(req)
 	if err != nil {
 		return nil, err

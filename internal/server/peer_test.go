@@ -15,15 +15,17 @@ import (
 	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/tracestore"
 )
 
 // fleetNode is one in-process fleet member: a real runner (own metrics
-// registry, own disk cache) behind a real HTTP listener.
+// registry, own disk cache, own trace store) behind a real HTTP listener.
 type fleetNode struct {
 	url    string
 	srv    *Server
 	runner *experiments.Runner
 	reg    *stats.Metrics
+	store  *tracestore.Store
 }
 
 // startFleet boots n fleet members on loopback. Listeners are bound first so
@@ -54,13 +56,15 @@ func startFleet(t *testing.T, n int) []*fleetNode {
 			Metrics:      reg,
 			KeepGoing:    true,
 		})
-		srv := New(runner, Options{Metrics: reg, Fleet: fleet})
+		store := tracestore.New(t.TempDir(), tracestore.Options{})
+		srv := New(runner, Options{Metrics: reg, Fleet: fleet, TraceStore: store})
 		runner.SetPeerFetch(srv.PeerFetch)
+		runner.SetTraceResolver(srv.TraceFetch)
 		hs := httptest.NewUnstartedServer(srv.Handler())
 		hs.Listener.Close()
 		hs.Listener = lns[i]
 		hs.Start()
-		nodes[i] = &fleetNode{url: urls[i], srv: srv, runner: runner, reg: reg}
+		nodes[i] = &fleetNode{url: urls[i], srv: srv, runner: runner, reg: reg, store: store}
 		t.Cleanup(hs.Close)
 		t.Cleanup(runner.Close)
 	}

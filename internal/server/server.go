@@ -22,8 +22,16 @@
 // internal peer surface (POST /v1/peer/run, GET /v1/peer/cache/{key}) serves
 // the other members — see peer.go and internal/cluster.
 //
-// Endpoints: POST /v1/runs, POST /v1/batch, POST /v1/peer/run,
-// GET /v1/peer/cache/{key}, GET /healthz, GET /metrics.
+// With Options.TraceStore set the server additionally ingests bring-your-
+// own-workload traces (POST /v1/traces → run as Config.App =
+// "trace:<digest>" from any member) under per-tenant quotas and a per-tenant
+// in-flight cap, with run outcomes persisted per tenant — see traces.go and
+// internal/tracestore. Tenant identity rides the X-Phast-Tenant header.
+//
+// Endpoints: POST /v1/runs, POST /v1/batch, POST /v1/traces,
+// GET /v1/traces/{digest}, GET /v1/results, POST /v1/peer/run,
+// GET /v1/peer/cache/{key}, GET|PUT /v1/peer/trace/{digest}, GET /v1/cluster,
+// GET /healthz, GET /metrics.
 // Results are the same stats.Run rows and sim.SimError taxonomy the library
 // returns, serialised — a server-side run is byte-identical to an in-process
 // one for the same config (the golden test and examples/predictorapi hold
@@ -47,6 +55,7 @@ import (
 	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/tracestore"
 )
 
 // Serving-layer counter and histogram names, published to the shared
@@ -91,6 +100,18 @@ type CacheLookup interface {
 	CachedRun(key string) (*stats.Run, bool)
 }
 
+// ScheduledBackend is the optional backend capability that routes single
+// runs through the runner's weighted-fair worker pool on the context's
+// tenant share, instead of inline on the request goroutine.
+// *experiments.Runner implements it; when the backend does, the server
+// prefers it for local execution so HTTP traffic from many tenants competes
+// for simulation workers under the same fairness policy as batches — one
+// tenant's request flood cannot monopolise the pool. A backend without it
+// (test fakes) executes inline exactly as before tenancy existed.
+type ScheduledBackend interface {
+	RunConfigScheduledContext(ctx context.Context, cfg sim.Config) (*stats.Run, error)
+}
+
 // Options tune the serving layer. The zero value is usable: defaults are
 // filled by New.
 type Options struct {
@@ -124,8 +145,24 @@ type Options struct {
 	Fleet *cluster.Fleet
 	// PeerFetchTimeout bounds one peer cache-fetch attempt (default 2s):
 	// a slow peer must cost strictly less than the simulation it would
-	// save, or the fetch is abandoned as an error.
+	// save, or the fetch is abandoned as an error. Peer trace transfers
+	// (fetch and replica push) get twice this budget — trace bytes are
+	// bulkier than a cached result row.
 	PeerFetchTimeout time.Duration
+
+	// TraceStore holds uploaded workload traces, content-addressed (nil
+	// disables POST /v1/traces and the trace peer tier — "trace:<digest>"
+	// runs then succeed only for streams already provided in-process).
+	// Share one store per daemon; see internal/tracestore.
+	TraceStore *tracestore.Store
+	// Results persists per-tenant run outcomes for GET /v1/results (nil
+	// disables the endpoint; nothing is recorded).
+	Results *tracestore.ResultLog
+	// TenantMaxInflight bounds one tenant's concurrently admitted external
+	// requests on this member — a run or a batch each hold one unit — with
+	// 429 quota_exceeded past it. 0 = unlimited. This is the per-tenant
+	// admission gate; MaxInflight/QueueDepth stay the whole-server bound.
+	TenantMaxInflight int
 
 	// The remaining options apply only with Fleet set; zero values take the
 	// defaults noted on each.
@@ -200,6 +237,15 @@ type Server struct {
 	brk     *breakers       // nil = standalone
 	prober  *cluster.Prober // nil = standalone
 	lookup  CacheLookup     // nil when the backend has no local cache probe
+	sched   ScheduledBackend // nil when the backend has no fair worker pool
+
+	store   *tracestore.Store     // nil = no trace ingestion
+	results *tracestore.ResultLog // nil = no persistent results
+
+	// tinflight counts each tenant's in-flight external requests for the
+	// TenantMaxInflight admission gate.
+	tmu       sync.Mutex
+	tinflight map[string]int
 
 	// flights is the server-level single-flight map, keyed exactly like the
 	// run cache (runcache.Key) so "identical request" and "same cache entry"
@@ -218,15 +264,22 @@ type Server struct {
 func New(backend Backend, opt Options) *Server {
 	opt = opt.norm()
 	s := &Server{
-		opt:     opt,
-		backend: backend,
-		metrics: opt.Metrics,
-		latency: opt.Metrics.Histogram(HistLatency, stats.DefaultLatencyBuckets),
-		adm:     newAdmitter(opt.Metrics, opt.MaxInflight, opt.QueueDepth),
-		flights: map[string]*flight{},
+		opt:       opt,
+		backend:   backend,
+		metrics:   opt.Metrics,
+		latency:   opt.Metrics.Histogram(HistLatency, stats.DefaultLatencyBuckets),
+		adm:       newAdmitter(opt.Metrics, opt.MaxInflight, opt.QueueDepth),
+		flights:   map[string]*flight{},
+		store:     opt.TraceStore,
+		results:   opt.Results,
+		tinflight: map[string]int{},
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.lookup, _ = backend.(CacheLookup)
+	s.sched, _ = backend.(ScheduledBackend)
+	if s.store != nil {
+		s.store.SetMetrics(opt.Metrics)
+	}
 	// Touch the headline counters so /metrics shows explicit zeros from the
 	// first scrape (same contract as the runner's cache counters).
 	zeros := []string{CounterRequests, CounterAccepted, CounterRejected, CounterCoalesced}
@@ -256,6 +309,13 @@ func New(backend Backend, opt Options) *Server {
 			CounterHedgeFired, CounterHedgeWins,
 			runcache.CounterPeerHits, runcache.CounterPeerMisses, runcache.CounterPeerErrors)
 	}
+	if s.store != nil {
+		zeros = append(zeros, CounterTraceUploads)
+		if s.fleet != nil {
+			zeros = append(zeros, CounterTraceFetched, CounterTraceReplicated,
+				CounterTraceReplErrors, CounterPeerTraceServed)
+		}
+	}
 	for _, c := range zeros {
 		opt.Metrics.Add(c, 0)
 	}
@@ -270,8 +330,12 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/runs", s.instrumented(s.handleRuns))
 	mux.HandleFunc("/v1/batch", s.instrumented(s.handleBatch))
+	mux.HandleFunc("/v1/traces", s.instrumented(s.handleTraceUpload))
+	mux.HandleFunc("/v1/traces/", s.instrumented(s.handleTraceGet))
+	mux.HandleFunc("/v1/results", s.instrumented(s.handleResults))
 	mux.HandleFunc("/v1/peer/run", s.instrumented(s.handlePeerRun))
 	mux.HandleFunc("/v1/peer/cache/", s.handlePeerCache)
+	mux.HandleFunc("/v1/peer/trace/", s.handlePeerTrace)
 	mux.HandleFunc("/v1/cluster", s.handleCluster)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -478,9 +542,19 @@ func (s *Server) runOne(ctx context.Context, cfg sim.Config, local bool) (*stats
 		return nil, aerr
 	}
 	defer release()
-	f.run, f.err = s.backend.RunConfigContext(ctx, cfg)
+	f.run, f.err = s.execute(ctx, cfg)
 	finished = true
 	return f.run, f.err
+}
+
+// execute runs one admitted config on the backend, through the runner's
+// weighted-fair worker pool (on ctx's tenant share) when the backend has
+// one, inline otherwise.
+func (s *Server) execute(ctx context.Context, cfg sim.Config) (*stats.Run, error) {
+	if s.sched != nil {
+		return s.sched.RunConfigScheduledContext(ctx, cfg)
+	}
+	return s.backend.RunConfigContext(ctx, cfg)
 }
 
 // refuse reports (and counts) a drain-time refusal.
@@ -504,6 +578,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, local bool) {
 		s.refuse(w)
 		return
 	}
+	tenant, terr := tenantOf(r)
+	if terr != nil {
+		writeJSON(w, http.StatusBadRequest, struct {
+			Error ErrorBody `json:"error"`
+		}{ErrorBody{Kind: KindBadRequest, Message: terr.Error()}})
+		return
+	}
 	var req RunRequest
 	if err := decode(w, r, 1<<20, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, struct {
@@ -511,15 +592,35 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, local bool) {
 		}{ErrorBody{Kind: KindBadRequest, Message: "bad run request: " + err.Error()}})
 		return
 	}
+	// The per-tenant gate applies at the external edge only: a proxied run
+	// was already charged on the member that accepted it.
+	if !local {
+		trelease, err := s.tenantAdmit(tenant)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer trelease()
+	}
 	cfg := s.normalize(req.Config)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	ctx = experiments.WithTenant(ctx, tenant)
 	run, err := s.runOne(ctx, cfg, local)
+	row := RunResult{Config: cfg, Run: run}
 	if err != nil {
+		_, body := errorBody(err)
+		row.Error = &body
+		if !local {
+			s.recordResult(tenant, row)
+		}
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RunResult{Config: cfg, Run: run})
+	if !local {
+		s.recordResult(tenant, row)
+	}
+	writeJSON(w, http.StatusOK, row)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -529,6 +630,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Draining() {
 		s.refuse(w)
+		return
+	}
+	tenant, terr := tenantOf(r)
+	if terr != nil {
+		writeJSON(w, http.StatusBadRequest, struct {
+			Error ErrorBody `json:"error"`
+		}{ErrorBody{Kind: KindBadRequest, Message: terr.Error()}})
 		return
 	}
 	var req BatchRequest
@@ -549,11 +657,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, cfg := range req.Configs {
 		cfgs[i] = s.normalize(cfg)
 	}
+	// One tenant-gate unit and one admission slot per batch request;
+	// row-level parallelism is bounded by the runner's shared worker pool
+	// (on this tenant's weighted-fair share), and row-level dedup by the run
+	// cache's own single-flight layer.
+	trelease, err := s.tenantAdmit(tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer trelease()
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	// One admission slot per batch request; row-level parallelism is bounded
-	// by the runner's shared worker pool, and row-level dedup by the run
-	// cache's own single-flight layer.
+	ctx = experiments.WithTenant(ctx, tenant)
 	release, err := s.adm.admit(ctx)
 	if err != nil {
 		writeError(w, err)
@@ -569,6 +685,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			row.Error = &body
 		}
 		resp.Results[i] = row
+		s.recordResult(tenant, row)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

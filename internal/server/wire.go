@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/tracestore"
 )
 
 // RunRequest is the body of POST /v1/runs: one simulation config plus an
@@ -58,6 +59,28 @@ type PeerCacheEntry struct {
 	Run *stats.Run `json:"run"`
 }
 
+// TraceUploadResponse is the body of a successful POST /v1/traces: the
+// canonical content digest the upload stored under (run it with
+// Config.App = "trace:<digest>"), its canonical size and instruction count,
+// and whether the store already held it (a dup re-upload is free — it is
+// acknowledged without charging the tenant's quota again).
+type TraceUploadResponse struct {
+	Digest string `json:"digest"`
+	Bytes  int64  `json:"bytes"`
+	Insts  int    `json:"insts"`
+	Dup    bool   `json:"dup,omitempty"`
+}
+
+// ResultsResponse is the body of GET /v1/results?tenant=...: one page of the
+// tenant's persistent run log, oldest first. Each record is a RunResult as
+// appended at run time. Next is the cursor for the following page (pass it
+// back as ?after=); zero means this page reached the end of the log.
+type ResultsResponse struct {
+	Tenant  string                   `json:"tenant"`
+	Results []tracestore.ResultEntry `json:"results"`
+	Next    int64                    `json:"next,omitempty"`
+}
+
 // MetricsResponse is the JSON form of GET /metrics?format=json.
 type MetricsResponse struct {
 	Counters   map[string]uint64                  `json:"counters"`
@@ -106,6 +129,15 @@ const (
 	// hold (HTTP 404). The fetcher falls through to its next candidate or
 	// simulates.
 	KindNotFound = "not_found"
+	// KindTooLarge marks a trace upload over the store's per-trace byte cap
+	// (HTTP 413). Not retryable: the trace must shrink.
+	KindTooLarge = "too_large"
+	// KindQuotaExceeded marks a request refused by a per-tenant limit (HTTP
+	// 429): a trace upload past the tenant's stored-bytes quota, or a run
+	// past its in-flight cap. Unlike KindRejected (the whole server is
+	// saturated) this is the tenant's own footprint — other tenants are
+	// unaffected, and retrying only helps after the tenant frees capacity.
+	KindQuotaExceeded = "quota_exceeded"
 )
 
 // ErrRejected is the admission-control rejection: the running set and the
@@ -114,6 +146,12 @@ var ErrRejected = errors.New("server: at capacity, request rejected")
 
 // ErrDraining refuses new work during graceful shutdown (HTTP 503).
 var ErrDraining = errors.New("server: draining, not accepting new runs")
+
+// ErrTenantBusy refuses a run because its tenant already has
+// Options.TenantMaxInflight requests in flight on this member (HTTP 429,
+// quota_exceeded). Admission control for the server as a whole is ErrRejected;
+// this one fires even on an idle server when a single tenant floods it.
+var ErrTenantBusy = errors.New("server: tenant in-flight request quota exceeded")
 
 // peerStatusError carries a fleet owner's HTTP error response verbatim.
 // When a proxied run fails on the owner, the proxying node replays the
@@ -142,6 +180,16 @@ func errorBody(err error) (int, ErrorBody) {
 		return http.StatusTooManyRequests, ErrorBody{Kind: KindRejected, Message: err.Error()}
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, ErrorBody{Kind: KindDraining, Message: err.Error()}
+	case errors.Is(err, ErrTenantBusy), errors.Is(err, tracestore.ErrQuota):
+		return http.StatusTooManyRequests, ErrorBody{Kind: KindQuotaExceeded, Message: err.Error()}
+	case errors.Is(err, tracestore.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, ErrorBody{Kind: KindTooLarge, Message: err.Error()}
+	case errors.Is(err, tracestore.ErrNotFound):
+		return http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: err.Error()}
+	}
+	var fe *tracestore.FormatError
+	if errors.As(err, &fe) {
+		return http.StatusBadRequest, ErrorBody{Kind: KindBadRequest, Message: err.Error()}
 	}
 	body := ErrorBody{Kind: string(sim.KindOf(err)), Message: err.Error()}
 	switch sim.KindOf(err) {

@@ -270,8 +270,17 @@ var (
 	traceInternMisses atomic.Uint64
 )
 
-// TraceFor generates (or returns the interned) stream for an app.
+// TraceFor generates (or returns the interned) stream for an app. Apps
+// named "trace:<digest>" resolve to an uploaded stream previously
+// registered with ProvideTrace (see traceapp.go) instead of a synthetic
+// workload.
 func TraceFor(app string, n int, seed int64) (*trace.Trace, error) {
+	if digest, ok, err := TraceDigest(app); ok {
+		if err != nil {
+			return nil, err
+		}
+		return traceForDigest(app, digest, n)
+	}
 	prog, err := workload.ByName(app)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/contentaddr"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestTraceDigest(t *testing.T) {
+	ok64 := strings.Repeat("ab", 32)
+	d, isTrace, err := TraceDigest("trace:" + ok64)
+	if !isTrace || err != nil || d != ok64 {
+		t.Fatalf("valid trace app: %q %v %v", d, isTrace, err)
+	}
+	if _, isTrace, _ := TraceDigest("502.gcc_1"); isTrace {
+		t.Fatal("workload name misread as trace app")
+	}
+	for _, bad := range []string{"trace:", "trace:abc", "trace:" + strings.ToUpper(ok64), "trace:../" + ok64[3:]} {
+		if _, isTrace, err := TraceDigest(bad); !isTrace || err == nil {
+			t.Errorf("TraceDigest(%q) = (%v, %v), want trace-app parse error", bad, isTrace, err)
+		}
+	}
+}
+
+func TestTraceAppUnprovided(t *testing.T) {
+	app := TraceAppPrefix + contentaddr.Sum([]byte("never uploaded"))
+	_, err := Run(Config{App: app, Instructions: 1000})
+	var se *SimError
+	if !errors.As(err, &se) || se.Kind != ErrConfig {
+		t.Fatalf("error %v, want ErrConfig SimError", err)
+	}
+	if !errors.Is(err, ErrTraceUnavailable) {
+		t.Fatalf("error %v does not wrap ErrTraceUnavailable", err)
+	}
+}
+
+func TestTraceAppMalformedDigest(t *testing.T) {
+	_, err := Run(Config{App: "trace:deadbeef", Instructions: 1000})
+	var se *SimError
+	if !errors.As(err, &se) || se.Kind != ErrConfig {
+		t.Fatalf("error %v, want ErrConfig SimError", err)
+	}
+}
+
+// TestTraceAppMatchesDirectRun is the byte-identity contract of the upload
+// path: encoding a workload's stream, decoding it as an "upload", and
+// running it by digest must produce exactly the counters of running the
+// workload directly.
+func TestTraceAppMatchesDirectRun(t *testing.T) {
+	app := workload.Names()[0]
+	const n = 20_000
+	direct, err := Run(Config{App: app, Instructions: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := TraceFor(app, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	digest := contentaddr.Sum(buf.Bytes())
+	decoded, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ProvideTrace(digest, decoded)
+	if !TraceProvided(digest) {
+		t.Fatal("ProvideTrace did not register the digest")
+	}
+
+	uploaded, err := Run(Config{App: TraceAppPrefix + digest, Instructions: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, uploaded) {
+		t.Fatalf("uploaded-trace run diverged from direct run:\ndirect:   %+v\nuploaded: %+v", direct, uploaded)
+	}
+}
+
+func TestTraceAppTruncation(t *testing.T) {
+	app := workload.Names()[0]
+	full, err := TraceFor(app, 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := full.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	digest := contentaddr.Sum(buf.Bytes())
+	decoded, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ProvideTrace(digest, decoded)
+	traceApp := TraceAppPrefix + digest
+
+	short, err := TraceFor(traceApp, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Len() != 1000 {
+		t.Fatalf("truncated stream length %d, want 1000", short.Len())
+	}
+	// Asking for more than the trace holds returns the whole trace.
+	long, err := TraceFor(traceApp, 1<<30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long != decoded {
+		t.Fatal("over-length request did not return the full provided stream")
+	}
+	// The truncated variant is interned: same pointer again.
+	again, err := TraceFor(traceApp, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != short {
+		t.Fatal("truncated stream not interned")
+	}
+}

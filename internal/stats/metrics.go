@@ -23,6 +23,14 @@ type Metrics struct {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics { return &Metrics{counters: map[string]*uint64{}} }
 
+// TenantCounter names a per-tenant counter: "tenant.<tenant>.<name>". One
+// naming scheme across the scheduler (jobs served), the serving layer
+// (uploads, runs, rejections) and the trace store keeps every tenant's
+// activity greppable under one prefix in a metrics snapshot.
+func TenantCounter(tenant, name string) string {
+	return "tenant." + tenant + "." + name
+}
+
 // counter returns the cell for name, creating it if needed.
 func (m *Metrics) counter(name string) *uint64 {
 	m.mu.RLock()

@@ -1,0 +1,84 @@
+package tracestore
+
+import (
+	"testing"
+)
+
+type rec struct {
+	App string `json:"app"`
+	N   int    `json:"n"`
+}
+
+func TestResultLogAppendAndList(t *testing.T) {
+	l := NewResultLog(t.TempDir())
+	for i := 1; i <= 5; i++ {
+		seq, err := l.Append("alice", rec{App: "a", N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != int64(i) {
+			t.Fatalf("seq %d, want %d", seq, i)
+		}
+	}
+	if seq, err := l.Append("bob", rec{App: "b", N: 1}); err != nil || seq != 1 {
+		t.Fatalf("bob's first seq %d (%v), want 1", seq, err)
+	}
+
+	all, err := l.List("alice", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 || all[0].Seq != 1 || all[4].Seq != 5 {
+		t.Fatalf("full list %v", all)
+	}
+	page, err := l.List("alice", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 || page[0].Seq != 3 || page[1].Seq != 4 {
+		t.Fatalf("page after=2 limit=2: %v", page)
+	}
+	rest, err := l.List("alice", 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 1 || rest[0].Seq != 5 {
+		t.Fatalf("tail page: %v", rest)
+	}
+	empty, err := l.List("nobody", 0, 0)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("unknown tenant: %v, %v", empty, err)
+	}
+}
+
+func TestResultLogSeqSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	l := NewResultLog(dir)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("alice", rec{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2 := NewResultLog(dir)
+	seq, err := l2.Append("alice", rec{N: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Fatalf("restarted log assigned seq %d, want 4", seq)
+	}
+	entries, err := l2.List("alice", 3, 0)
+	if err != nil || len(entries) != 1 || entries[0].Seq != 4 {
+		t.Fatalf("restarted list: %v, %v", entries, err)
+	}
+}
+
+func TestResultLogRejectsBadTenant(t *testing.T) {
+	l := NewResultLog(t.TempDir())
+	if _, err := l.Append("../evil", rec{}); err == nil {
+		t.Fatal("path-traversal tenant accepted for append")
+	}
+	if _, err := l.List("../evil", 0, 0); err == nil {
+		t.Fatal("path-traversal tenant accepted for list")
+	}
+}

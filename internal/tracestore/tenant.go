@@ -1,0 +1,35 @@
+package tracestore
+
+// DefaultTenant is the identity assumed for requests carrying no tenant
+// header: single-user deployments (every smoke test before this subsystem
+// existed) keep working unchanged, sharing one default quota bucket.
+const DefaultTenant = "default"
+
+// maxTenantLen bounds a tenant identifier.
+const maxTenantLen = 64
+
+// ValidTenant reports whether s is an acceptable tenant identifier:
+// 1–64 characters of [a-zA-Z0-9._-], starting with an alphanumeric.
+// Tenants become directory names (ownership manifests, result logs), so the
+// gate plays the same role contentaddr.Valid plays for digests: an identity
+// that cannot start with '.' or contain '/' cannot name dotfiles or
+// traverse paths by construction.
+func ValidTenant(s string) bool {
+	if len(s) == 0 || len(s) > maxTenantLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alnum := c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+		if i == 0 {
+			if !alnum {
+				return false
+			}
+			continue
+		}
+		if !alnum && c != '.' && c != '_' && c != '-' {
+			return false
+		}
+	}
+	return true
+}
