@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke fleet-smoke fleet-chaos trace-smoke chaos api-smoke fuzz cover
+.PHONY: all build test bench benchdiff figures examples clean check cache-smoke bench-smoke fleet-smoke fleet-chaos trace-smoke jobs-smoke chaos api-smoke fuzz cover
 
 all: build test
 
@@ -21,6 +21,7 @@ check:
 	$(MAKE) fleet-smoke
 	$(MAKE) fleet-chaos
 	$(MAKE) trace-smoke
+	$(MAKE) jobs-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) benchdiff
 
@@ -71,6 +72,15 @@ fleet-chaos:
 # the wire (DESIGN.md §17).
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# Autotuner smoke: a 3-node fleet runs a successive-halving job over 12
+# candidates; the controller node is kill -9'd mid-search and restarted —
+# the job resumes from its checkpoint with zero repeat simulations, an
+# idempotent resubmission leaves cluster-wide runs_simulated unchanged, and
+# the winner's table is byte-identical to a solo paperfigs -config replay
+# (DESIGN.md §18).
+jobs-smoke:
+	sh scripts/jobs_smoke.sh
 
 build:
 	go build ./...
@@ -127,9 +137,10 @@ examples:
 	go run ./examples/quickstart
 	go run ./examples/compare
 
-# Native Go fuzzing over the three externally-driven surfaces: arbitrary
-# micro-op streams through the oracle-verified pipeline, arbitrary Configs
-# through the sim facade, arbitrary bytes through the HTTP wire decoder.
+# Native Go fuzzing over the externally-driven surfaces: arbitrary micro-op
+# streams through the oracle-verified pipeline, arbitrary Configs through
+# the sim facade, arbitrary bytes through the HTTP wire decoder, arbitrary
+# job-spec JSON through the autotuner's strict parser.
 # Seed corpora are checked in under internal/*/testdata/fuzz/; crashers that
 # fuzzing discovers land next to them (gitignored) — promote one to a
 # seed-* file to pin its regression test.
@@ -139,6 +150,7 @@ fuzz:
 	go test -run '^$$' -fuzz '^FuzzPipelineTrace$$' -fuzztime $(FUZZTIME) ./internal/oracle
 	go test -run '^$$' -fuzz '^FuzzSimConfig$$' -fuzztime $(FUZZTIME) ./internal/sim
 	go test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME) ./internal/server
+	go test -run '^$$' -fuzz '^FuzzJobSpec$$' -fuzztime $(FUZZTIME) ./internal/jobs
 	@echo "fuzz ok: $(FUZZTIME) per target, no crashers"
 
 # Per-package and total statement coverage; cover.out feeds

@@ -7,7 +7,13 @@
 //	paperfigs -fig fig14 -apps 511.povray,541.leela
 //	paperfigs -fig all -cache ~/.cache/phast   # persist runs; rerun is ~free
 //	paperfigs -fig all -keep-going -timeout 2m # survive bad configs/hangs
+//	paperfigs -config '{"Predictor":"phast:1024"}'  # one config, per-app table
 //	paperfigs -list
+//
+// -config renders a single configuration's per-app stats table — the same
+// renderer the autotuner (phastd -jobs-dir) uses for a job winner, so
+// feeding a winner's config back through paperfigs reproduces its table
+// byte-for-byte (jobs_smoke.sh holds this).
 //
 // Tables go to stdout; progress, metrics (-metrics) and timing go to
 // stderr, so repeated invocations with the same flags are byte-comparable.
@@ -19,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +37,8 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/prof"
 	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 func fatal(v ...any) {
@@ -40,6 +49,7 @@ func fatal(v ...any) {
 func main() {
 	var (
 		fig          = flag.String("fig", "all", "experiment to run (fig1..fig16, table1, table2, mix, all)")
+		configJSON   = flag.String("config", "", "render one config's per-app stats table from this JSON sim.Config (overrides -fig)")
 		n            = flag.Int("n", sim.DefaultInstructions, "instructions per run")
 		apps         = flag.String("apps", "", "comma-separated app subset (default: whole suite)")
 		workers      = flag.Int("workers", 0, "parallel runs (default: min(8, NumCPU))")
@@ -90,7 +100,36 @@ func main() {
 	defer r.Close()
 
 	start := time.Now()
-	if *fig == "all" {
+	if *configJSON != "" {
+		// Single-config mode: the autotuner's winner-table renderer, run
+		// directly. Apps resolve exactly like the runner's (whole suite when
+		// -apps is unset) so a job spec's app list maps 1:1 to -apps.
+		dec := json.NewDecoder(strings.NewReader(*configJSON))
+		dec.DisallowUnknownFields()
+		var cfg sim.Config
+		if derr := dec.Decode(&cfg); derr != nil {
+			fatal("bad -config:", derr)
+		}
+		if cfg.Instructions == 0 {
+			cfg.Instructions = *n
+		}
+		appList := opt.Apps
+		if len(appList) == 0 {
+			appList = workload.Names()
+		}
+		cfgs := make([]sim.Config, len(appList))
+		for i, app := range appList {
+			c := cfg
+			c.App = app
+			cfgs[i] = c
+		}
+		var runs []*stats.Run
+		runs, err = r.RunConfigs(cfgs)
+		if err == nil || *keepGoing && ctx.Err() == nil {
+			fmt.Print(experiments.ConfigTable(cfg, appList, runs))
+			err = nil
+		}
+	} else if *fig == "all" {
 		err = experiments.RunAll(r)
 	} else {
 		var e experiments.Experiment

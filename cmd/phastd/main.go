@@ -41,6 +41,16 @@
 //	curl -s -X POST --data-binary @workload.mdpt -H 'X-Phast-Tenant: acme' localhost:8091/v1/traces
 //	curl -s -X POST -H 'X-Phast-Tenant: acme' localhost:8091/v1/runs \
 //	     -d '{"config":{"App":"trace:<digest>","Predictor":"phast"}}'
+//
+// With -jobs-dir the daemon exposes the design-space autotuner (DESIGN.md
+// §18): POST /v1/jobs submits a budgeted search (grid, random, successive
+// halving) over predictor knobs; trials run through the same cache and
+// weighted-fair machinery as interactive requests, and atomic checkpoints
+// in -jobs-dir let a killed daemon resume its jobs without re-simulating:
+//
+//	phastd -addr :8091 -cache /var/cache/phast -jobs-dir /var/phast/jobs
+//	curl -s -X POST localhost:8091/v1/jobs -d @examples/jobspecs/geometry.json
+//	curl -s localhost:8091/v1/jobs/<id>
 package main
 
 import (
@@ -61,10 +71,12 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
+	"repro/internal/jobs"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tracestore"
+	"repro/internal/workload"
 )
 
 // fatal is the one exit path for errors: message to stderr, non-zero exit.
@@ -123,6 +135,8 @@ func main() {
 		traceMax     = flag.Int64("trace-max-bytes", 0, "per-trace upload size cap in bytes (0 = 64 MiB default)")
 		tenantQuota  = flag.Int64("tenant-quota-bytes", 0, "per-tenant stored trace bytes quota (0 = 256 MiB default, negative = unlimited)")
 		resultsDir   = flag.String("results-dir", "", "per-tenant persistent results log directory (empty = results endpoint disabled)")
+		jobsDir      = flag.String("jobs-dir", "", "autotuner job checkpoint directory; enables POST /v1/jobs (empty = disabled)")
+		tenantJobs   = flag.Int("tenant-max-jobs", 0, "per-tenant concurrently active job cap, 429 past it (0 = unlimited)")
 		tenantMax    = flag.Int("tenant-max-inflight", 0, "per-tenant in-flight request cap, 429 past it (0 = unlimited)")
 		weights      = flag.String("tenant-weights", "", "weighted-fair scheduler shares, e.g. \"acme=3,guest=1\" (absent tenants weigh 1)")
 		faults       = flag.String("faults", os.Getenv("PHAST_FAULTS"), "fault-injection spec for chaos testing, e.g. \"panic=0.1,seed=7\" (default $PHAST_FAULTS)")
@@ -174,6 +188,24 @@ func main() {
 	if *resultsDir != "" {
 		results = tracestore.NewResultLog(*resultsDir)
 	}
+	var jobsCtl *jobs.Controller
+	if *jobsDir != "" {
+		jobsCtl, err = jobs.NewController(jobs.Options{
+			Dir:     *jobsDir,
+			Backend: runner,
+			Metrics: reg,
+			// Job specs that omit apps default to the whole built-in suite,
+			// matching the runner; a spec's own instruction default matches
+			// the daemon's -n.
+			Apps:            workload.Names(),
+			Instructions:    *n,
+			TenantMaxActive: *tenantJobs,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "phastd: job checkpoints in %q\n", *jobsDir)
+	}
 	srv := server.New(runner, server.Options{
 		MaxInflight:         *maxInflight,
 		QueueDepth:          *queueDepth,
@@ -195,6 +227,7 @@ func main() {
 		TraceStore:          store,
 		Results:             results,
 		TenantMaxInflight:   *tenantMax,
+		Jobs:                jobsCtl,
 	})
 	if fleet != nil {
 		// Two-tier cache: a local miss asks the ring's other candidates for
@@ -206,6 +239,15 @@ func main() {
 		// ring's other members — a trace uploaded anywhere runs anywhere.
 		runner.SetTraceResolver(srv.TraceFetch)
 		fmt.Fprintf(os.Stderr, "phastd: trace store %q (max %d bytes/trace)\n", *traceDir, store.MaxTraceBytes())
+	}
+	if jobsCtl != nil {
+		// Resume jobs that were mid-flight when the previous process died —
+		// after server.New wired the trial observer and the runner gained its
+		// peer/trace tiers, so resumed trials see the full stack. The run
+		// cache makes the replayed schedule free up to the kill point.
+		if n := jobsCtl.ResumeAll(); n > 0 {
+			fmt.Fprintf(os.Stderr, "phastd: resumed %d checkpointed job(s)\n", n)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -244,6 +286,11 @@ func main() {
 		fatal(err)
 	}
 	<-shutdownDone
+	if jobsCtl != nil {
+		// Stop job goroutines before the runner: checkpoints keep running
+		// jobs resumable on the next boot.
+		jobsCtl.Close()
+	}
 	runner.Close()
 	if *metrics {
 		sim.PublishMetrics(reg)

@@ -52,6 +52,15 @@
 // each other's traffic in their server-side counter deltas; the
 // client-side columns stay per-scenario.
 //
+// A "job" phase drives the server-side autotuner (phastd -jobs-dir): the
+// harness POSTs the embedded spec to /v1/jobs, polls GET /v1/jobs/{id}
+// until the job is terminal, and can write the winner's stats table and
+// config to files ({"job": {"spec": {...}, "table_out": "winner.txt",
+// "config_out": "winner.json"}}). A scenario with a job and no "requests"
+// is job-only — the autotuner smoke (scripts/jobs_smoke.sh) is built from
+// these; a scenario with both runs the job first, then the load, so the
+// counter deltas capture the two together.
+//
 // Without -scenario the flags describe a single anonymous scenario:
 //
 //	phastload -url http://localhost:8091 -mode closed -c 16 -duration 10s -dup 0.5
@@ -78,6 +87,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/jobs"
 	"repro/internal/runcache"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -128,6 +138,30 @@ type UploadSpec struct {
 	Target int `json:"target,omitempty"`
 }
 
+// JobPhase drives a server-side autotuner job before the load starts: POST
+// the spec to /v1/jobs on the chosen target, poll GET /v1/jobs/{id} until
+// terminal, and optionally persist the winner's artifacts. The harness
+// fatals if the job fails, is cancelled, or outlives the timeout — a
+// scenario that asked for a job cannot meaningfully report without it.
+type JobPhase struct {
+	// Spec is the job spec JSON, embedded verbatim (see internal/jobs).
+	Spec json.RawMessage `json:"spec"`
+	// Target indexes the scenario's targets: which member receives the
+	// submission and the polls.
+	Target int `json:"target,omitempty"`
+	// PollMS is the status poll period (default 200).
+	PollMS int64 `json:"poll_ms,omitempty"`
+	// TimeoutMS bounds the whole job from submission to terminal state
+	// (default 180000).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// TableOut, when set, receives the winner's stats table verbatim —
+	// byte-comparable against `paperfigs -config` over the same config.
+	TableOut string `json:"table_out,omitempty"`
+	// ConfigOut, when set, receives the winner's config as JSON (feed it
+	// back to `paperfigs -config "$(cat ...)"`).
+	ConfigOut string `json:"config_out,omitempty"`
+}
+
 // Scenario is one declarative traffic experiment. Zero-valued fields take
 // the defaults documented on the flags.
 type Scenario struct {
@@ -144,6 +178,9 @@ type Scenario struct {
 	Group string `json:"group,omitempty"`
 	// Upload generates and uploads a trace before load starts; see UploadSpec.
 	Upload *UploadSpec `json:"upload,omitempty"`
+	// Job submits an autotuner job and waits for it before load starts; a
+	// scenario with a job and Requests == 0 is job-only (no load loop).
+	Job *JobPhase `json:"job,omitempty"`
 	// Mode is the arrival process: "closed" (Concurrency workers, next
 	// request on completion) or "open" (fixed QPS; latency then includes
 	// server-side queueing under overload).
@@ -239,6 +276,21 @@ func (sc Scenario) norm() (Scenario, error) {
 		if up.Target < 0 || up.Target >= len(sc.Targets) {
 			return sc, fmt.Errorf("scenario %q: upload target %d out of range (have %d targets)",
 				sc.Name, up.Target, len(sc.Targets))
+		}
+	}
+	if jp := sc.Job; jp != nil {
+		if len(jp.Spec) == 0 {
+			return sc, fmt.Errorf("scenario %q: job phase has no spec", sc.Name)
+		}
+		if jp.Target < 0 || jp.Target >= len(sc.Targets) {
+			return sc, fmt.Errorf("scenario %q: job target %d out of range (have %d targets)",
+				sc.Name, jp.Target, len(sc.Targets))
+		}
+		if jp.PollMS <= 0 {
+			jp.PollMS = 200
+		}
+		if jp.TimeoutMS <= 0 {
+			jp.TimeoutMS = 180_000
 		}
 	}
 	if strings.Contains(sc.Config.App, "@upload") && sc.Upload == nil {
@@ -444,6 +496,14 @@ func runScenario(sc Scenario, digestPath string) []resultRow {
 		sc.Config.App = strings.ReplaceAll(sc.Config.App, "@upload", digest)
 	}
 
+	// The job phase also runs inside the delta: a job-only scenario's CSV
+	// row then reports exactly what the job cost the fleet (runs simulated,
+	// cache traffic, trial rows).
+	var jobStatus *jobs.Status
+	if sc.Job != nil {
+		jobStatus = runJob(sc)
+	}
+
 	// Pre-plan the request mix so the workload is reproducible under the
 	// scenario seed. Duplicate-pool seeds are 1..pool (zipf-skewed when
 	// configured); unique requests get seeds far above the pool.
@@ -493,11 +553,13 @@ func runScenario(sc Scenario, digestPath string) []resultRow {
 		}(i, ev)
 	}
 
-	switch sc.Mode {
-	case "closed":
-		lg.closedLoop(sc.Concurrency, planned, deadline, seedOf)
-	case "open":
-		lg.openLoop(sc.QPS, sc.Burst, planned, deadline, seedOf)
+	if sc.Job == nil || sc.Requests > 0 {
+		switch sc.Mode {
+		case "closed":
+			lg.closedLoop(sc.Concurrency, planned, deadline, seedOf)
+		case "open":
+			lg.openLoop(sc.QPS, sc.Burst, planned, deadline, seedOf)
+		}
 	}
 	elapsed := time.Since(start)
 	close(chaosDone) // unmet events fire now
@@ -534,13 +596,96 @@ func runScenario(sc Scenario, digestPath string) []resultRow {
 			fatal(err)
 		}
 	}
-	rows := []resultRow{lg.row(sc, elapsed, allDeltas)}
+	row := lg.row(sc, elapsed, allDeltas)
+	if jobStatus != nil {
+		row.jobState = jobStatus.State
+		row.jobTrials = jobStatus.CompletedTrials
+	}
+	rows := []resultRow{row}
 	if len(sc.Targets) > 1 {
 		for _, t := range sc.Targets {
 			rows = append(rows, targetRow(sc, t, perTarget[t]))
 		}
 	}
 	return rows
+}
+
+// runJob executes a scenario's autotuner phase: submit the spec, poll until
+// the job is terminal, persist the winner artifacts, return the final
+// status. Resubmission of a spec the server already finished is idempotent
+// (same digest, same job), so the poll loop exits on the first status.
+func runJob(sc Scenario) *jobs.Status {
+	jp := sc.Job
+	target := sc.Targets[jp.Target]
+	st := jobRequest(sc, http.MethodPost, target+"/v1/jobs", bytes.NewReader(jp.Spec))
+	fmt.Printf("scenario %s: job %s submitted (state=%s, %d/%d trials)\n",
+		sc.Name, shortID(st.ID), st.State, st.CompletedTrials, st.PlannedTrials)
+	deadline := time.Now().Add(time.Duration(jp.TimeoutMS) * time.Millisecond)
+	for st.State == "running" {
+		if !time.Now().Before(deadline) {
+			fatal(fmt.Sprintf("scenario %s: job %s still running after %dms", sc.Name, shortID(st.ID), jp.TimeoutMS))
+		}
+		time.Sleep(time.Duration(jp.PollMS) * time.Millisecond)
+		st = jobRequest(sc, http.MethodGet, target+"/v1/jobs/"+st.ID, nil)
+	}
+	if st.State != "done" {
+		fatal(fmt.Sprintf("scenario %s: job %s ended %s: %s", sc.Name, shortID(st.ID), st.State, st.Error))
+	}
+	if st.Winner == nil {
+		fatal(fmt.Sprintf("scenario %s: job %s done without a winner", sc.Name, shortID(st.ID)))
+	}
+	fmt.Printf("scenario %s: job %s done — winner %s score=%.4f (%d trials, digest %s)\n",
+		sc.Name, shortID(st.ID), st.Winner.Predictor, st.Winner.Score, st.CompletedTrials, shortID(st.ResultDigest))
+	if jp.TableOut != "" {
+		if err := os.WriteFile(jp.TableOut, []byte(st.Winner.Table), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if jp.ConfigOut != "" {
+		data, err := json.Marshal(st.Winner.Config)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jp.ConfigOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	return st
+}
+
+// jobRequest performs one /v1/jobs call with the scenario's tenant header
+// and decodes the status, fataling on any non-200.
+func jobRequest(sc Scenario, method, url string, body io.Reader) *jobs.Status {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if sc.Tenant != "" {
+		req.Header.Set(server.TenantHeader, sc.Tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal("job request:", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Sprintf("%s %s: %s: %s", method, url, resp.Status, bytes.TrimSpace(data)))
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		fatal("job response:", err)
+	}
+	return &st
+}
+
+// shortID abbreviates a job/digest hex ID for log lines.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
 }
 
 // uploadTrace runs a scenario's bring-your-own-workload phase: generate the
@@ -971,6 +1116,8 @@ type resultRow struct {
 	elapsedS   float64
 	rps        float64
 	latMS      [4]float64 // p50, p90, p99, max
+	jobState   string     // terminal autotuner state ("" = no job phase)
+	jobTrials  int
 	deltas     map[string]uint64
 }
 
@@ -1016,6 +1163,7 @@ func csvHeader() []string {
 	h := []string{
 		"scenario", "target", "targets", "mode", "tenant", "requests", "unique", "ok", "rejected",
 		"failed", "mismatched", "failovers", "elapsed_s", "rps", "p50_ms", "p90_ms", "p99_ms", "max_ms",
+		"job_state", "job_trials",
 	}
 	for _, name := range serverCounters {
 		h = append(h, strings.NewReplacer(".", "_").Replace(name))
@@ -1061,6 +1209,8 @@ func writeCSV(path string, rows []resultRow) error {
 			fmt.Sprintf("%.3f", r.latMS[1]),
 			fmt.Sprintf("%.3f", r.latMS[2]),
 			fmt.Sprintf("%.3f", r.latMS[3]),
+			r.jobState,
+			fmt.Sprint(r.jobTrials),
 		}
 		for _, name := range serverCounters {
 			rec = append(rec, fmt.Sprint(r.deltas[name]))

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// MuopsWeightedIPC aggregates one config's IPC across a set of runs
+// weighting each app by its micro-op count: total committed micro-ops over
+// total cycles. This is the autotuner's scoring metric (internal/jobs) —
+// unlike a geomean of per-app IPCs it cannot be gamed by a predictor that
+// only helps the shortest app. Nil runs are skipped; no runs means 0.
+func MuopsWeightedIPC(runs []*stats.Run) float64 {
+	var committed, cycles uint64
+	for _, r := range runs {
+		if r == nil {
+			continue
+		}
+		committed += r.Committed
+		cycles += r.Cycles
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return float64(committed) / float64(cycles)
+}
+
+// ConfigLabel renders cfg as a canonical one-line label (App excluded — the
+// label names a configuration, not a run). Defaultable fields are printed
+// resolved, so two configs describing the same simulation label identically.
+func ConfigLabel(cfg sim.Config) string {
+	cfg.App = ""
+	cfg = cfg.Normalized()
+	parts := []string{
+		"predictor=" + cfg.Predictor,
+		"machine=" + cfg.Machine,
+		fmt.Sprintf("n=%d", cfg.Instructions),
+	}
+	if cfg.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", cfg.Seed))
+	}
+	if cfg.TrainAtDetect {
+		parts = append(parts, "train_at_detect")
+	}
+	if cfg.SVWFilter {
+		parts = append(parts, "svw_filter")
+	} else if cfg.FwdFilterOff {
+		parts = append(parts, "fwd_filter_off")
+	}
+	if cfg.BranchPredictor != "tagescl" {
+		parts = append(parts, "bp="+cfg.BranchPredictor)
+	}
+	if cfg.Intervals > 1 {
+		parts = append(parts, fmt.Sprintf("intervals=%d", cfg.Intervals))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ConfigTable renders one config's per-app stats rows plus the
+// Muops-weighted aggregate — the table a finished autotuner job reports for
+// its winner and `paperfigs -config` prints for the same config, so the two
+// are byte-comparable. runs must parallel apps (a nil run marks a failed
+// app, rendered as a "failed" row so partial results stay visible).
+func ConfigTable(cfg sim.Config, apps []string, runs []*stats.Run) *stats.Table {
+	t := stats.NewTable("per-app stats — "+ConfigLabel(cfg),
+		"app", "muops", "ipc", "viol_mpki", "falsedep_mpki", "branch_mpki")
+	for i, app := range apps {
+		if i >= len(runs) || runs[i] == nil {
+			t.AddRow(app, "failed")
+			continue
+		}
+		r := runs[i]
+		t.AddRow(app,
+			fmt.Sprintf("%d", r.Committed),
+			fmt.Sprintf("%.4f", r.IPC()),
+			fmt.Sprintf("%.3f", r.ViolationMPKI()),
+			fmt.Sprintf("%.3f", r.FalseDepMPKI()),
+			fmt.Sprintf("%.3f", r.BranchMPKI()))
+	}
+	var agg stats.Run
+	for _, r := range runs {
+		if r == nil {
+			continue
+		}
+		agg.Committed += r.Committed
+		agg.Cycles += r.Cycles
+		agg.MemOrderViolations += r.MemOrderViolations
+		agg.FalseDependencies += r.FalseDependencies
+		agg.BranchMispredicts += r.BranchMispredicts
+	}
+	t.AddRow("all (muops-weighted)",
+		fmt.Sprintf("%d", agg.Committed),
+		fmt.Sprintf("%.4f", MuopsWeightedIPC(runs)),
+		fmt.Sprintf("%.3f", agg.ViolationMPKI()),
+		fmt.Sprintf("%.3f", agg.FalseDepMPKI()),
+		fmt.Sprintf("%.3f", agg.BranchMPKI()))
+	return t
+}

@@ -1,0 +1,123 @@
+package jobs
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// rungPlan is one rung of a search schedule: how many candidates it
+// evaluates and at what stream length. Grid and random searches are a
+// single full-fidelity rung; successive halving stacks rungs of increasing
+// fidelity and shrinking population.
+type rungPlan struct {
+	// Count is the planned candidate population of this rung (failures can
+	// shrink the actual frontier below it).
+	Count int `json:"count"`
+	// Instructions is the per-run stream length at this rung.
+	Instructions int `json:"instructions"`
+}
+
+// planRungs lays out the deterministic schedule for n selected candidates
+// under a normalized spec. For halving with R rungs and promotion factor
+// eta: the final rung runs at the spec's full instruction count, each
+// earlier rung at 1/eta of the next (floored at MinInstructions), and rung
+// populations shrink by ceil(count/eta) per step. The plan depends only on
+// (n, spec) — never on scores or timing — so a resumed job recomputes the
+// identical schedule.
+func planRungs(spec Spec, n int) []rungPlan {
+	if n <= 0 {
+		return nil
+	}
+	if spec.Strategy != "halving" {
+		return []rungPlan{{Count: n, Instructions: spec.Instructions}}
+	}
+	eta, rungs, minInsts := spec.Halving.Eta, spec.Halving.Rungs, spec.Halving.MinInstructions
+	plan := make([]rungPlan, rungs)
+	count := n
+	for i := 0; i < rungs; i++ {
+		plan[i].Count = count
+		count = ceilDiv(count, eta)
+	}
+	insts := spec.Instructions
+	for i := rungs - 1; i >= 0; i-- {
+		plan[i].Instructions = insts
+		insts /= eta
+		if insts < minInsts {
+			insts = minInsts
+		}
+	}
+	return plan
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// planCost is the schedule's total budget in simulated instructions across
+// apps — what the job will cost on a cold cache. Visible in the job status
+// (planned_instructions) so budget accounting is checkable before a job
+// runs, and pinned by the rung-math unit tests.
+func planCost(plan []rungPlan, apps int) int64 {
+	var total int64
+	for _, r := range plan {
+		total += int64(r.Count) * int64(r.Instructions) * int64(apps)
+	}
+	return total
+}
+
+// selectInitial picks the candidate indices entering rung 0, in trial
+// order. Grid (and halving) truncate the canonical candidate order at the
+// budget; random draws a seeded Fisher-Yates sample — the only place the
+// spec seed is consumed, so everything downstream of selection is
+// seed-independent.
+func selectInitial(spec Spec, candidates int) []int {
+	n := candidates
+	if max := spec.Budget.MaxConfigs; max > 0 && max < n {
+		n = max
+	}
+	idx := make([]int, candidates)
+	for i := range idx {
+		idx[i] = i
+	}
+	if spec.Strategy == "random" {
+		rng := rand.New(rand.NewSource(spec.Seed))
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+	return idx[:n]
+}
+
+// trialScore is one rung entry as seen by promotion: candidate index,
+// Muops-weighted IPC, and whether any of the trial's runs failed.
+type trialScore struct {
+	cand   int
+	score  float64
+	failed bool
+}
+
+// promote returns the candidate indices surviving into the next rung:
+// the top keep successful trials by score, ties broken toward the lower
+// candidate index (the canonical enumeration order), failures never
+// promoted even when that leaves fewer than keep survivors. The result is
+// ascending by candidate index, so the next rung's trial order is
+// deterministic.
+func promote(scored []trialScore, keep int) []int {
+	ok := make([]trialScore, 0, len(scored))
+	for _, t := range scored {
+		if !t.failed {
+			ok = append(ok, t)
+		}
+	}
+	sort.SliceStable(ok, func(i, j int) bool {
+		if ok[i].score != ok[j].score {
+			return ok[i].score > ok[j].score
+		}
+		return ok[i].cand < ok[j].cand
+	})
+	if keep > len(ok) {
+		keep = len(ok)
+	}
+	out := make([]int, keep)
+	for i := 0; i < keep; i++ {
+		out[i] = ok[i].cand
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,182 @@
+package jobs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// halvingSpec builds a normalized halving spec for rung-math tests.
+func halvingSpec(eta, rungs, minInsts, insts int) Spec {
+	return Spec{
+		Strategy:     "halving",
+		Halving:      Halving{Eta: eta, Rungs: rungs, MinInstructions: minInsts},
+		Instructions: insts,
+	}
+}
+
+// TestPlanRungs pins the successive-halving schedule: population shrinks by
+// ceil(count/eta) per rung, the final rung runs at full fidelity, earlier
+// rungs at 1/eta of the next, floored at min_instructions.
+func TestPlanRungs(t *testing.T) {
+	cases := []struct {
+		name   string
+		spec   Spec
+		n      int
+		counts []int
+		insts  []int
+	}{
+		{
+			name: "eta2 rungs3", spec: halvingSpec(2, 3, 2000, 8000), n: 12,
+			counts: []int{12, 6, 3}, insts: []int{2000, 4000, 8000},
+		},
+		{
+			name: "ceil promotion", spec: halvingSpec(2, 3, 2000, 8000), n: 9,
+			counts: []int{9, 5, 3}, insts: []int{2000, 4000, 8000},
+		},
+		{
+			name: "eta3", spec: halvingSpec(3, 2, 500, 9000), n: 10,
+			counts: []int{10, 4}, insts: []int{3000, 9000},
+		},
+		{
+			name: "min floor", spec: halvingSpec(2, 3, 2000, 3000), n: 4,
+			counts: []int{4, 2, 1}, insts: []int{2000, 2000, 3000},
+		},
+		{
+			name: "single rung halving", spec: halvingSpec(2, 1, 2000, 5000), n: 7,
+			counts: []int{7}, insts: []int{5000},
+		},
+		{
+			name: "grid is one full rung",
+			spec: Spec{Strategy: "grid", Instructions: 5000}, n: 7,
+			counts: []int{7}, insts: []int{5000},
+		},
+		{
+			name: "deep schedule", spec: halvingSpec(2, 4, 500, 16000), n: 16,
+			counts: []int{16, 8, 4, 2}, insts: []int{2000, 4000, 8000, 16000},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := planRungs(tc.spec, tc.n)
+			if len(plan) != len(tc.counts) {
+				t.Fatalf("got %d rungs, want %d (%+v)", len(plan), len(tc.counts), plan)
+			}
+			for i := range plan {
+				if plan[i].Count != tc.counts[i] || plan[i].Instructions != tc.insts[i] {
+					t.Errorf("rung %d = {count %d, insts %d}, want {%d, %d}",
+						i, plan[i].Count, plan[i].Instructions, tc.counts[i], tc.insts[i])
+				}
+			}
+		})
+	}
+	if plan := planRungs(halvingSpec(2, 3, 2000, 8000), 0); plan != nil {
+		t.Errorf("planRungs(0 candidates) = %+v, want nil", plan)
+	}
+}
+
+// TestPlanCost pins the budget accounting: Σ count × instructions × apps.
+func TestPlanCost(t *testing.T) {
+	plan := planRungs(halvingSpec(2, 3, 2000, 8000), 12) // 12×2000 + 6×4000 + 3×8000 = 72000
+	if got := planCost(plan, 2); got != 144_000 {
+		t.Fatalf("planCost = %d, want 144000", got)
+	}
+	if got := planCost(nil, 3); got != 0 {
+		t.Fatalf("planCost(nil) = %d, want 0", got)
+	}
+}
+
+// TestPromote pins survivor selection on crafted score tables: top-keep by
+// score, ties broken toward the lower candidate index, failures never
+// promoted, result sorted ascending for deterministic trial order.
+func TestPromote(t *testing.T) {
+	cases := []struct {
+		name   string
+		scored []trialScore
+		keep   int
+		want   []int
+	}{
+		{
+			name: "plain top2",
+			scored: []trialScore{
+				{cand: 0, score: 1.0}, {cand: 1, score: 3.0}, {cand: 2, score: 2.0},
+			},
+			keep: 2, want: []int{1, 2},
+		},
+		{
+			name: "tie breaks to lower index",
+			scored: []trialScore{
+				{cand: 5, score: 2.0}, {cand: 1, score: 2.0}, {cand: 3, score: 2.0},
+			},
+			keep: 2, want: []int{1, 3},
+		},
+		{
+			name: "failures filtered even when better",
+			scored: []trialScore{
+				{cand: 0, score: 9.0, failed: true}, {cand: 1, score: 1.0}, {cand: 2, score: 0.5},
+			},
+			keep: 2, want: []int{1, 2},
+		},
+		{
+			name: "keep larger than survivors",
+			scored: []trialScore{
+				{cand: 0, score: 1.0, failed: true}, {cand: 1, score: 1.0},
+			},
+			keep: 3, want: []int{1},
+		},
+		{
+			name:   "all failed",
+			scored: []trialScore{{cand: 0, failed: true}, {cand: 1, failed: true}},
+			keep:   1, want: []int{},
+		},
+		{
+			name: "result ascending regardless of score order",
+			scored: []trialScore{
+				{cand: 7, score: 5.0}, {cand: 2, score: 4.0}, {cand: 4, score: 6.0},
+			},
+			keep: 3, want: []int{2, 4, 7},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := promote(tc.scored, tc.keep)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("promote = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSelectInitial pins the frontier entering rung 0: grid/halving keep
+// candidate order (truncated at the budget), random draws a seeded
+// permutation — deterministic per seed, different across seeds.
+func TestSelectInitial(t *testing.T) {
+	grid := Spec{Strategy: "grid"}
+	if got := selectInitial(grid, 4); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("grid selection = %v", got)
+	}
+	grid.Budget.MaxConfigs = 2
+	if got := selectInitial(grid, 4); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("budgeted grid selection = %v", got)
+	}
+
+	rnd := Spec{Strategy: "random", Seed: 7, Budget: Budget{MaxConfigs: 5}}
+	a := selectInitial(rnd, 20)
+	b := selectInitial(rnd, 20)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("random selection not deterministic per seed: %v vs %v", a, b)
+	}
+	if len(a) != 5 {
+		t.Fatalf("random selection ignored budget: %v", a)
+	}
+	seen := map[int]bool{}
+	for _, i := range a {
+		if i < 0 || i >= 20 || seen[i] {
+			t.Fatalf("random selection not a sample without replacement: %v", a)
+		}
+		seen[i] = true
+	}
+	rnd.Seed = 8
+	if c := selectInitial(rnd, 20); reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds drew the same sample %v", a)
+	}
+}

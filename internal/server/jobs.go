@@ -1,0 +1,134 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/jobs"
+)
+
+// JobsResponse is the body of GET /v1/jobs: every job this daemon tracks
+// (optionally filtered by ?tenant=), sorted by ID.
+type JobsResponse struct {
+	Jobs []*jobs.Status `json:"jobs"`
+}
+
+// wireJobs connects the autotuner controller to the serving layer: trial
+// rows flow into the tenant's persistent results log exactly like /v1/batch
+// rows (same RunResult shape, same error taxonomy, same skip rules for
+// transient refusals), so GET /v1/results shows a job's trials interleaved
+// with the tenant's interactive runs.
+func (s *Server) wireJobs(ctl *jobs.Controller) {
+	s.jobs = ctl
+	ctl.SetOnTrial(func(tenant string, res experiments.Result) {
+		row := RunResult{Config: res.Config, Run: res.Run}
+		if res.Err != nil {
+			_, body := errorBody(res.Err)
+			row.Error = &body
+		}
+		s.recordResult(tenant, row)
+	})
+}
+
+// jobsDisabled answers for daemons running without a jobs controller
+// (-jobs-dir unset): the whole surface is a 404, same as a route that does
+// not exist.
+func (s *Server) jobsDisabled(w http.ResponseWriter) bool {
+	if s.jobs != nil {
+		return false
+	}
+	writeJSON(w, http.StatusNotFound, struct {
+		Error ErrorBody `json:"error"`
+	}{ErrorBody{Kind: KindNotFound,
+		Message: "job submission not enabled (start phastd with -jobs-dir)"}})
+	return true
+}
+
+// handleJobs serves the /v1/jobs collection: POST submits (or idempotently
+// re-joins) a search job, GET lists jobs. Submission is refused while
+// draining — a job is new long-running work; listing stays available so
+// operators can watch the drain.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		if s.jobsDisabled(w) {
+			return
+		}
+		if s.Draining() {
+			s.refuse(w)
+			return
+		}
+		tenant, terr := tenantOf(r)
+		if terr != nil {
+			writeJSON(w, http.StatusBadRequest, struct {
+				Error ErrorBody `json:"error"`
+			}{ErrorBody{Kind: KindBadRequest, Message: terr.Error()}})
+			return
+		}
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, struct {
+				Error ErrorBody `json:"error"`
+			}{ErrorBody{Kind: KindBadRequest, Message: "bad job request: " + err.Error()}})
+			return
+		}
+		spec, err := jobs.ParseSpecJSON(data)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		st, err := s.jobs.Submit(tenant, spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case http.MethodGet:
+		if s.jobsDisabled(w) {
+			return
+		}
+		list := s.jobs.List(r.URL.Query().Get("tenant"))
+		sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+		writeJSON(w, http.StatusOK, JobsResponse{Jobs: list})
+	default:
+		methodNotAllowed(w, "GET, POST")
+	}
+}
+
+// handleJob serves one job: GET /v1/jobs/{id} reports status/progress/
+// winner, DELETE cancels it (in-flight trials get typed cancellations, the
+// checkpoint survives, and resubmitting the same spec resumes from the last
+// completed rung). Both work while draining.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.jobsDisabled(w) {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.ContainsRune(id, '/') {
+		writeJSON(w, http.StatusBadRequest, struct {
+			Error ErrorBody `json:"error"`
+		}{ErrorBody{Kind: KindBadRequest, Message: "want /v1/jobs/{id}"}})
+		return
+	}
+	var (
+		st  *jobs.Status
+		err error
+	)
+	switch r.Method {
+	case http.MethodGet:
+		st, err = s.jobs.Get(id)
+	case http.MethodDelete:
+		st, err = s.jobs.Cancel(id)
+	default:
+		methodNotAllowed(w, "GET, DELETE")
+		return
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -28,9 +28,15 @@
 // in-flight cap, with run outcomes persisted per tenant — see traces.go and
 // internal/tracestore. Tenant identity rides the X-Phast-Tenant header.
 //
+// With Options.Jobs set the server additionally exposes the design-space
+// autotuner (POST /v1/jobs, GET/DELETE /v1/jobs/{id}): resumable search
+// jobs over sim.Config knobs whose trials execute through the same runner,
+// cache and tenant-fairness machinery — see internal/jobs.
+//
 // Endpoints: POST /v1/runs, POST /v1/batch, POST /v1/traces,
-// GET /v1/traces/{digest}, GET /v1/results, POST /v1/peer/run,
-// GET /v1/peer/cache/{key}, GET|PUT /v1/peer/trace/{digest}, GET /v1/cluster,
+// GET /v1/traces/{digest}, GET /v1/results, POST|GET /v1/jobs,
+// GET|DELETE /v1/jobs/{id}, POST /v1/peer/run, GET /v1/peer/cache/{key},
+// GET|PUT /v1/peer/trace/{digest}, GET /v1/cluster,
 // GET /healthz, GET /metrics.
 // Results are the same stats.Run rows and sim.SimError taxonomy the library
 // returns, serialised — a server-side run is byte-identical to an in-process
@@ -52,6 +58,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -163,6 +170,11 @@ type Options struct {
 	// 429 quota_exceeded past it. 0 = unlimited. This is the per-tenant
 	// admission gate; MaxInflight/QueueDepth stay the whole-server bound.
 	TenantMaxInflight int
+	// Jobs enables the design-space autotuner surface (POST /v1/jobs and
+	// friends); nil disables it — the endpoints answer 404. The server wires
+	// the controller's per-trial observer into the Results log, so trial
+	// rows land under the submitting tenant like any other run.
+	Jobs *jobs.Controller
 
 	// The remaining options apply only with Fleet set; zero values take the
 	// defaults noted on each.
@@ -241,6 +253,7 @@ type Server struct {
 
 	store   *tracestore.Store     // nil = no trace ingestion
 	results *tracestore.ResultLog // nil = no persistent results
+	jobs    *jobs.Controller      // nil = no autotuner surface
 
 	// tinflight counts each tenant's in-flight external requests for the
 	// TenantMaxInflight admission gate.
@@ -277,6 +290,9 @@ func New(backend Backend, opt Options) *Server {
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.lookup, _ = backend.(CacheLookup)
 	s.sched, _ = backend.(ScheduledBackend)
+	if opt.Jobs != nil {
+		s.wireJobs(opt.Jobs)
+	}
 	if s.store != nil {
 		s.store.SetMetrics(opt.Metrics)
 	}
@@ -333,6 +349,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/traces", s.instrumented(s.handleTraceUpload))
 	mux.HandleFunc("/v1/traces/", s.instrumented(s.handleTraceGet))
 	mux.HandleFunc("/v1/results", s.instrumented(s.handleResults))
+	mux.HandleFunc("/v1/jobs", s.instrumented(s.handleJobs))
+	mux.HandleFunc("/v1/jobs/", s.instrumented(s.handleJob))
 	mux.HandleFunc("/v1/peer/run", s.instrumented(s.handlePeerRun))
 	mux.HandleFunc("/v1/peer/cache/", s.handlePeerCache)
 	mux.HandleFunc("/v1/peer/trace/", s.handlePeerTrace)

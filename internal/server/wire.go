@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tracestore"
@@ -186,6 +187,20 @@ func errorBody(err error) (int, ErrorBody) {
 		return http.StatusRequestEntityTooLarge, ErrorBody{Kind: KindTooLarge, Message: err.Error()}
 	case errors.Is(err, tracestore.ErrNotFound):
 		return http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: err.Error()}
+	case errors.Is(err, jobs.ErrUnknownJob):
+		return http.StatusNotFound, ErrorBody{Kind: KindNotFound, Message: err.Error()}
+	case errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable, ErrorBody{Kind: KindDraining, Message: err.Error()}
+	}
+	var se *jobs.SpecError
+	if errors.As(err, &se) {
+		return http.StatusBadRequest, ErrorBody{Kind: KindBadRequest, Message: err.Error()}
+	}
+	var tbe *jobs.TenantBusyError
+	if errors.As(err, &tbe) {
+		// The same taxonomy as ErrTenantBusy: this tenant's own footprint,
+		// not server saturation — frees up when one of its jobs finishes.
+		return http.StatusTooManyRequests, ErrorBody{Kind: KindQuotaExceeded, Message: err.Error()}
 	}
 	var fe *tracestore.FormatError
 	if errors.As(err, &fe) {
